@@ -1,0 +1,275 @@
+package vital_test
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations for the design decisions DESIGN.md calls out.
+// Benchmarks report the headline metric of their experiment via
+// b.ReportMetric so `go test -bench=. -benchmem` regenerates the paper's
+// numbers alongside the timing.
+
+import (
+	"sync"
+	"testing"
+
+	"vital/internal/core"
+	"vital/internal/experiments"
+	"vital/internal/fpga"
+	"vital/internal/hls"
+	"vital/internal/interconnect"
+	"vital/internal/netlist"
+	"vital/internal/partition"
+	"vital/internal/workload"
+)
+
+// BenchmarkFig1aResourceDemand regenerates Fig. 1a and reports the largest
+// device fraction any representative app needs.
+func BenchmarkFig1aResourceDemand(b *testing.B) {
+	var maxFrac float64
+	for i := 0; i < b.N; i++ {
+		maxFrac = experiments.Fig1a().MaxFraction
+	}
+	b.ReportMetric(maxFrac, "max-device-fraction")
+}
+
+// BenchmarkTable1FeatureProbe regenerates the Table 1 comparison probes.
+func BenchmarkTable1FeatureProbe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Compile runs one Table 2 design (lenet-M) through the full
+// six-step compilation flow and reports whether the block count matches the
+// paper.
+func BenchmarkTable2Compile(b *testing.B) {
+	bench, err := workload.Find("lenet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.Spec{Benchmark: bench, Variant: workload.Medium}
+	match := 0.0
+	for i := 0; i < b.N; i++ {
+		stack := core.NewStack(nil)
+		app, err := stack.Compile(workload.BuildDesign(spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if app.Blocks() == spec.PaperBlocks() {
+			match = 1
+		}
+	}
+	b.ReportMetric(match, "blocks-match-paper")
+}
+
+// BenchmarkTable3TraceGen regenerates the Table 3 workload sets.
+func BenchmarkTable3TraceGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Interface measures the latency-insensitive interface's
+// bare-metal bandwidth (Table 4) and reports the inter-FPGA Gb/s.
+func BenchmarkTable4Interface(b *testing.B) {
+	var gbps float64
+	for i := 0; i < b.N; i++ {
+		rows, err := interconnect.Table4(100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gbps = rows[0].Gbps
+	}
+	b.ReportMetric(gbps, "interfpga-Gbps")
+}
+
+// BenchmarkFig7Floorplan runs the §5.3 design-space exploration and reports
+// the selected blocks/die (paper: 5).
+func BenchmarkFig7Floorplan(b *testing.B) {
+	blocks := 0.0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks = float64(r.OptimalBlocksPer)
+	}
+	b.ReportMetric(blocks, "blocks-per-die")
+}
+
+// BenchmarkBufferElision reproduces the §5.3 optimization (paper: 82.3%
+// reduction of the communication-region demand).
+func BenchmarkBufferElision(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		reduction = experiments.BufferElision().ReductionFraction
+	}
+	b.ReportMetric(reduction*100, "reduction-%")
+}
+
+// BenchmarkFig8CompileBreakdown compiles a design and reports the P&R share
+// of compile time (paper: 83.9% P&R, 1.6% custom tools).
+func BenchmarkFig8CompileBreakdown(b *testing.B) {
+	bench, err := workload.Find("nin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.Spec{Benchmark: bench, Variant: workload.Medium}
+	var pnrFrac float64
+	for i := 0; i < b.N; i++ {
+		stack := core.NewStack(nil)
+		app, err := stack.Compile(workload.BuildDesign(spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pnrFrac = app.Times.PNRFraction()
+	}
+	b.ReportMetric(pnrFrac*100, "pnr-%")
+}
+
+// synthOnce caches an alexnet-M netlist for the partition benchmarks.
+var synthOnce = sync.OnceValues(func() (*netlist.Netlist, error) {
+	bench, err := workload.Find("alexnet")
+	if err != nil {
+		return nil, err
+	}
+	res, err := hls.Synthesize(workload.BuildDesign(workload.Spec{Benchmark: bench, Variant: workload.Medium}))
+	if err != nil {
+		return nil, err
+	}
+	return res.Netlist, nil
+})
+
+var benchCapacity = netlist.Resources{LUTs: 79200, DFFs: 158400, DSPs: 580, BRAMKb: 4320}
+
+// BenchmarkPartitionQuality reports the §5.4 bandwidth-requirement
+// reduction over the first-fit baseline (paper: 2.1× on average).
+func BenchmarkPartitionQuality(b *testing.B) {
+	n, err := synthOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := partition.Config{BlockCapacity: benchCapacity, Seed: 17}
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		opt, err := partition.Auto(n, cfg, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		optReq := partition.BandwidthRequirement(n, opt.CellBlock, opt.NumBlocks)
+		naive, err := partition.NaiveContiguous(n, opt.NumBlocks, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = float64(partition.BandwidthRequirement(n, naive, opt.NumBlocks)) / float64(optReq)
+	}
+	b.ReportMetric(factor, "bandwidth-reduction-x")
+}
+
+// BenchmarkFig9ResponseTime runs the system-layer evaluation (reduced
+// scale) and reports the ViTAL-vs-baseline response-time reduction
+// (paper: 82%).
+func BenchmarkFig9ResponseTime(b *testing.B) {
+	cfg := experiments.Fig9Config{Requests: 120, MeanInterarrivalSec: 10, Seeds: []int64{1}}
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = r.ReductionVsBaseline
+	}
+	b.ReportMetric(reduction*100, "reduction-vs-baseline-%")
+}
+
+// BenchmarkSystemMetrics reports the §5.5 concurrency gain over the
+// per-device baseline (paper: 2.3×).
+func BenchmarkSystemMetrics(b *testing.B) {
+	cfg := experiments.Fig9Config{Requests: 120, MeanInterarrivalSec: 10, Seeds: []int64{2}}
+	var conc float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conc = r.ConcurrencyGain
+	}
+	b.ReportMetric(conc, "concurrency-gain-x")
+}
+
+// BenchmarkFig10Relocation runs the relocation scenario end to end.
+func BenchmarkFig10Relocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPlacement reports how much worse a connectivity-blind
+// first-fit is than the §4 algorithm.
+func BenchmarkAblationPlacement(b *testing.B) {
+	var x float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationPlacement("alexnet", workload.Medium)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x = r.FirstFitX
+	}
+	b.ReportMetric(x, "firstfit-vs-full-x")
+}
+
+// BenchmarkAblationPartitionLevel reports the DFG-level bandwidth penalty
+// relative to netlist-level partitioning (the §3.3 design decision).
+func BenchmarkAblationPartitionLevel(b *testing.B) {
+	var x float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationPartitionLevel("lenet", workload.Medium)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.NetlistBandwidth > 0 {
+			x = float64(r.DFGBandwidth) / float64(r.NetlistBandwidth)
+		}
+	}
+	b.ReportMetric(x, "dfg-vs-netlist-x")
+}
+
+// BenchmarkAblationAllocation reports boards-per-app for the
+// communication-aware policy (§3.4) vs scattering.
+func BenchmarkAblationAllocation(b *testing.B) {
+	var commAware float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationAllocation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		commAware = r.ScatterBoards - r.CommAwareBoards
+	}
+	b.ReportMetric(commAware, "boards-per-app-saved")
+}
+
+// BenchmarkRelocationThroughput measures raw bitstream relocation (the
+// step-5 primitive the runtime leans on).
+func BenchmarkRelocationThroughput(b *testing.B) {
+	bench, err := workload.Find("lenet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack := core.NewStack(nil)
+	app, err := stack.Compile(workload.BuildDesign(workload.Spec{Benchmark: bench, Variant: workload.Small}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := fpga.XCVU37P()
+	targets := dev.Blocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Bitstreams[0].Relocate(targets[i%len(targets)], dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

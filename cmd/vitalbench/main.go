@@ -1,0 +1,141 @@
+// Command vitalbench regenerates the paper's tables and figures from the
+// reimplemented ViTAL stack and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	vitalbench -all                # every experiment (minutes)
+//	vitalbench -run fig9           # one experiment
+//	vitalbench -run table2 -limit 6
+//
+// Experiments: fig1a, table1, table2, table3, table4, fig7, elision, fig8,
+// partition, fig9, fig10, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vital/internal/experiments"
+	"vital/internal/workload"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	run := flag.String("run", "", "comma-separated experiments to run")
+	limit := flag.Int("limit", 0, "limit table2/partition to the first N designs (0 = all)")
+	requests := flag.Int("requests", 0, "fig9 requests per workload set (0 = calibrated default)")
+	flag.Parse()
+
+	names := map[string]bool{}
+	if *all || *run == "" {
+		for _, n := range []string{"fig1a", "table1", "table2", "table3", "table4", "fig7", "elision", "fig8", "partition", "fig9", "fig10", "ablation"} {
+			names[n] = true
+		}
+		if *run == "" && !*all {
+			fmt.Println("no -run given: running all experiments (use -run <name> for one)")
+		}
+	} else {
+		for _, n := range strings.Split(*run, ",") {
+			names[strings.TrimSpace(n)] = true
+		}
+	}
+
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "vitalbench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if names["fig1a"] {
+		fmt.Println(experiments.Fig1a().Render())
+	}
+	if names["table1"] {
+		r, err := experiments.Table1()
+		if err != nil {
+			fail("table1", err)
+		}
+		fmt.Println(r.Render())
+	}
+	if names["table3"] {
+		r, err := experiments.Table3(0)
+		if err != nil {
+			fail("table3", err)
+		}
+		fmt.Println(r.Render())
+	}
+	if names["fig7"] {
+		r, err := experiments.Fig7()
+		if err != nil {
+			fail("fig7", err)
+		}
+		fmt.Println(r.Render())
+	}
+	if names["elision"] {
+		fmt.Println(experiments.BufferElision().Render())
+	}
+	if names["table4"] {
+		r, err := experiments.Table4(500_000)
+		if err != nil {
+			fail("table4", err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	var t2 *experiments.Table2Result
+	if names["table2"] || names["fig8"] {
+		var err error
+		t2, err = experiments.Table2(*limit)
+		if err != nil {
+			fail("table2", err)
+		}
+	}
+	if names["table2"] {
+		fmt.Println(t2.Render())
+	}
+	if names["fig8"] {
+		fmt.Println(experiments.Fig8(t2).Render())
+	}
+	if names["partition"] {
+		r, err := experiments.PartitionQuality(*limit)
+		if err != nil {
+			fail("partition", err)
+		}
+		fmt.Println(r.Render())
+	}
+	if names["fig9"] {
+		cfg := experiments.DefaultFig9Config()
+		if *requests > 0 {
+			cfg.Requests = *requests
+		}
+		r, err := experiments.Fig9(cfg)
+		if err != nil {
+			fail("fig9", err)
+		}
+		fmt.Println(r.Render())
+	}
+	if names["ablation"] {
+		pl, err := experiments.AblationPartitionLevel("lenet", workload.Medium)
+		if err != nil {
+			fail("ablation", err)
+		}
+		fmt.Println(pl.Render())
+		pa, err := experiments.AblationPlacement("alexnet", workload.Medium)
+		if err != nil {
+			fail("ablation", err)
+		}
+		fmt.Println(pa.Render())
+		al, err := experiments.AblationAllocation()
+		if err != nil {
+			fail("ablation", err)
+		}
+		fmt.Println(al.Render())
+	}
+	if names["fig10"] {
+		r, err := experiments.Fig10()
+		if err != nil {
+			fail("fig10", err)
+		}
+		fmt.Println(r.Render())
+	}
+}

@@ -1,0 +1,87 @@
+// Command vitalcompile runs a design through the offline ViTAL compilation
+// flow (Fig. 5) and reports the result: virtual-block count, per-stage
+// compile times, timing closure, and the generated latency-insensitive
+// interface. Designs come from a JSON file (see internal/hls JSON docs) or
+// from the built-in Table 2 benchmark suite.
+//
+// Usage:
+//
+//	vitalcompile -design mydesign.json
+//	vitalcompile -bench alexnet-M -netlist out.nl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vital/internal/core"
+	"vital/internal/hls"
+	"vital/internal/workload"
+)
+
+func main() {
+	designPath := flag.String("design", "", "JSON design file to compile")
+	bench := flag.String("bench", "", "built-in benchmark design (<name>-<S|M|L>)")
+	netlistOut := flag.String("netlist", "", "write the synthesized netlist (text format) to this file")
+	flag.Parse()
+
+	var design *hls.Design
+	switch {
+	case *designPath != "" && *bench != "":
+		log.Fatal("vitalcompile: -design and -bench are mutually exclusive")
+	case *designPath != "":
+		f, err := os.Open(*designPath)
+		if err != nil {
+			log.Fatalf("vitalcompile: %v", err)
+		}
+		design, err = hls.LoadDesignJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("vitalcompile: %v", err)
+		}
+	case *bench != "":
+		spec, err := workload.ParseSpec(*bench)
+		if err != nil {
+			log.Fatalf("vitalcompile: %v", err)
+		}
+		design = workload.BuildDesign(spec)
+	default:
+		log.Fatal("vitalcompile: need -design <file.json> or -bench <name-V>")
+	}
+
+	stack := core.NewStack(nil)
+	app, err := stack.Compile(design)
+	if err != nil {
+		log.Fatalf("vitalcompile: %v", err)
+	}
+	st := app.Times
+	fmt.Printf("design:          %s\n", app.Name)
+	fmt.Printf("resources:       %s\n", app.Netlist.Resources())
+	fmt.Printf("virtual blocks:  %d\n", app.Blocks())
+	fmt.Printf("worst Fmax:      %.0f MHz\n", app.FminMHz)
+	fmt.Printf("LI channels:     %d (cut %d bits total)\n", len(app.Channels), app.Partition.CutWidth)
+	fmt.Printf("compile stages:  synthesis %v | partition %v | interface %v | local P&R %v | relocation %v | global P&R %v\n",
+		st.Synthesis.Round(1e6), st.Partition.Round(1e6), st.InterfaceGen.Round(1e6),
+		st.LocalPNR.Round(1e6), st.Relocation.Round(1e6), st.GlobalPNR.Round(1e6))
+	fmt.Printf("P&R share:       %.1f%%   custom tools: %.1f%%\n", st.PNRFraction()*100, st.CustomToolFraction()*100)
+	for b, br := range app.BlockResults {
+		fmt.Printf("  vb%-2d %s  wirelength %d  congestion %.2f  Fmax %.0f MHz\n",
+			b, app.Partition.Usage[b], br.Routing.WirelengthUnits, br.Routing.MaxUtilization, br.Timing.FmaxMHz)
+	}
+
+	if *netlistOut != "" {
+		f, err := os.Create(*netlistOut)
+		if err != nil {
+			log.Fatalf("vitalcompile: %v", err)
+		}
+		if _, err := app.Netlist.WriteTo(f); err != nil {
+			log.Fatalf("vitalcompile: writing netlist: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("vitalcompile: %v", err)
+		}
+		fmt.Printf("netlist written: %s\n", *netlistOut)
+	}
+}

@@ -1,0 +1,90 @@
+// Command vitalctl is the CLI client for a running vitald system
+// controller.
+//
+// Usage:
+//
+//	vitalctl -addr http://127.0.0.1:8080 status
+//	vitalctl deploy lenet-M
+//	vitalctl undeploy lenet-M
+//	vitalctl apps
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "vitald address")
+	quota := flag.Uint64("mem", 1<<30, "DRAM quota in bytes for deploy")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|deploy <app>|undeploy <app>")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "status":
+		get(*addr + "/status")
+	case "apps":
+		get(*addr + "/apps")
+	case "deploy":
+		requireArg(args, "deploy")
+		post(*addr+"/deploy", map[string]interface{}{"app": args[1], "mem_quota_bytes": *quota})
+	case "undeploy":
+		requireArg(args, "undeploy")
+		post(*addr+"/undeploy", map[string]string{"app": args[1]})
+	default:
+		log.Fatalf("vitalctl: unknown command %q", args[0])
+	}
+}
+
+func requireArg(args []string, cmd string) {
+	if len(args) < 2 {
+		log.Fatalf("vitalctl: %s needs an application name", cmd)
+	}
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("vitalctl: %v", err)
+	}
+	defer resp.Body.Close()
+	dump(resp)
+}
+
+func post(url string, body interface{}) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatalf("vitalctl: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatalf("vitalctl: %v", err)
+	}
+	defer resp.Body.Close()
+	dump(resp)
+}
+
+func dump(resp *http.Response) {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("vitalctl: %v", err)
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") == nil {
+		fmt.Println(pretty.String())
+	} else {
+		fmt.Print(string(raw))
+	}
+	if resp.StatusCode >= 400 {
+		os.Exit(1)
+	}
+}

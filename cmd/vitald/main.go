@@ -1,0 +1,46 @@
+// Command vitald runs a ViTAL system controller over a simulated FPGA
+// cluster as an HTTP daemon. It pre-compiles a selection of Table 2
+// benchmark designs into the bitstream database so clients can deploy them
+// immediately.
+//
+// Usage:
+//
+//	vitald -listen :8080 -compile lenet-S,lenet-M,nin-M
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"vital/internal/core"
+	"vital/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	compile := flag.String("compile", "lenet-S,lenet-M", "comma-separated benchmark designs (name-S/M/L) to pre-compile")
+	flag.Parse()
+
+	stack := core.NewStack(nil)
+	for _, name := range strings.Split(*compile, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec, err := workload.ParseSpec(name)
+		if err != nil {
+			log.Fatalf("vitald: %v", err)
+		}
+		log.Printf("compiling %s ...", name)
+		app, err := stack.Compile(workload.BuildDesign(spec))
+		if err != nil {
+			log.Fatalf("vitald: compiling %s: %v", name, err)
+		}
+		log.Printf("compiled %s: %d virtual blocks, Fmax %.0f MHz, %v",
+			name, app.Blocks(), app.FminMHz, app.Times.Total().Round(1e6))
+	}
+	log.Printf("system controller listening on %s", *listen)
+	log.Fatal(http.ListenAndServe(*listen, core.NewStackHandler(stack)))
+}

@@ -1,0 +1,10 @@
+// Package vital is a full reimplementation of ViTAL — "Virtualizing FPGAs
+// in the Cloud" (Zha & Li, ASPLOS 2020) — as a pure-Go library over a
+// simulated FPGA cluster.
+//
+// The public surface lives in internal/core (the four-layer stack),
+// internal/experiments (the paper's evaluation), and the cmd/ executables.
+// The root package exists to carry the module documentation and the
+// benchmark harness (bench_test.go) that regenerates every table and
+// figure of the paper; see README.md and DESIGN.md.
+package vital

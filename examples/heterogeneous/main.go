@@ -1,0 +1,89 @@
+// Heterogeneous: the Section 7 extension — different FPGA types (XCVU37P
+// and XCVU9P) on one ring, all exposing the identical virtual-block shape.
+// An application compiled once deploys across device types, and the
+// relocation-based defragmentation (a "more comprehensive runtime policy",
+// §3.4 future work) makes room for a latency-sensitive tenant that refuses
+// to span FPGAs.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vital/internal/cluster"
+	"vital/internal/core"
+	"vital/internal/fpga"
+	"vital/internal/workload"
+)
+
+func main() {
+	// Two big VU37P boards and two smaller VU9P boards (AWS-F1-class).
+	c, err := cluster.NewHeterogeneous([]*fpga.Device{
+		fpga.XCVU37P(), fpga.XCVU37P(), fpga.XCVU9P(), fpga.XCVU9P(),
+	}, cluster.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stack := core.NewStack(c)
+	fmt.Printf("heterogeneous cluster: ")
+	for _, b := range c.Boards {
+		fmt.Printf("%s(%d blocks) ", b.Device.Name, b.Device.NumBlocks())
+	}
+	fmt.Printf("= %d blocks total, one identical block shape\n\n", c.TotalBlocks())
+
+	compile := func(bench string, v workload.Variant) *core.CompiledApp {
+		bm, err := workload.Find(bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err := stack.Compile(workload.BuildDesign(workload.Spec{Benchmark: bm, Variant: v}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return app
+	}
+
+	// A fleet of tenants fills the cluster across both device types.
+	tenants := []*core.CompiledApp{
+		compile("vgg16", workload.Large),     // 10 blocks
+		compile("alexnet", workload.Medium),  // 5
+		compile("svhn", workload.Medium),     // 3
+		compile("lenet", workload.Medium),    // 4
+		compile("nin", workload.Large),       // 6
+		compile("resnet18", workload.Medium), // 5
+		compile("cifar10", workload.Medium),  // 5
+	}
+	for _, app := range tenants {
+		dep, err := stack.Deploy(app, 1<<30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		boards := map[string]int{}
+		for _, blk := range dep.Blocks {
+			boards[c.Boards[blk.Board].Device.Name]++
+		}
+		fmt.Printf("%-11s → %d blocks on %v\n", app.Name, len(dep.Blocks), boards)
+	}
+
+	// A latency-sensitive tenant needs 8 blocks on ONE board; the cluster
+	// is fragmented, so the controller defragments by draining a board —
+	// pure bitstream relocation, no recompilation, across device types.
+	sensitive := compile("cifar10", workload.Large) // 8 blocks
+	st := stack.Controller.Status()
+	fmt.Printf("\nfree per board before defrag: %v (total %d)\n", st.FreePerFPGA, st.TotalBlocks-st.UsedBlocks)
+	dep, err := stack.Controller.DeploySingleBoard(sensitive.Name, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s deployed on a single board after defragmentation: %v\n", sensitive.Name, dep.Blocks)
+	fmt.Printf("free per board after:  %v\n", stack.Controller.Status().FreePerFPGA)
+
+	stats, err := stack.Execute(sensitive, dep, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d tokens in %d cycles — zero inter-FPGA channels (%d intra-die, %d inter-die)\n",
+		stats.Tokens, stats.Cycles, stats.IntraDie, stats.InterDie)
+}

@@ -1,0 +1,90 @@
+// Multitenant: a cloud scenario with several tenants arriving over time.
+// Fine-grained sharing packs their accelerators onto the cluster, every
+// tenant gets an isolated memory domain and virtual NIC, and isolation is
+// enforced — a tenant cannot touch another's memory or spoof its MAC.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vital/internal/core"
+	"vital/internal/memvirt"
+	"vital/internal/sched"
+	"vital/internal/workload"
+)
+
+func main() {
+	stack := core.NewStack(nil)
+
+	tenants := []struct {
+		bench string
+		v     workload.Variant
+	}{
+		{"lenet", workload.Small},
+		{"nin", workload.Medium},
+		{"cifar10", workload.Small},
+		{"alexnet", workload.Medium},
+	}
+	apps := make([]*core.CompiledApp, 0, len(tenants))
+	deps := make([]*sched.Deployment, 0, len(tenants))
+	for _, tn := range tenants {
+		b, err := workload.Find(tn.bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := workload.Spec{Benchmark: b, Variant: tn.v}
+		app, err := stack.Compile(workload.BuildDesign(spec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dep, err := stack.Deploy(app, 2<<30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tenant %-10s → %d blocks on", spec.Name(), len(dep.Blocks))
+		for _, blk := range dep.Blocks {
+			fmt.Printf(" %s", blk)
+		}
+		fmt.Println()
+		apps = append(apps, app)
+		deps = append(deps, dep)
+	}
+	st := stack.Controller.Status()
+	fmt.Printf("\ncluster: %d/%d blocks in use by %d tenants concurrently\n", st.UsedBlocks, st.TotalBlocks, len(st.Apps))
+	fmt.Println("(per-device allocation would have capped concurrency at 4 — one tenant per FPGA)")
+
+	// Memory isolation: tenant 0 allocates and touches its own buffers;
+	// tenant 1's addresses fault in tenant 0's domain.
+	primary := stack.Cluster.Boards[deps[0].Blocks[0].Board]
+	va, err := primary.Mem.Alloc(apps[0].Name, 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := primary.Mem.Access(apps[0].Name, va, 4096, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntenant %s wrote 4 KiB at virtual 0x%x in its own domain\n", apps[0].Name, va)
+	if err := primary.Mem.Access(apps[1].Name, va, 4096, false); err != nil {
+		fmt.Printf("tenant %s reading the same virtual address: %v\n", apps[1].Name, err)
+	}
+	if err := primary.Mem.CheckIsolation(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("memory isolation invariant holds: no physical page is shared")
+
+	// Network isolation: spoofed source MACs are rejected by the virtual
+	// switch in the service region.
+	board0 := stack.Cluster.Boards[deps[0].Blocks[0].Board]
+	err = board0.Net.Send(apps[1].Name, memvirt.EthFrame{Src: deps[0].VNIC.MAC, Dst: deps[0].VNIC.MAC})
+	fmt.Printf("tenant %s spoofing %s's MAC: %v\n", apps[1].Name, apps[0].Name, err)
+
+	for _, app := range apps {
+		if err := stack.Undeploy(app); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nall tenants departed; cluster empty:", stack.Controller.Status().UsedBlocks, "blocks in use")
+}

@@ -1,0 +1,69 @@
+// Quickstart: compile one DNN accelerator through the ViTAL stack, deploy
+// it onto the simulated four-FPGA cluster, execute it over the
+// latency-insensitive interface, and tear it down.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vital/internal/core"
+	"vital/internal/workload"
+)
+
+func main() {
+	// The stack over the paper's default cluster: 4 × XCVU37P, 15 physical
+	// blocks each, on a 100 Gbps ring.
+	stack := core.NewStack(nil)
+	fmt.Printf("cluster: %d boards × %d physical blocks (block = %s)\n",
+		len(stack.Cluster.Boards), stack.Cluster.BlocksPerBoard(), stack.BlockCapacity)
+
+	// Programming layer: the user writes an operator graph against a
+	// single, arbitrarily large FPGA. Here we take a Table 2 benchmark.
+	bench, err := workload.Find("lenet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := workload.Spec{Benchmark: bench, Variant: workload.Medium}
+	design := workload.BuildDesign(spec)
+	fmt.Printf("design %s: %d operators, demand %s\n", spec.Name(), len(design.Ops), spec.Resources())
+
+	// Compilation layer: the six-step flow of Fig. 5.
+	app, err := stack.Compile(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled into %d position-independent virtual blocks (paper: %d)\n", app.Blocks(), spec.PaperBlocks())
+	fmt.Printf("  worst block Fmax: %.0f MHz\n", app.FminMHz)
+	fmt.Printf("  compile stages: synthesis %v | partition %v | interface %v | local P&R %v | relocation %v | global P&R %v\n",
+		app.Times.Synthesis.Round(1e6), app.Times.Partition.Round(1e6), app.Times.InterfaceGen.Round(1e6),
+		app.Times.LocalPNR.Round(1e6), app.Times.Relocation.Round(1e6), app.Times.GlobalPNR.Round(1e6))
+
+	// System layer: runtime placement by the communication-aware policy,
+	// programming via partial reconfiguration.
+	dep, err := stack.Deploy(app, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed on:")
+	for _, b := range dep.Blocks {
+		fmt.Printf(" %s", b)
+	}
+	fmt.Printf("\n  partial reconfiguration: %v, multi-FPGA: %v, vNIC %s\n",
+		dep.ReconfigTime.Round(1e5), dep.MultiFPGA, dep.VNIC.MAC)
+
+	// Execute on the cycle-level interconnect model.
+	stats, err := stack.Execute(app, dep, 10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d tokens in %d cycles (interface overhead %.4f%%)\n",
+		stats.Tokens, stats.Cycles, stats.OverheadFraction()*100)
+
+	if err := stack.Undeploy(app); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("undeployed; all blocks returned to the pool")
+}

@@ -1,0 +1,3 @@
+module vital
+
+go 1.22

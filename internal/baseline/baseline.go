@@ -1,0 +1,281 @@
+// Package baseline implements the comparison resource-management methods
+// of the paper's evaluation (Section 5.2): the per-device allocation used
+// by commercial clouds, the slot-based method of prior work (including
+// AmorphOS's low-latency mode), and AmorphOS's high-throughput mode.
+package baseline
+
+import (
+	"vital/internal/cluster"
+	"vital/internal/netlist"
+	"vital/internal/sim"
+)
+
+// fullReconfigSec is the time to program a whole device (the full-device
+// bitstream through the configuration port), paid by per-device allocation
+// and by every AmorphOS morph.
+const fullReconfigSec = 0.08
+
+// PerDevice is the existing cloud management method (Fig. 2a): one
+// physical FPGA exhaustively allocated to one application.
+type PerDevice struct {
+	cluster *cluster.Cluster
+	boards  []int // appID occupying each board, -1 when free
+	used    int
+}
+
+// NewPerDevice builds the baseline over a cluster.
+func NewPerDevice(c *cluster.Cluster) *PerDevice {
+	b := make([]int, len(c.Boards))
+	for i := range b {
+		b[i] = -1
+	}
+	return &PerDevice{cluster: c, boards: b}
+}
+
+// Name implements sim.Allocator.
+func (p *PerDevice) Name() string { return "per-device" }
+
+// TryAdmit implements sim.Allocator: any free board hosts the app whole.
+func (p *PerDevice) TryAdmit(app *sim.AppLoad, now float64) (*sim.Admission, bool) {
+	for b := range p.boards {
+		if p.boards[b] == -1 {
+			p.boards[b] = app.ID
+			p.used++
+			return &sim.Admission{
+				DeploySec:    fullReconfigSec,
+				ServiceScale: 1,
+				Boards:       []int{b},
+				BlocksUsed:   p.cluster.BlocksPerBoard(),
+			}, true
+		}
+	}
+	return nil, false
+}
+
+// Release implements sim.Allocator.
+func (p *PerDevice) Release(appID int, now float64) {
+	for b := range p.boards {
+		if p.boards[b] == appID {
+			p.boards[b] = -1
+			p.used--
+		}
+	}
+}
+
+// UsedBlocks implements sim.Allocator: an occupied board consumes all of
+// its blocks regardless of the app's real demand — the internal
+// fragmentation the paper attacks.
+func (p *PerDevice) UsedBlocks() int { return p.used * p.cluster.BlocksPerBoard() }
+
+// TotalBlocks implements sim.Allocator.
+func (p *PerDevice) TotalBlocks() int { return p.cluster.TotalBlocks() }
+
+// SlotBased is the prior sub-FPGA method (Fig. 2b, AmorphOS low-latency
+// mode): each FPGA is statically divided into a few identical slots; an
+// application takes one slot if it fits, otherwise a whole device. There is
+// no scale-out support and slots are large, so internal fragmentation
+// remains.
+type SlotBased struct {
+	cluster    *cluster.Cluster
+	slotBlocks int
+	slots      [][]int // per board, appID per slot (-1 free)
+}
+
+// NewSlotBased divides each board into two slots of 7 blocks (one block
+// per board stays with the shell, as in the slot systems the paper cites).
+func NewSlotBased(c *cluster.Cluster) *SlotBased {
+	s := &SlotBased{cluster: c, slotBlocks: 7}
+	for range c.Boards {
+		s.slots = append(s.slots, []int{-1, -1})
+	}
+	return s
+}
+
+// Name implements sim.Allocator.
+func (s *SlotBased) Name() string { return "slot-based" }
+
+// TryAdmit implements sim.Allocator.
+func (s *SlotBased) TryAdmit(app *sim.AppLoad, now float64) (*sim.Admission, bool) {
+	if app.Blocks <= s.slotBlocks {
+		for b := range s.slots {
+			for i, owner := range s.slots[b] {
+				if owner == -1 {
+					s.slots[b][i] = app.ID
+					return &sim.Admission{
+						DeploySec:    fullReconfigSec / 2,
+						ServiceScale: 1,
+						Boards:       []int{b},
+						BlocksUsed:   s.slotBlocks,
+					}, true
+				}
+			}
+		}
+		return nil, false
+	}
+	// Too big for a slot: needs a whole board (both slots).
+	for b := range s.slots {
+		if s.slots[b][0] == -1 && s.slots[b][1] == -1 {
+			s.slots[b][0], s.slots[b][1] = app.ID, app.ID
+			return &sim.Admission{
+				DeploySec:    fullReconfigSec,
+				ServiceScale: 1,
+				Boards:       []int{b},
+				BlocksUsed:   s.cluster.BlocksPerBoard(),
+			}, true
+		}
+	}
+	return nil, false
+}
+
+// Release implements sim.Allocator.
+func (s *SlotBased) Release(appID int, now float64) {
+	for b := range s.slots {
+		for i := range s.slots[b] {
+			if s.slots[b][i] == appID {
+				s.slots[b][i] = -1
+			}
+		}
+	}
+}
+
+// UsedBlocks implements sim.Allocator.
+func (s *SlotBased) UsedBlocks() int {
+	used := 0
+	for b := range s.slots {
+		occupied := 0
+		for _, owner := range s.slots[b] {
+			if owner != -1 {
+				occupied++
+			}
+		}
+		switch occupied {
+		case 1:
+			used += s.slotBlocks
+		case 2:
+			used += s.cluster.BlocksPerBoard()
+		}
+	}
+	return used
+}
+
+// TotalBlocks implements sim.Allocator.
+func (s *SlotBased) TotalBlocks() int { return s.cluster.TotalBlocks() }
+
+// AmorphOSHT models AmorphOS's high-throughput mode (Fig. 2c): multiple
+// applications are combined into one design on a single FPGA. Resource
+// sharing is fine grained within a device, but there is no multi-FPGA
+// support, and adding or removing a tenant *morphs* the FPGA — a full
+// reconfiguration that stalls the co-resident applications. All needed
+// combinations are assumed to have been compiled offline (the paper charges
+// that cost to compilation, not to runtime).
+type AmorphOSHT struct {
+	cluster *cluster.Cluster
+	// fitFraction is the share of a device's user resources a combined
+	// design may use and still place and route (combined monolithic
+	// designs fail timing/routing well below 100%).
+	fitFraction float64
+	// maxTenants caps co-residents per board: combinations must be
+	// compiled offline, and the paper's "hundreds of combinations" for the
+	// 21-design suite corresponds to pairwise combos (C(21,2)=210).
+	maxTenants int
+	residents  [][]int // per board, resident app IDs
+	usage      []netlist.Resources
+	demands    map[int]netlist.Resources
+	blocksOf   map[int]int
+}
+
+// NewAmorphOSHT builds the comparator.
+func NewAmorphOSHT(c *cluster.Cluster) *AmorphOSHT {
+	return &AmorphOSHT{
+		cluster:     c,
+		fitFraction: 0.75,
+		maxTenants:  2,
+		residents:   make([][]int, len(c.Boards)),
+		usage:       make([]netlist.Resources, len(c.Boards)),
+		demands:     map[int]netlist.Resources{},
+		blocksOf:    map[int]int{},
+	}
+}
+
+// Name implements sim.Allocator.
+func (a *AmorphOSHT) Name() string { return "amorphos-ht" }
+
+func (a *AmorphOSHT) capacity() netlist.Resources {
+	u := a.cluster.Boards[0].Device.UserResources()
+	return netlist.Resources{
+		LUTs:   int(float64(u.LUTs) * a.fitFraction),
+		DFFs:   int(float64(u.DFFs) * a.fitFraction),
+		DSPs:   int(float64(u.DSPs) * a.fitFraction),
+		BRAMKb: int(float64(u.BRAMKb) * a.fitFraction),
+	}
+}
+
+// TryAdmit implements sim.Allocator: best-fit over boards where the
+// combined design still fits; morphing stalls co-residents for a full
+// reconfiguration.
+func (a *AmorphOSHT) TryAdmit(app *sim.AppLoad, now float64) (*sim.Admission, bool) {
+	capacity := a.capacity()
+	best := -1
+	bestHead := 0.0
+	for b := range a.residents {
+		if len(a.residents[b]) >= a.maxTenants {
+			continue
+		}
+		combined := a.usage[b].Add(app.Resources)
+		if !combined.FitsIn(capacity) {
+			continue
+		}
+		head := combined.MaxRatio(capacity)
+		if best == -1 || head > bestHead {
+			best, bestHead = b, head
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	adm := &sim.Admission{
+		DeploySec:    fullReconfigSec,
+		ServiceScale: 1,
+		Boards:       []int{best},
+		ExtendOthers: map[int]float64{},
+	}
+	for _, other := range a.residents[best] {
+		adm.ExtendOthers[other] = fullReconfigSec
+	}
+	a.residents[best] = append(a.residents[best], app.ID)
+	a.usage[best] = a.usage[best].Add(app.Resources)
+	a.demands[app.ID] = app.Resources
+	a.blocksOf[app.ID] = app.Blocks
+	adm.BlocksUsed = a.UsedBlocks()
+	return adm, true
+}
+
+// Release implements sim.Allocator. Removing a tenant also morphs, but the
+// simulator charges that to the departing app's completed run, matching the
+// paper's response-time accounting.
+func (a *AmorphOSHT) Release(appID int, now float64) {
+	for b := range a.residents {
+		for i, id := range a.residents[b] {
+			if id == appID {
+				a.residents[b] = append(a.residents[b][:i], a.residents[b][i+1:]...)
+				a.usage[b] = a.usage[b].Sub(a.demands[appID])
+				delete(a.demands, appID)
+				delete(a.blocksOf, appID)
+				return
+			}
+		}
+	}
+}
+
+// UsedBlocks implements sim.Allocator: the equivalent block count of the
+// combined designs (for utilization comparison with ViTAL).
+func (a *AmorphOSHT) UsedBlocks() int {
+	used := 0
+	for id := range a.demands {
+		used += a.blocksOf[id]
+	}
+	return used
+}
+
+// TotalBlocks implements sim.Allocator.
+func (a *AmorphOSHT) TotalBlocks() int { return a.cluster.TotalBlocks() }

@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"testing"
+
+	"vital/internal/cluster"
+	"vital/internal/netlist"
+	"vital/internal/sim"
+)
+
+func smallApp(id int) *sim.AppLoad {
+	return &sim.AppLoad{
+		ID: id, Blocks: 2,
+		Resources:  netlist.Resources{LUTs: 46000, DFFs: 45300, DSPs: 84, BRAMKb: 5472},
+		ServiceSec: 10,
+	}
+}
+
+func largeApp(id int) *sim.AppLoad {
+	return &sim.AppLoad{
+		ID: id, Blocks: 10,
+		Resources:  netlist.Resources{LUTs: 269000, DFFs: 268700, DSPs: 520, BRAMKb: 32040},
+		ServiceSec: 10,
+	}
+}
+
+func TestPerDeviceOneAppPerBoard(t *testing.T) {
+	p := NewPerDevice(cluster.Default())
+	for i := 0; i < 4; i++ {
+		adm, ok := p.TryAdmit(smallApp(i), 0)
+		if !ok {
+			t.Fatalf("admission %d failed", i)
+		}
+		if adm.BlocksUsed != 15 {
+			t.Fatalf("per-device should consume the whole board, used %d", adm.BlocksUsed)
+		}
+	}
+	if _, ok := p.TryAdmit(smallApp(9), 0); ok {
+		t.Fatal("fifth app admitted on four boards")
+	}
+	if p.UsedBlocks() != 60 {
+		t.Fatalf("used = %d", p.UsedBlocks())
+	}
+	p.Release(0, 0)
+	if p.UsedBlocks() != 45 {
+		t.Fatalf("used after release = %d", p.UsedBlocks())
+	}
+	if _, ok := p.TryAdmit(smallApp(9), 0); !ok {
+		t.Fatal("freed board not reusable")
+	}
+}
+
+func TestSlotBasedTwoPerBoardAndWholeBoardFallback(t *testing.T) {
+	s := NewSlotBased(cluster.Default())
+	// Eight small apps fill all 2×4 slots.
+	for i := 0; i < 8; i++ {
+		if _, ok := s.TryAdmit(smallApp(i), 0); !ok {
+			t.Fatalf("slot admission %d failed", i)
+		}
+	}
+	if _, ok := s.TryAdmit(smallApp(8), 0); ok {
+		t.Fatal("ninth small app admitted with all slots full")
+	}
+	s.Release(0, 0)
+	s.Release(1, 0)
+	// A large app (>7 blocks) needs a whole board.
+	adm, ok := s.TryAdmit(largeApp(10), 0)
+	if !ok {
+		t.Fatal("large app rejected despite a fully free board")
+	}
+	if adm.BlocksUsed != 15 {
+		t.Fatalf("large app should take the whole board, used %d", adm.BlocksUsed)
+	}
+	// Internal fragmentation: every board is fully consumed — six 2-block
+	// apps burn 7-block slots, and fully-occupied boards count whole.
+	if s.UsedBlocks() != 60 {
+		t.Fatalf("used = %d", s.UsedBlocks())
+	}
+}
+
+func TestAmorphOSPairsButRefusesLargePairs(t *testing.T) {
+	a := NewAmorphOSHT(cluster.Default())
+	// Two small apps combine on one board.
+	adm1, ok := a.TryAdmit(smallApp(1), 0)
+	if !ok {
+		t.Fatal("first admission failed")
+	}
+	adm2, ok := a.TryAdmit(smallApp(2), 0)
+	if !ok {
+		t.Fatal("second admission failed")
+	}
+	if adm1.Boards[0] != adm2.Boards[0] {
+		t.Fatal("best-fit should co-locate the pair")
+	}
+	// Morphing disturbs the co-resident.
+	if len(adm2.ExtendOthers) != 1 {
+		t.Fatalf("morph should extend 1 co-resident, got %d", len(adm2.ExtendOthers))
+	}
+	// Two large apps cannot pair: combined BRAM exceeds the P&R-fit
+	// capacity — the paper's workload-set-3 observation.
+	b := NewAmorphOSHT(cluster.Default())
+	if _, ok := b.TryAdmit(largeApp(1), 0); !ok {
+		t.Fatal("large app alone rejected")
+	}
+	adm, ok := b.TryAdmit(largeApp(2), 0)
+	if !ok {
+		t.Fatal("second large app should land on another board")
+	}
+	if adm.Boards[0] == 0 {
+		t.Fatal("two large apps paired on one board despite fit limit")
+	}
+}
+
+func TestAmorphOSTenantCap(t *testing.T) {
+	a := NewAmorphOSHT(cluster.Default())
+	tiny := func(id int) *sim.AppLoad {
+		return &sim.AppLoad{ID: id, Blocks: 1, Resources: netlist.Resources{LUTs: 23500, DFFs: 23300, DSPs: 42, BRAMKb: 2664}, ServiceSec: 10}
+	}
+	// Only pairwise combinations are precompiled: max 2 tenants per board.
+	admitted := 0
+	for i := 0; i < 12; i++ {
+		if _, ok := a.TryAdmit(tiny(i), 0); ok {
+			admitted++
+		}
+	}
+	if admitted != 8 {
+		t.Fatalf("admitted %d tiny apps, want 8 (2 per board × 4)", admitted)
+	}
+}
+
+func TestAmorphOSReleaseRestoresCapacity(t *testing.T) {
+	a := NewAmorphOSHT(cluster.Default())
+	for i := 0; i < 8; i++ {
+		if _, ok := a.TryAdmit(smallApp(i), 0); !ok {
+			t.Fatalf("admission %d failed", i)
+		}
+	}
+	used := a.UsedBlocks()
+	if used != 16 {
+		t.Fatalf("used block-equivalents = %d, want 16", used)
+	}
+	a.Release(3, 0)
+	if a.UsedBlocks() != 14 {
+		t.Fatalf("used after release = %d", a.UsedBlocks())
+	}
+	if _, ok := a.TryAdmit(smallApp(20), 0); !ok {
+		t.Fatal("capacity not restored after release")
+	}
+}

@@ -1,0 +1,146 @@
+// Package bitstream models configuration bitstreams at frame granularity:
+// generation from a placed-and-routed virtual block, CRC verification,
+// low-overhead relocation between identical physical blocks (the paper's
+// Section 3.3 step 5, implemented there with RapidWright APIs), and the
+// partial-reconfiguration timing model used by the system layer.
+//
+// Relocation correctness rests on exactly the invariants the architecture
+// layer enforces (Section 3.2): all physical blocks have identical column
+// composition, identical clock-region alignment, and never cross a die
+// boundary. Under those invariants a bitstream moves between blocks by
+// rewriting frame base addresses only — the payloads are untouched.
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"vital/internal/fpga"
+	"vital/internal/pnr"
+)
+
+// FrameAddr addresses one configuration frame on a device.
+type FrameAddr struct {
+	// Die and Block locate the physical block (the relocatable base).
+	Die, Block int
+	// Col and Minor locate the frame within the block (position
+	// independent).
+	Col, Minor int
+}
+
+// Frame is one configuration frame.
+type Frame struct {
+	Addr    FrameAddr
+	Payload []byte
+	CRC     uint32
+}
+
+// MinorsPerColumn is the number of frames per column of a physical block.
+const MinorsPerColumn = 2
+
+// FrameBytes is the payload size of one frame.
+const FrameBytes = 372 // matches UltraScale+ (93 words × 4 bytes)
+
+// Bitstream is the configuration image of one compiled virtual block.
+type Bitstream struct {
+	// App and VirtualBlock identify the compiled unit.
+	App          string
+	VirtualBlock int
+	// Base is the physical block the frames are currently addressed to.
+	Base   fpga.BlockRef
+	Frames []Frame
+}
+
+// FromPlacement encodes a placed virtual block into frames addressed at
+// base. The payload content is a deterministic function of the placement
+// only — never of the base — which is what makes relocation a pure
+// re-addressing.
+func FromPlacement(app string, vb int, p *pnr.Placement, base fpga.BlockRef) *Bitstream {
+	bs := &Bitstream{App: app, VirtualBlock: vb, Base: base}
+	// Accumulate per-column occupancy words.
+	cols := p.Grid.Width
+	occ := make([][]byte, cols)
+	for c := range occ {
+		occ[c] = make([]byte, MinorsPerColumn*FrameBytes)
+	}
+	for i := range p.Entities {
+		s := p.Sites[i]
+		// Spread each entity's configuration bits deterministically over
+		// its column's frames.
+		word := (s.Idx * 7) % (MinorsPerColumn * FrameBytes / 4)
+		off := word * 4
+		binary.LittleEndian.PutUint32(occ[s.Col][off:], uint32(s.Idx)<<8|uint32(s.Kind)+1)
+	}
+	for c := 0; c < cols; c++ {
+		for m := 0; m < MinorsPerColumn; m++ {
+			payload := make([]byte, FrameBytes)
+			copy(payload, occ[c][m*FrameBytes:(m+1)*FrameBytes])
+			bs.Frames = append(bs.Frames, Frame{
+				Addr:    FrameAddr{Die: base.Die, Block: base.Index, Col: c, Minor: m},
+				Payload: payload,
+				CRC:     crc32.ChecksumIEEE(payload),
+			})
+		}
+	}
+	return bs
+}
+
+// Verify checks every frame's CRC and address consistency with Base.
+func (b *Bitstream) Verify() error {
+	for i, f := range b.Frames {
+		if crc32.ChecksumIEEE(f.Payload) != f.CRC {
+			return fmt.Errorf("bitstream %s/vb%d: frame %d CRC mismatch", b.App, b.VirtualBlock, i)
+		}
+		if f.Addr.Die != b.Base.Die || f.Addr.Block != b.Base.Index {
+			return fmt.Errorf("bitstream %s/vb%d: frame %d addressed to SLR%d/PB%d, base is %v",
+				b.App, b.VirtualBlock, i, f.Addr.Die, f.Addr.Block, b.Base)
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the total payload size.
+func (b *Bitstream) SizeBytes() int { return len(b.Frames) * FrameBytes }
+
+// Relocate re-addresses the bitstream to another physical block of the
+// given device without recompilation. It validates the architecture-layer
+// invariants (identical blocks, no die crossing is implied by block
+// identity) and returns a new bitstream whose payloads are byte-identical.
+func (b *Bitstream) Relocate(target fpga.BlockRef, d *fpga.Device) (*Bitstream, error) {
+	if target.Die < 0 || target.Die >= len(d.Dies) {
+		return nil, fmt.Errorf("bitstream: target die %d out of range on %s", target.Die, d.Name)
+	}
+	if target.Index < 0 || target.Index >= d.BlocksPerDie {
+		return nil, fmt.Errorf("bitstream: target block %d out of range (device has %d per die)", target.Index, d.BlocksPerDie)
+	}
+	if err := d.CheckPartition(d.BlocksPerDie); err != nil {
+		return nil, fmt.Errorf("bitstream: device partition not relocatable: %w", err)
+	}
+	out := &Bitstream{App: b.App, VirtualBlock: b.VirtualBlock, Base: target}
+	out.Frames = make([]Frame, len(b.Frames))
+	for i, f := range b.Frames {
+		nf := f
+		nf.Addr.Die = target.Die
+		nf.Addr.Block = target.Index
+		// Payload is shared, not copied: relocation is O(frames), the
+		// low-overhead property the paper gets from RapidWright.
+		out.Frames[i] = nf
+	}
+	return out, nil
+}
+
+// Partial-reconfiguration timing model: ICAP-class bandwidth plus fixed
+// setup. Reconfiguring one block is tens of milliseconds — fast enough to
+// not disturb co-running applications (Section 3.4).
+const (
+	icapBytesPerSec = 400e6
+	reconfigSetup   = 2 * time.Millisecond
+)
+
+// ReconfigTime returns the time to program this bitstream into a block via
+// partial reconfiguration.
+func (b *Bitstream) ReconfigTime() time.Duration {
+	return reconfigSetup + time.Duration(float64(b.SizeBytes())/icapBytesPerSec*float64(time.Second))
+}

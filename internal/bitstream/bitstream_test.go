@@ -1,0 +1,180 @@
+package bitstream
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"vital/internal/fpga"
+	"vital/internal/hls"
+	"vital/internal/pnr"
+	"vital/internal/workload"
+)
+
+func placedBlock(t testing.TB) *pnr.Placement {
+	t.Helper()
+	b, err := workload.Find("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hls.Synthesize(workload.BuildDesign(workload.Spec{Benchmark: b, Variant: workload.Small}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Netlist
+	all := make([]int, n.NumCells()) // everything in block 0
+	results, err := pnr.LocalPlaceAndRoute(n, all, 1, fpga.NewGrid(fpga.XCVU37P().BlockShape()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results[0].Placement
+}
+
+func TestFromPlacementVerifies(t *testing.T) {
+	p := placedBlock(t)
+	bs := FromPlacement("lenet-S", 0, p, fpga.BlockRef{Die: 0, Index: 0})
+	if err := bs.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Frames) != p.Grid.Width*MinorsPerColumn {
+		t.Fatalf("frames = %d, want %d", len(bs.Frames), p.Grid.Width*MinorsPerColumn)
+	}
+	if bs.SizeBytes() != len(bs.Frames)*FrameBytes {
+		t.Fatal("size mismatch")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	p := placedBlock(t)
+	bs := FromPlacement("lenet-S", 0, p, fpga.BlockRef{})
+	bs.Frames[3].Payload[0] ^= 0xFF
+	if err := bs.Verify(); err == nil {
+		t.Fatal("corrupted frame passed CRC")
+	}
+}
+
+func TestRelocatePreservesPayloads(t *testing.T) {
+	d := fpga.XCVU37P()
+	p := placedBlock(t)
+	bs := FromPlacement("lenet-S", 0, p, fpga.BlockRef{Die: 0, Index: 0})
+	for _, target := range d.Blocks() {
+		moved, err := bs.Relocate(target, d)
+		if err != nil {
+			t.Fatalf("relocate to %v: %v", target, err)
+		}
+		if err := moved.Verify(); err != nil {
+			t.Fatalf("relocated bitstream invalid at %v: %v", target, err)
+		}
+		if moved.Base != target {
+			t.Fatalf("base = %v, want %v", moved.Base, target)
+		}
+		for i := range bs.Frames {
+			if !bytes.Equal(bs.Frames[i].Payload, moved.Frames[i].Payload) {
+				t.Fatalf("payload %d changed during relocation to %v", i, target)
+			}
+			if moved.Frames[i].Addr.Col != bs.Frames[i].Addr.Col || moved.Frames[i].Addr.Minor != bs.Frames[i].Addr.Minor {
+				t.Fatalf("block-relative address changed during relocation")
+			}
+		}
+	}
+}
+
+func TestRelocateRejectsOutOfRange(t *testing.T) {
+	d := fpga.XCVU37P()
+	p := placedBlock(t)
+	bs := FromPlacement("x", 0, p, fpga.BlockRef{})
+	if _, err := bs.Relocate(fpga.BlockRef{Die: 3, Index: 0}, d); err == nil {
+		t.Fatal("accepted out-of-range die")
+	}
+	if _, err := bs.Relocate(fpga.BlockRef{Die: 0, Index: 5}, d); err == nil {
+		t.Fatal("accepted out-of-range block")
+	}
+}
+
+// Property: relocation round-trips — relocating to any block and back
+// reproduces the original addresses and payloads.
+func TestQuickRelocationRoundTrip(t *testing.T) {
+	d := fpga.XCVU37P()
+	p := placedBlock(t)
+	orig := FromPlacement("rt", 0, p, fpga.BlockRef{Die: 1, Index: 2})
+	f := func(die, idx uint8) bool {
+		target := fpga.BlockRef{Die: int(die) % len(d.Dies), Index: int(idx) % d.BlocksPerDie}
+		moved, err := orig.Relocate(target, d)
+		if err != nil {
+			return false
+		}
+		back, err := moved.Relocate(orig.Base, d)
+		if err != nil {
+			return false
+		}
+		if back.Base != orig.Base {
+			return false
+		}
+		for i := range orig.Frames {
+			if back.Frames[i].Addr != orig.Frames[i].Addr {
+				return false
+			}
+			if !bytes.Equal(back.Frames[i].Payload, orig.Frames[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconfigTimePlausible(t *testing.T) {
+	p := placedBlock(t)
+	bs := FromPlacement("x", 0, p, fpga.BlockRef{})
+	d := bs.ReconfigTime()
+	// Partial reconfiguration of one block: low milliseconds — fast enough
+	// not to disturb co-running applications.
+	if d.Milliseconds() < 1 || d.Milliseconds() > 100 {
+		t.Fatalf("reconfig time %v implausible", d)
+	}
+}
+
+func TestDatabaseStoreLookupDelete(t *testing.T) {
+	db := NewDatabase()
+	p := placedBlock(t)
+	b0 := FromPlacement("app", 1, p, fpga.BlockRef{})
+	b1 := FromPlacement("app", 0, p, fpga.BlockRef{})
+	if err := db.Store("app", []*Bitstream{b0, b1}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.Lookup("app")
+	if !ok || len(got) != 2 {
+		t.Fatalf("lookup: ok=%v len=%d", ok, len(got))
+	}
+	if got[0].VirtualBlock != 0 || got[1].VirtualBlock != 1 {
+		t.Fatal("bitstreams not sorted by virtual block")
+	}
+	if names := db.Apps(); len(names) != 1 || names[0] != "app" {
+		t.Fatalf("Apps = %v", names)
+	}
+	db.Delete("app")
+	if _, ok := db.Lookup("app"); ok {
+		t.Fatal("lookup after delete succeeded")
+	}
+}
+
+func TestDatabaseRejectsInvalid(t *testing.T) {
+	db := NewDatabase()
+	p := placedBlock(t)
+	wrong := FromPlacement("other", 0, p, fpga.BlockRef{})
+	if err := db.Store("app", []*Bitstream{wrong}); err == nil {
+		t.Fatal("accepted mislabeled bitstream")
+	}
+	dup1 := FromPlacement("app", 0, p, fpga.BlockRef{})
+	dup2 := FromPlacement("app", 0, p, fpga.BlockRef{})
+	if err := db.Store("app", []*Bitstream{dup1, dup2}); err == nil {
+		t.Fatal("accepted duplicate virtual block")
+	}
+	bad := FromPlacement("app", 0, p, fpga.BlockRef{})
+	bad.Frames[0].Payload[1] ^= 1
+	if err := db.Store("app", []*Bitstream{bad}); err == nil {
+		t.Fatal("accepted corrupt bitstream")
+	}
+}

@@ -1,0 +1,72 @@
+package bitstream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Database is the system controller's bitstream store (Fig. 6): compiled
+// virtual blocks keyed by application. It is safe for concurrent use — the
+// controller serves deployment requests from multiple tenants.
+type Database struct {
+	mu   sync.RWMutex
+	apps map[string][]*Bitstream
+}
+
+// NewDatabase returns an empty bitstream database.
+func NewDatabase() *Database {
+	return &Database{apps: make(map[string][]*Bitstream)}
+}
+
+// Store registers the compiled bitstreams of an application, replacing any
+// previous compilation. Bitstreams are ordered by virtual block index.
+func (db *Database) Store(app string, blocks []*Bitstream) error {
+	seen := map[int]bool{}
+	for _, b := range blocks {
+		if b.App != app {
+			return fmt.Errorf("bitstream db: bitstream labeled %q stored under %q", b.App, app)
+		}
+		if seen[b.VirtualBlock] {
+			return fmt.Errorf("bitstream db: duplicate virtual block %d for %q", b.VirtualBlock, app)
+		}
+		seen[b.VirtualBlock] = true
+		if err := b.Verify(); err != nil {
+			return err
+		}
+	}
+	sorted := make([]*Bitstream, len(blocks))
+	copy(sorted, blocks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].VirtualBlock < sorted[j].VirtualBlock })
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.apps[app] = sorted
+	return nil
+}
+
+// Lookup returns the compiled bitstreams of an application.
+func (db *Database) Lookup(app string) ([]*Bitstream, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bs, ok := db.apps[app]
+	return bs, ok
+}
+
+// Delete removes an application's bitstreams.
+func (db *Database) Delete(app string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.apps, app)
+}
+
+// Apps lists the stored applications in sorted order.
+func (db *Database) Apps() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.apps))
+	for a := range db.apps {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,162 @@
+// Package cluster models the evaluation platform of Section 5.2: four
+// Xilinx UltraScale+ XCVU37P boards on a 100 Gbps bidirectional ring, each
+// with on-board DRAM behind the service region's virtual-memory manager and
+// a virtual Ethernet switch.
+package cluster
+
+import (
+	"fmt"
+
+	"vital/internal/fpga"
+	"vital/internal/memvirt"
+)
+
+// Board is one FPGA board in the cluster.
+type Board struct {
+	ID     int
+	Device *fpga.Device
+	Mem    *memvirt.Manager
+	Net    *memvirt.Switch
+}
+
+// Cluster is the whole platform.
+type Cluster struct {
+	Boards []*Board
+	// RingGbps is the per-direction ring bandwidth; HopLatencyNs the
+	// per-hop flight time.
+	RingGbps     float64
+	HopLatencyNs float64
+}
+
+// Config parameterizes cluster construction.
+type Config struct {
+	NumBoards int
+	// DRAMBytesPerBoard defaults to 128 GiB (one DIMM populated, §5.2).
+	DRAMBytesPerBoard uint64
+	DRAMBandwidthGBps float64
+}
+
+// New builds the paper's cluster: NumBoards XCVU37P devices on the ring.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NumBoards < 1 {
+		return nil, fmt.Errorf("cluster: need at least one board, got %d", cfg.NumBoards)
+	}
+	if cfg.DRAMBytesPerBoard == 0 {
+		cfg.DRAMBytesPerBoard = 128 << 30
+	}
+	if cfg.DRAMBandwidthGBps == 0 {
+		cfg.DRAMBandwidthGBps = 19.2 // DDR4-2400 ×72
+	}
+	c := &Cluster{RingGbps: 100, HopLatencyNs: 520}
+	for i := 0; i < cfg.NumBoards; i++ {
+		c.Boards = append(c.Boards, &Board{
+			ID:     i,
+			Device: fpga.XCVU37P(),
+			Mem:    memvirt.NewManager(memvirt.NewDRAM(cfg.DRAMBytesPerBoard, cfg.DRAMBandwidthGBps)),
+			Net:    memvirt.NewSwitch(),
+		})
+	}
+	return c, nil
+}
+
+// Default returns the paper's four-board cluster.
+func Default() *Cluster {
+	c, err := New(Config{NumBoards: 4})
+	if err != nil {
+		panic(err) // unreachable: static config
+	}
+	return c
+}
+
+// NewHeterogeneous builds a cluster from explicit devices — different FPGA
+// types on the same ring, the extension the paper sketches in Section 7.
+// The homogeneous abstraction still requires every device to expose an
+// identical physical-block shape; mismatches are rejected.
+func NewHeterogeneous(devices []*fpga.Device, cfg Config) (*Cluster, error) {
+	if len(devices) < 1 {
+		return nil, fmt.Errorf("cluster: need at least one device")
+	}
+	if cfg.DRAMBytesPerBoard == 0 {
+		cfg.DRAMBytesPerBoard = 128 << 30
+	}
+	if cfg.DRAMBandwidthGBps == 0 {
+		cfg.DRAMBandwidthGBps = 19.2
+	}
+	ref := devices[0].BlockShape()
+	for i, d := range devices[1:] {
+		s := d.BlockShape()
+		if s.Rows != ref.Rows || len(s.Columns) != len(ref.Columns) {
+			return nil, fmt.Errorf("cluster: device %d (%s) block shape differs from %s — the homogeneous abstraction requires identical blocks", i+1, d.Name, devices[0].Name)
+		}
+		for ci := range s.Columns {
+			if s.Columns[ci] != ref.Columns[ci] {
+				return nil, fmt.Errorf("cluster: device %d (%s) column %d differs from %s", i+1, d.Name, ci, devices[0].Name)
+			}
+		}
+	}
+	c := &Cluster{RingGbps: 100, HopLatencyNs: 520}
+	for i, d := range devices {
+		c.Boards = append(c.Boards, &Board{
+			ID:     i,
+			Device: d,
+			Mem:    memvirt.NewManager(memvirt.NewDRAM(cfg.DRAMBytesPerBoard, cfg.DRAMBandwidthGBps)),
+			Net:    memvirt.NewSwitch(),
+		})
+	}
+	return c, nil
+}
+
+// BlocksPerBoard returns the physical blocks on the first board (all
+// boards are equal in the paper's homogeneous cluster; heterogeneous
+// clusters should consult each board's Device).
+func (c *Cluster) BlocksPerBoard() int { return c.Boards[0].Device.NumBlocks() }
+
+// TotalBlocks returns the physical blocks in the whole cluster.
+func (c *Cluster) TotalBlocks() int {
+	total := 0
+	for _, b := range c.Boards {
+		total += b.Device.NumBlocks()
+	}
+	return total
+}
+
+// RingHops returns the minimum hop count between two boards on the
+// bidirectional ring.
+func (c *Cluster) RingHops(a, b int) int {
+	n := len(c.Boards)
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// PathLatencyNs returns the flight latency between two boards.
+func (c *Cluster) PathLatencyNs(a, b int) float64 {
+	return float64(c.RingHops(a, b)) * c.HopLatencyNs
+}
+
+// GlobalBlockRef identifies one physical block cluster-wide.
+type GlobalBlockRef struct {
+	Board int
+	fpga.BlockRef
+}
+
+// String renders e.g. "fpga2/SLR1/PB3".
+func (g GlobalBlockRef) String() string {
+	return fmt.Sprintf("fpga%d/%s", g.Board, g.BlockRef)
+}
+
+// AllBlocks enumerates every physical block in the cluster.
+func (c *Cluster) AllBlocks() []GlobalBlockRef {
+	refs := make([]GlobalBlockRef, 0, c.TotalBlocks())
+	for _, b := range c.Boards {
+		for _, r := range b.Device.Blocks() {
+			refs = append(refs, GlobalBlockRef{Board: b.ID, BlockRef: r})
+		}
+	}
+	return refs
+}

@@ -1,0 +1,20 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"vital/internal/cluster"
+)
+
+// The paper's platform: four boards on a bidirectional ring, so the longest
+// route is two hops.
+func Example() {
+	c := cluster.Default()
+	fmt.Printf("%d boards, %d physical blocks\n", len(c.Boards), c.TotalBlocks())
+	fmt.Printf("hops 0→3: %d (%.0f ns)\n", c.RingHops(0, 3), c.PathLatencyNs(0, 3))
+	fmt.Printf("hops 0→2: %d (%.0f ns)\n", c.RingHops(0, 2), c.PathLatencyNs(0, 2))
+	// Output:
+	// 4 boards, 60 physical blocks
+	// hops 0→3: 1 (520 ns)
+	// hops 0→2: 2 (1040 ns)
+}

@@ -1,0 +1,239 @@
+// Package core assembles the ViTAL stack (Section 3): the Programming
+// Layer's single-large-FPGA illusion, the Architecture Layer's virtual-block
+// abstraction, the Compilation Layer's six-step flow (Fig. 5), and the
+// System Layer's runtime controller. It is the public API the examples and
+// benchmarks use.
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"vital/internal/bitstream"
+	"vital/internal/cluster"
+	"vital/internal/fpga"
+	"vital/internal/hls"
+	"vital/internal/netlist"
+	"vital/internal/partition"
+	"vital/internal/pnr"
+	"vital/internal/sched"
+)
+
+// Stack is one ViTAL installation over an FPGA cluster.
+type Stack struct {
+	Cluster    *cluster.Cluster
+	Controller *sched.Controller
+	// BlockCapacity is the virtual-block resource capacity (from the
+	// Fig. 7 floorplan), Grid the physical-block site geometry.
+	BlockCapacity netlist.Resources
+	Grid          *fpga.Grid
+	// MaxBlocksPerApp bounds the compilation-layer block search.
+	MaxBlocksPerApp int
+}
+
+// NewStack builds a stack over the given cluster (nil selects the paper's
+// default four-board cluster).
+func NewStack(c *cluster.Cluster) *Stack {
+	if c == nil {
+		c = cluster.Default()
+	}
+	dev := c.Boards[0].Device
+	return &Stack{
+		Cluster:         c,
+		Controller:      sched.NewController(c),
+		BlockCapacity:   dev.BlockResources(),
+		Grid:            fpga.NewGrid(dev.BlockShape()),
+		MaxBlocksPerApp: c.TotalBlocks(),
+	}
+}
+
+// StageTimes is the Fig. 8 compile-time breakdown: wall time per stage of
+// the Fig. 5 flow.
+type StageTimes struct {
+	Synthesis    time.Duration
+	Partition    time.Duration
+	InterfaceGen time.Duration
+	LocalPNR     time.Duration
+	Relocation   time.Duration
+	GlobalPNR    time.Duration
+}
+
+// Total sums all stages.
+func (st StageTimes) Total() time.Duration {
+	return st.Synthesis + st.Partition + st.InterfaceGen + st.LocalPNR + st.Relocation + st.GlobalPNR
+}
+
+// CustomToolFraction returns the share of compile time spent in ViTAL's
+// custom tools (partition + interface generation + relocation) — the
+// paper reports 1.6% on average, with P&R dominating at 83.9%.
+func (st StageTimes) CustomToolFraction() float64 {
+	t := st.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(st.Partition+st.InterfaceGen+st.Relocation) / float64(t)
+}
+
+// PNRFraction returns the share spent in the reused commercial P&R stages.
+func (st StageTimes) PNRFraction() float64 {
+	t := st.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(st.LocalPNR+st.GlobalPNR) / float64(t)
+}
+
+// ChannelSpec is one generated latency-insensitive channel: a cut net
+// mapped onto the inter-block interface (Section 3.3, step 3).
+type ChannelSpec struct {
+	Net       netlist.NetID
+	WidthBits int
+	SrcBlock  int
+	DstBlocks []int
+}
+
+// CompiledApp is an application after the offline compilation flow:
+// position-independent virtual blocks ready for runtime placement.
+type CompiledApp struct {
+	Name      string
+	Netlist   *netlist.Netlist
+	Partition *partition.Result
+	// BlockResults holds each virtual block's local P&R result.
+	BlockResults []*pnr.BlockResult
+	// Channels is the generated latency-insensitive interface.
+	Channels []ChannelSpec
+	// Bitstreams holds one relocatable image per virtual block.
+	Bitstreams []*bitstream.Bitstream
+	// Global is the stitched design.
+	Global *pnr.GlobalResult
+	// Times is the Fig. 8 stage breakdown; FminMHz the worst block Fmax.
+	Times   StageTimes
+	FminMHz float64
+}
+
+// Blocks returns the number of virtual blocks.
+func (a *CompiledApp) Blocks() int { return a.Partition.NumBlocks }
+
+// Compile runs the full Fig. 5 flow on a design written against the
+// Programming Layer and registers the result with the system controller's
+// bitstream database.
+func (s *Stack) Compile(d *hls.Design) (*CompiledApp, error) {
+	app := &CompiledApp{Name: d.Name}
+
+	// Step 1 — synthesis (reused commercial front end).
+	t0 := time.Now()
+	synth, err := hls.Synthesize(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: synthesis of %s: %w", d.Name, err)
+	}
+	app.Netlist = synth.Netlist
+	app.Times.Synthesis = time.Since(t0)
+
+	// Step 2 — partition (custom tool, Section 4).
+	t0 = time.Now()
+	part, err := partition.Auto(app.Netlist, partition.Config{
+		BlockCapacity: s.BlockCapacity,
+		Seed:          11,
+	}, s.MaxBlocksPerApp)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning %s: %w", d.Name, err)
+	}
+	app.Partition = part
+	app.Times.Partition = time.Since(t0)
+
+	// Step 3 — latency-insensitive interface generation (custom tool).
+	t0 = time.Now()
+	app.Channels = generateInterface(app.Netlist, part)
+	app.Times.InterfaceGen = time.Since(t0)
+
+	// Step 4 — local place-and-route (reused commercial back end).
+	t0 = time.Now()
+	blocks, err := pnr.LocalPlaceAndRoute(app.Netlist, part.CellBlock, part.NumBlocks, s.Grid)
+	if err != nil {
+		return nil, fmt.Errorf("core: local P&R of %s: %w", d.Name, err)
+	}
+	app.BlockResults = blocks
+	app.Times.LocalPNR = time.Since(t0)
+	app.FminMHz = blocks[0].Timing.FmaxMHz
+	for _, b := range blocks {
+		if b.Timing.FmaxMHz < app.FminMHz {
+			app.FminMHz = b.Timing.FmaxMHz
+		}
+	}
+
+	// Step 5 — relocation (custom tool, RapidWright-style): emit each
+	// virtual block's image at the canonical base; relocatability to every
+	// physical block is what the runtime exploits.
+	t0 = time.Now()
+	device := s.Cluster.Boards[0].Device
+	app.Bitstreams = make([]*bitstream.Bitstream, len(blocks))
+	for i, br := range blocks {
+		img := bitstream.FromPlacement(d.Name, i, br.Placement, fpga.BlockRef{})
+		// Exercise a relocation round trip, as the flow does to validate
+		// position independence.
+		probe := device.Blocks()[device.NumBlocks()-1]
+		moved, err := img.Relocate(probe, device)
+		if err != nil {
+			return nil, fmt.Errorf("core: relocating %s/vb%d: %w", d.Name, i, err)
+		}
+		if img, err = moved.Relocate(fpga.BlockRef{}, device); err != nil {
+			return nil, fmt.Errorf("core: relocating %s/vb%d back: %w", d.Name, i, err)
+		}
+		app.Bitstreams[i] = img
+	}
+	app.Times.Relocation = time.Since(t0)
+
+	// Step 6 — global place-and-route (reused commercial back end).
+	t0 = time.Now()
+	app.Global = pnr.GlobalPlaceAndRoute(app.Netlist, part.CellBlock, part.NumBlocks)
+	app.Times.GlobalPNR = time.Since(t0)
+
+	if err := s.Controller.Bitstreams.Store(d.Name, app.Bitstreams); err != nil {
+		return nil, fmt.Errorf("core: storing bitstreams of %s: %w", d.Name, err)
+	}
+	return app, nil
+}
+
+// generateInterface derives the latency-insensitive channel set from the
+// partition's cut nets: one channel per cut net, endpoints at the driver
+// block and every foreign sink block.
+func generateInterface(n *netlist.Netlist, part *partition.Result) []ChannelSpec {
+	var specs []ChannelSpec
+	for i := range n.Nets {
+		t := &n.Nets[i]
+		if t.Driver == netlist.NoCell {
+			continue
+		}
+		src := part.CellBlock[t.Driver]
+		var dsts []int
+		seen := map[int]bool{src: true}
+		for _, s := range t.Sinks {
+			b := part.CellBlock[s]
+			if !seen[b] {
+				seen[b] = true
+				dsts = append(dsts, b)
+			}
+		}
+		if len(dsts) == 0 {
+			continue
+		}
+		specs = append(specs, ChannelSpec{Net: t.ID, WidthBits: t.Width, SrcBlock: src, DstBlocks: dsts})
+	}
+	return specs
+}
+
+// NewStackHandler exposes the stack's system controller over HTTP (the
+// Fig. 6 integration API).
+func NewStackHandler(s *Stack) http.Handler { return sched.NewHandler(s.Controller) }
+
+// Deploy places a compiled application onto the cluster through the system
+// controller (runtime resource allocation, Section 3.4).
+func (s *Stack) Deploy(app *CompiledApp, memQuota uint64) (*sched.Deployment, error) {
+	return s.Controller.Deploy(app.Name, memQuota)
+}
+
+// Undeploy stops an application.
+func (s *Stack) Undeploy(app *CompiledApp) error {
+	return s.Controller.Undeploy(app.Name)
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+func TestAblationPartitionLevel(t *testing.T) {
+	r, err := AblationPartitionLevel("lenet", 1) // medium
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.NetlistLegal {
+		t.Fatal("netlist-level partition illegal")
+	}
+	// The paper's rationale: DFG-level estimates are coarse, so the result
+	// is worse on at least one axis — higher bandwidth requirement or
+	// resource-illegal blocks.
+	if r.DFGLegal && r.DFGBandwidth <= r.NetlistBandwidth {
+		t.Fatalf("DFG-level partition unexpectedly dominates: %+v", r)
+	}
+}
+
+func TestAblationPlacement(t *testing.T) {
+	r, err := AblationPlacement("alexnet", 1) // medium
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Full <= 0 {
+		t.Fatal("no cut bandwidth measured")
+	}
+	if r.FirstFitX < 1.2 {
+		t.Fatalf("first-fit only %.2f× worse — placement should matter", r.FirstFitX)
+	}
+	if r.RandomX < r.FirstFitX {
+		t.Fatalf("random (%.1f×) should be no better than first-fit (%.1f×)", r.RandomX, r.FirstFitX)
+	}
+}
+
+func TestAblationAllocation(t *testing.T) {
+	r, err := AblationAllocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CommAwareBoards >= r.ScatterBoards {
+		t.Fatalf("comm-aware %.2f boards/app should beat scatter %.2f", r.CommAwareBoards, r.ScatterBoards)
+	}
+	if r.CommAwareMulti >= r.ScatterMulti {
+		t.Fatalf("comm-aware multi-FPGA fraction %.2f should be below scatter %.2f", r.CommAwareMulti, r.ScatterMulti)
+	}
+}

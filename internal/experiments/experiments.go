@@ -1,0 +1,34 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) from the reimplemented stack. Each experiment
+// returns structured rows plus a rendered text table, and records the
+// paper's reported value next to the measured one where the paper gives a
+// number.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table renders rows as an aligned text table.
+func Table(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	sep := make([]string, len(header))
+	for i, h := range header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(w, strings.Join(sep, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// PaperVsMeasured formats a comparison cell.
+func PaperVsMeasured(paper, measured string) string {
+	return fmt.Sprintf("paper %s / measured %s", paper, measured)
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1aShape(t *testing.T) {
+	r := Fig1a()
+	if len(r.Rows) < 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.MaxFraction >= 0.5 {
+		t.Fatalf("max fraction %.2f — Fig. 1a apps all use well under half a device", r.MaxFraction)
+	}
+	if !strings.Contains(r.Render(), "Fig. 1a") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig7SelectsPaperFloorplan(t *testing.T) {
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OptimalBlocksPer != 5 {
+		t.Fatalf("optimal = %d blocks/die, paper reports 5", r.OptimalBlocksPer)
+	}
+	if r.ReservedFraction >= 0.10 {
+		t.Fatalf("reserved fraction %.3f ≥ 10%%", r.ReservedFraction)
+	}
+	if len(r.Choices) >= 10 {
+		t.Fatalf("search space %d should be <10 (paper)", len(r.Choices))
+	}
+}
+
+func TestBufferElisionMatchesPaper(t *testing.T) {
+	r := BufferElision()
+	if r.ReductionFraction < 0.80 || r.ReductionFraction > 0.85 {
+		t.Fatalf("reduction %.3f, paper reports 0.823", r.ReductionFraction)
+	}
+}
+
+func TestTable1Probes(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table1Row{}
+	for _, row := range r.Rows {
+		byName[row.Method] = row
+	}
+	if byName["per-device (existing clouds)"].FPGASharing {
+		t.Fatal("per-device should not share")
+	}
+	if byName["per-device (existing clouds)"].ScaleOut {
+		t.Fatal("per-device should not scale out")
+	}
+	if !byName["AmorphOS high-throughput"].FPGASharing {
+		t.Fatal("AmorphOS-HT should share")
+	}
+	if byName["AmorphOS high-throughput"].ScaleOut {
+		t.Fatal("AmorphOS-HT should not scale out")
+	}
+	vital := byName["ViTAL"]
+	if !vital.FPGASharing || !vital.ScaleOut {
+		t.Fatalf("ViTAL should share and scale out: %+v", vital)
+	}
+}
+
+func TestTable2QuickSubset(t *testing.T) {
+	// Full suite is exercised by the benchmark harness; tests compile the
+	// first three designs.
+	r, err := Table2(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Matches != 3 {
+		t.Fatalf("matches = %d of 3 (block counts should reproduce Table 2)", r.Matches)
+	}
+	f8 := Fig8(r)
+	if f8.PNRFrac <= f8.CustomFrac {
+		t.Fatalf("P&R %.2f should dominate custom tools %.2f", f8.PNRFrac, f8.CustomFrac)
+	}
+}
+
+func TestTable3SharesMatch(t *testing.T) {
+	r, err := Table3(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Rows {
+		s := r.ObservedShare[c.Index]
+		for v, want := range []int{c.PctS, c.PctM, c.PctL} {
+			if diff := s[v] - float64(want); diff > 4 || diff < -4 {
+				t.Fatalf("set %d variant %d: observed %.1f%%, want %d%%", c.Index, v, s[v], want)
+			}
+		}
+	}
+}
+
+func TestTable4Communication(t *testing.T) {
+	r, err := Table4(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Comm) != 2 {
+		t.Fatalf("rows = %d", len(r.Comm))
+	}
+	if r.Comm[0].Gbps < 99 { // inter-FPGA ring ≈ 100 Gb/s
+		t.Fatalf("inter-FPGA bandwidth %.1f", r.Comm[0].Gbps)
+	}
+	if r.Comm[1].Gbps < 310 { // inter-die ≈ 312.5 Gb/s
+		t.Fatalf("inter-die bandwidth %.1f", r.Comm[1].Gbps)
+	}
+}
+
+func TestPartitionQualitySample(t *testing.T) {
+	r, err := PartitionQuality(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.AvgFactor < 1.3 {
+		t.Fatalf("average reduction %.2f× — optimization should clearly beat first-fit", r.AvgFactor)
+	}
+}
+
+func TestFig9SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system-layer sweep skipped in -short mode")
+	}
+	cfg := Fig9Config{Requests: 80, MeanInterarrivalSec: 10, Seeds: []int64{1}}
+	r, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The ordering must reproduce: ViTAL < AmorphOS < baseline.
+	if r.AvgNormViTAL >= 1 {
+		t.Fatalf("ViTAL norm %.2f not better than baseline", r.AvgNormViTAL)
+	}
+	if r.AvgNormViTAL >= r.AvgNormAmorphOS {
+		t.Fatalf("ViTAL %.2f should beat AmorphOS %.2f", r.AvgNormViTAL, r.AvgNormAmorphOS)
+	}
+	if r.MultiFPGAFrac <= 0 {
+		t.Fatal("no multi-FPGA deployments observed")
+	}
+}
+
+func TestFig10RelocationScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compilation-heavy scenario skipped in -short mode")
+	}
+	r, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Steps) < 5 {
+		t.Fatalf("steps = %d", len(r.Steps))
+	}
+	joined := strings.Join(r.Steps, "\n")
+	if !strings.Contains(joined, "relocated") || !strings.Contains(joined, "executed") {
+		t.Fatalf("scenario incomplete:\n%s", joined)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vital/internal/workload"
+)
+
+// Fig1aResult reproduces Fig. 1a: representative FPGA applications
+// normalized to the VU13P capacity — none comes close to filling a device,
+// which motivates fine-grained sharing.
+type Fig1aResult struct {
+	Rows []workload.Fig1aRow
+	// MaxFraction is the largest binding fraction across apps.
+	MaxFraction float64
+}
+
+// Fig1a runs the experiment.
+func Fig1a() *Fig1aResult {
+	rows := workload.Fig1a()
+	res := &Fig1aResult{Rows: rows}
+	for _, r := range rows {
+		if r.Max > res.MaxFraction {
+			res.MaxFraction = r.Max
+		}
+	}
+	return res
+}
+
+// Render formats the figure as a table.
+func (r *Fig1aResult) Render() string {
+	header := []string{"application", "LUT", "DFF", "DSP", "BRAM", "binding"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.App.Name,
+			fmt.Sprintf("%.2f", row.LUT),
+			fmt.Sprintf("%.2f", row.DFF),
+			fmt.Sprintf("%.2f", row.DSP),
+			fmt.Sprintf("%.2f", row.BRAM),
+			fmt.Sprintf("%.2f", row.Max),
+		})
+	}
+	return "Fig. 1a — resource demand normalized to VU13P\n" + Table(header, rows) +
+		fmt.Sprintf("shape check: every app uses < 50%% of the device (max %.0f%%)\n", r.MaxFraction*100)
+}

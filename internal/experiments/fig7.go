@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vital/internal/fpga"
+)
+
+// Fig7Result reproduces the Fig. 7 floorplan and the Section 5.3
+// design-space exploration that selects it.
+type Fig7Result struct {
+	Choices          []fpga.PartitionChoice
+	OptimalBlocksPer int
+	ReservedFraction float64
+	BlockResources   string
+}
+
+// Fig7 runs the exploration on the XCVU37P.
+func Fig7() (*Fig7Result, error) {
+	d := fpga.XCVU37P()
+	choices := fpga.ExplorePartitions(d, true, fpga.DefaultInterfaceCost)
+	best, ok := fpga.OptimalPartition(d, true, fpga.DefaultInterfaceCost)
+	if !ok {
+		return nil, fmt.Errorf("experiments: no feasible floorplan")
+	}
+	return &Fig7Result{
+		Choices:          choices,
+		OptimalBlocksPer: best,
+		ReservedFraction: d.ReservedFraction(),
+		BlockResources:   d.BlockResources().String(),
+	}, nil
+}
+
+// Render formats the exploration and the selected floorplan.
+func (r *Fig7Result) Render() string {
+	header := []string{"blocks/die", "block resources", "comm demand/die", "feasible"}
+	var rows [][]string
+	for _, c := range r.Choices {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c.BlocksPerDie),
+			c.BlockRes.String(),
+			c.CommDemand.String(),
+			fmt.Sprintf("%v", c.Feasible),
+		})
+	}
+	return "Fig. 7 — XCVU37P floorplan design-space exploration (§5.3)\n" + Table(header, rows) +
+		fmt.Sprintf("optimal: %d blocks/die (paper: 5); block = %s (Table 4: 79.2k LUT, 158.4k DFF, 580 DSP, 4.22 Mb)\n",
+			r.OptimalBlocksPer, r.BlockResources) +
+		fmt.Sprintf("system-reserved fraction: %s\n", PaperVsMeasured("<10%", fmt.Sprintf("%.1f%%", r.ReservedFraction*100)))
+}
+
+// BufferElisionResult reproduces the §5.3 buffer-elision saving.
+type BufferElisionResult struct {
+	WithoutLUTs, WithLUTs int
+	ReductionFraction     float64
+}
+
+// BufferElision measures the communication-region demand with and without
+// the intra-FPGA buffer-elision optimization.
+func BufferElision() *BufferElisionResult {
+	d := fpga.XCVU37P()
+	without := fpga.CommDemandPerDie(d.BlocksPerDie, false, fpga.DefaultInterfaceCost)
+	with := fpga.CommDemandPerDie(d.BlocksPerDie, true, fpga.DefaultInterfaceCost)
+	return &BufferElisionResult{
+		WithoutLUTs:       without.LUTs,
+		WithLUTs:          with.LUTs,
+		ReductionFraction: 1 - float64(with.LUTs)/float64(without.LUTs),
+	}
+}
+
+// Render formats the result.
+func (r *BufferElisionResult) Render() string {
+	return fmt.Sprintf("§5.3 — intra-FPGA buffer elision\ncomm-region LUT demand per die: %d → %d\nreduction: %s\n",
+		r.WithoutLUTs, r.WithLUTs,
+		PaperVsMeasured("82.3%", fmt.Sprintf("%.1f%%", r.ReductionFraction*100)))
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vital/internal/baseline"
+	"vital/internal/cluster"
+	"vital/internal/sched"
+	"vital/internal/sim"
+	"vital/internal/workload"
+)
+
+// Fig9Config parameterizes the system-layer evaluation. The defaults put
+// the four-board cluster under the sustained load regime of Section 5.5.
+type Fig9Config struct {
+	Requests            int
+	MeanInterarrivalSec float64
+	Seeds               []int64
+	// IncludeSlotBased additionally runs the slot-based comparator.
+	IncludeSlotBased bool
+}
+
+// DefaultFig9Config returns the calibrated configuration.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{Requests: 200, MeanInterarrivalSec: 10, Seeds: []int64{1, 2, 3}}
+}
+
+// Fig9Row is one workload set's normalized response time.
+type Fig9Row struct {
+	Set     int
+	Caption string
+	// Mean response time in seconds per policy.
+	Baseline, SlotBased, AmorphOS, ViTAL float64
+	// Normalized to the per-device baseline.
+	NormSlotBased, NormAmorphOS, NormViTAL float64
+	// ViTAL system metrics for §5.5.
+	ViTALMetrics *sim.Result
+	AmorphOSRes  *sim.Result
+	BaselineRes  *sim.Result
+}
+
+// Fig9Result is the full system-layer evaluation.
+type Fig9Result struct {
+	Rows []Fig9Row
+	// Aggregates across sets.
+	AvgNormViTAL, AvgNormAmorphOS float64
+	// ReductionVsBaseline is 1 − ViTAL/baseline (paper: 82%);
+	// ReductionVsAmorphOS is 1 − ViTAL/AmorphOS (paper: 25%).
+	ReductionVsBaseline, ReductionVsAmorphOS float64
+	// §5.5 aggregates.
+	ConcurrencyGain float64 // vs baseline (paper: 2.3×)
+	UtilizationGain float64 // vs AmorphOS (paper: +15.9%)
+	MultiFPGAFrac   float64 // paper: 5–40% of apps
+	BusyUtilization float64 // paper: >93%
+}
+
+// loadsFor converts a workload trace into simulator app loads.
+func loadsFor(c workload.Composition, cfg Fig9Config, seed int64) ([]sim.AppLoad, error) {
+	reqs, err := workload.GenerateTrace(c, workload.TraceConfig{
+		NumRequests:         cfg.Requests,
+		MeanInterarrivalSec: cfg.MeanInterarrivalSec,
+		Seed:                seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]sim.AppLoad, len(reqs))
+	for i, r := range reqs {
+		apps[i] = sim.AppLoad{
+			ID:         r.ID,
+			Name:       r.Spec.Name(),
+			Blocks:     r.Spec.PaperBlocks(),
+			Resources:  r.Spec.Resources(),
+			ServiceSec: r.Spec.ServiceSec(),
+			ArriveSec:  r.ArriveSec,
+		}
+	}
+	return apps, nil
+}
+
+// Fig9 replays every Table 3 workload set against all policies.
+func Fig9(cfg Fig9Config) (*Fig9Result, error) {
+	if cfg.Requests == 0 {
+		cfg = DefaultFig9Config()
+	}
+	res := &Fig9Result{}
+	var sumB, sumA, sumV, sumS float64
+	var concB, concV, utilA, utilV, multiV, busyV float64
+	runs := 0
+	for _, comp := range workload.Table3 {
+		row := Fig9Row{Set: comp.Index, Caption: comp.Caption}
+		for _, seed := range cfg.Seeds {
+			apps, err := loadsFor(comp, cfg, seed+int64(comp.Index)*1000)
+			if err != nil {
+				return nil, err
+			}
+			rb, err := sim.RunCloud(baseline.NewPerDevice(cluster.Default()), apps)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: set %d baseline: %w", comp.Index, err)
+			}
+			ra, err := sim.RunCloud(baseline.NewAmorphOSHT(cluster.Default()), apps)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: set %d amorphos: %w", comp.Index, err)
+			}
+			rv, err := sim.RunCloud(sched.NewSimAllocator(cluster.Default()), apps)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: set %d vital: %w", comp.Index, err)
+			}
+			if cfg.IncludeSlotBased {
+				rs, err := sim.RunCloud(baseline.NewSlotBased(cluster.Default()), apps)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: set %d slot: %w", comp.Index, err)
+				}
+				row.SlotBased += rs.MeanResponseSec
+			}
+			row.Baseline += rb.MeanResponseSec
+			row.AmorphOS += ra.MeanResponseSec
+			row.ViTAL += rv.MeanResponseSec
+			row.ViTALMetrics = rv
+			row.AmorphOSRes = ra
+			row.BaselineRes = rb
+			concB += rb.AvgConcurrency
+			concV += rv.AvgConcurrency
+			utilA += ra.UtilizationBusy
+			utilV += rv.UtilizationBusy
+			multiV += rv.MultiFPGAFrac
+			busyV += rv.UtilizationBusy
+			runs++
+		}
+		n := float64(len(cfg.Seeds))
+		row.Baseline /= n
+		row.SlotBased /= n
+		row.AmorphOS /= n
+		row.ViTAL /= n
+		if row.Baseline > 0 {
+			row.NormSlotBased = row.SlotBased / row.Baseline
+			row.NormAmorphOS = row.AmorphOS / row.Baseline
+			row.NormViTAL = row.ViTAL / row.Baseline
+		}
+		sumB += row.Baseline
+		sumA += row.AmorphOS
+		sumS += row.SlotBased
+		sumV += row.ViTAL
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgNormViTAL = sumV / sumB
+	res.AvgNormAmorphOS = sumA / sumB
+	res.ReductionVsBaseline = 1 - sumV/sumB
+	res.ReductionVsAmorphOS = 1 - sumV/sumA
+	res.ConcurrencyGain = concV / concB
+	res.UtilizationGain = (utilV - utilA) / float64(runs)
+	res.MultiFPGAFrac = multiV / float64(runs)
+	res.BusyUtilization = busyV / float64(runs)
+	return res, nil
+}
+
+// Render formats the figure.
+func (r *Fig9Result) Render() string {
+	header := []string{"set", "composition", "baseline (s)", "amorphos-ht", "vital", "norm amorphos", "norm vital"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Set), row.Caption,
+			fmt.Sprintf("%.0f", row.Baseline),
+			fmt.Sprintf("%.0f", row.AmorphOS),
+			fmt.Sprintf("%.0f", row.ViTAL),
+			fmt.Sprintf("%.2f", row.NormAmorphOS),
+			fmt.Sprintf("%.2f", row.NormViTAL),
+		})
+	}
+	out := "Fig. 9 — normalized mean response time (lower is better)\n" + Table(header, rows)
+	out += fmt.Sprintf("response-time reduction vs per-device baseline: %s\n",
+		PaperVsMeasured("82%", fmt.Sprintf("%.0f%%", r.ReductionVsBaseline*100)))
+	out += fmt.Sprintf("response-time reduction vs AmorphOS-HT: %s\n",
+		PaperVsMeasured("25%", fmt.Sprintf("%.0f%%", r.ReductionVsAmorphOS*100)))
+	out += "\n§5.5 system metrics\n"
+	out += fmt.Sprintf("concurrency gain vs baseline: %s\n", PaperVsMeasured("2.3×", fmt.Sprintf("%.1f×", r.ConcurrencyGain)))
+	out += fmt.Sprintf("utilization vs AmorphOS: %s\n", PaperVsMeasured("+15.9%", fmt.Sprintf("%+.1f%%", r.UtilizationGain*100)))
+	out += fmt.Sprintf("apps spanning multiple FPGAs: %s\n", PaperVsMeasured("5–40%", fmt.Sprintf("%.0f%%", r.MultiFPGAFrac*100)))
+	out += fmt.Sprintf("block utilization under load: %s\n", PaperVsMeasured(">93%", fmt.Sprintf("%.0f%%", r.BusyUtilization*100)))
+	return out
+}

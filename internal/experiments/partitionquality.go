@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vital/internal/hls"
+	"vital/internal/netlist"
+	"vital/internal/partition"
+	"vital/internal/workload"
+)
+
+// PartitionQualityRow is one design's inter-block bandwidth requirement
+// with and without the Section 4 algorithmic optimization.
+type PartitionQualityRow struct {
+	Name      string
+	Blocks    int
+	Optimized int // peak per-block cut bits, Section 4 algorithm
+	Naive     int // first-fit in netlist order, no placement
+	Factor    float64
+}
+
+// PartitionQualityResult reproduces the §5.4 claim: the partition
+// optimization reduces the required inter-block bandwidth (paper: 2.1× on
+// average).
+type PartitionQualityResult struct {
+	Rows      []PartitionQualityRow
+	AvgFactor float64
+}
+
+// PartitionQuality runs the comparison over the multi-block designs of the
+// suite. Pass limit > 0 to restrict the number of designs.
+func PartitionQuality(limit int) (*PartitionQualityResult, error) {
+	capacity := netlist.Resources{LUTs: 79200, DFFs: 158400, DSPs: 580, BRAMKb: 4320}
+	cfg := partition.Config{BlockCapacity: capacity, Seed: 17}
+	res := &PartitionQualityResult{}
+	sum := 0.0
+	for _, spec := range workload.AllSpecs() {
+		if spec.PaperBlocks() < 2 {
+			continue // single-block designs have no inter-block traffic
+		}
+		if limit > 0 && len(res.Rows) >= limit {
+			break
+		}
+		synth, err := hls.Synthesize(workload.BuildDesign(spec))
+		if err != nil {
+			return nil, err
+		}
+		n := synth.Netlist
+		opt, err := partition.Auto(n, cfg, 16)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: partitioning %s: %w", spec.Name(), err)
+		}
+		optReq := partition.BandwidthRequirement(n, opt.CellBlock, opt.NumBlocks)
+		naiveAssign, err := partition.NaiveContiguous(n, opt.NumBlocks, cfg)
+		if err != nil {
+			return nil, err
+		}
+		naiveReq := partition.BandwidthRequirement(n, naiveAssign, opt.NumBlocks)
+		row := PartitionQualityRow{
+			Name:      spec.Name(),
+			Blocks:    opt.NumBlocks,
+			Optimized: optReq,
+			Naive:     naiveReq,
+		}
+		if optReq > 0 {
+			row.Factor = float64(naiveReq) / float64(optReq)
+		}
+		sum += row.Factor
+		res.Rows = append(res.Rows, row)
+	}
+	if len(res.Rows) > 0 {
+		res.AvgFactor = sum / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// Render formats the comparison.
+func (r *PartitionQualityResult) Render() string {
+	header := []string{"design", "blocks", "optimized (bits)", "naive (bits)", "reduction"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprintf("%d", row.Blocks),
+			fmt.Sprintf("%d", row.Optimized),
+			fmt.Sprintf("%d", row.Naive),
+			fmt.Sprintf("%.1f×", row.Factor),
+		})
+	}
+	return "§5.4 — inter-block bandwidth requirement, Section 4 algorithm vs first-fit\n" + Table(header, rows) +
+		fmt.Sprintf("average reduction: %s\n", PaperVsMeasured("2.1×", fmt.Sprintf("%.1f×", r.AvgFactor)))
+}

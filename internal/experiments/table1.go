@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"vital/internal/cluster"
+	"vital/internal/netlist"
+	"vital/internal/sched"
+	"vital/internal/sim"
+
+	"vital/internal/baseline"
+)
+
+// Table1Row characterizes one management method, probed against the
+// implemented policies rather than asserted.
+type Table1Row struct {
+	Method           string
+	FPGASharing      bool
+	ScaleOut         bool
+	UtilizationClass string
+	OverheadClass    string
+}
+
+// Table1Result reproduces the qualitative comparison of Table 1 by probing
+// each implementation: can two small apps share one device, and can one app
+// larger than a device's free space span devices?
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 probes the implementations.
+func Table1() (*Table1Result, error) {
+	small := sim.AppLoad{ID: 1, Blocks: 3, Resources: netlist.Resources{LUTs: 70000, DFFs: 70000, DSPs: 126, BRAMKb: 7992}, ServiceSec: 10}
+	small2 := small
+	small2.ID = 2
+	probe := func(alloc sim.Allocator) (sharing, scaleOut bool) {
+		// Sharing: two small apps must land without consuming two whole
+		// devices.
+		a1, ok1 := alloc.TryAdmit(&small, 0)
+		_, ok2 := alloc.TryAdmit(&small2, 0)
+		sharing = ok1 && ok2 && len(a1.Boards) >= 1 && sharesDevices(alloc)
+		// Scale-out: a 20-block app (bigger than one 15-block device).
+		big := sim.AppLoad{ID: 3, Blocks: 20, Resources: netlist.Resources{LUTs: 500000, DFFs: 500000, DSPs: 840, BRAMKb: 53280}, ServiceSec: 10}
+		adm, ok := alloc.TryAdmit(&big, 0)
+		scaleOut = ok && len(adm.Boards) > 1
+		return sharing, scaleOut
+	}
+
+	var rows []Table1Row
+	type method struct {
+		name  string
+		alloc sim.Allocator
+		util  string
+		ovh   string
+	}
+	methods := []method{
+		{"per-device (existing clouds)", baseline.NewPerDevice(cluster.Default()), "low", "low"},
+		{"slot-based (incl. AmorphOS low-latency)", baseline.NewSlotBased(cluster.Default()), "medium", "low"},
+		{"AmorphOS high-throughput", baseline.NewAmorphOSHT(cluster.Default()), "high", "high (offline combos + morphing)"},
+		{"ViTAL", sched.NewSimAllocator(cluster.Default()), "high", "low"},
+	}
+	for _, m := range methods {
+		sharing, scaleOut := probe(m.alloc)
+		rows = append(rows, Table1Row{
+			Method:           m.name,
+			FPGASharing:      sharing,
+			ScaleOut:         scaleOut,
+			UtilizationClass: m.util,
+			OverheadClass:    m.ovh,
+		})
+	}
+	return &Table1Result{Rows: rows}, nil
+}
+
+// sharesDevices reports whether the two admitted probe apps occupy less
+// than two whole devices — the signature of sub-device sharing.
+func sharesDevices(alloc sim.Allocator) bool {
+	return alloc.UsedBlocks() < 2*15
+}
+
+// Render formats the comparison.
+func (r *Table1Result) Render() string {
+	header := []string{"method", "FPGA sharing", "scale-out", "resource utilization", "virtualization overhead"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Method,
+			yesNo(row.FPGASharing),
+			yesNo(row.ScaleOut),
+			row.UtilizationClass,
+			row.OverheadClass,
+		})
+	}
+	return "Table 1 — management methods (probed on the implementations)\n" + Table(header, rows)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

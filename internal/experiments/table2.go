@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vital/internal/core"
+	"vital/internal/workload"
+)
+
+// Table2Row is one compiled design of Table 2: the paper's resource usage
+// and block count next to what the reimplemented flow produces.
+type Table2Row struct {
+	Name           string
+	Resources      string
+	PaperBlocks    int
+	MeasuredBlocks int
+	FminMHz        float64
+	Times          core.StageTimes
+}
+
+// Table2Result is the full suite compilation.
+type Table2Result struct {
+	Rows []Table2Row
+	// Matches counts designs whose compiled block count equals Table 2.
+	Matches int
+}
+
+// Table2 compiles every design of the suite through the full Fig. 5 flow.
+// Pass limit > 0 to compile only the first limit designs (for quick runs).
+func Table2(limit int) (*Table2Result, error) {
+	stack := core.NewStack(nil)
+	specs := workload.AllSpecs()
+	if limit > 0 && limit < len(specs) {
+		specs = specs[:limit]
+	}
+	res := &Table2Result{}
+	for _, spec := range specs {
+		app, err := stack.Compile(workload.BuildDesign(spec))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compiling %s: %w", spec.Name(), err)
+		}
+		row := Table2Row{
+			Name:           spec.Name(),
+			Resources:      spec.Resources().String(),
+			PaperBlocks:    spec.PaperBlocks(),
+			MeasuredBlocks: app.Blocks(),
+			FminMHz:        app.FminMHz,
+			Times:          app.Times,
+		}
+		if row.PaperBlocks == row.MeasuredBlocks {
+			res.Matches++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *Table2Result) Render() string {
+	header := []string{"design", "resources", "#blocks paper", "#blocks measured", "Fmax (MHz)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name, row.Resources,
+			fmt.Sprintf("%d", row.PaperBlocks),
+			fmt.Sprintf("%d", row.MeasuredBlocks),
+			fmt.Sprintf("%.0f", row.FminMHz),
+		})
+	}
+	return "Table 2 — benchmark suite through the ViTAL compilation flow\n" + Table(header, rows) +
+		fmt.Sprintf("block counts matching the paper: %d/%d\n", r.Matches, len(r.Rows))
+}
+
+// Fig8Result aggregates the compile-time breakdown over compiled designs.
+type Fig8Result struct {
+	Rows []Table2Row
+	// Aggregated fractions of total compile time.
+	SynthesisFrac, PartitionFrac, InterfaceFrac, LocalPNRFrac, RelocationFrac, GlobalPNRFrac float64
+	PNRFrac, CustomFrac                                                                      float64
+}
+
+// Fig8 derives the breakdown from a Table 2 compilation result.
+func Fig8(t2 *Table2Result) *Fig8Result {
+	res := &Fig8Result{Rows: t2.Rows}
+	var total float64
+	var synth, part, iface, local, reloc, global float64
+	for _, row := range t2.Rows {
+		synth += row.Times.Synthesis.Seconds()
+		part += row.Times.Partition.Seconds()
+		iface += row.Times.InterfaceGen.Seconds()
+		local += row.Times.LocalPNR.Seconds()
+		reloc += row.Times.Relocation.Seconds()
+		global += row.Times.GlobalPNR.Seconds()
+		total += row.Times.Total().Seconds()
+	}
+	if total > 0 {
+		res.SynthesisFrac = synth / total
+		res.PartitionFrac = part / total
+		res.InterfaceFrac = iface / total
+		res.LocalPNRFrac = local / total
+		res.RelocationFrac = reloc / total
+		res.GlobalPNRFrac = global / total
+		res.PNRFrac = (local + global) / total
+		res.CustomFrac = (part + iface + reloc) / total
+	}
+	return res
+}
+
+// Render formats the breakdown.
+func (r *Fig8Result) Render() string {
+	header := []string{"stage", "tool", "fraction of compile time"}
+	rows := [][]string{
+		{"synthesis", "reused commercial", fmt.Sprintf("%.1f%%", r.SynthesisFrac*100)},
+		{"partition", "ViTAL custom", fmt.Sprintf("%.1f%%", r.PartitionFrac*100)},
+		{"interface generation", "ViTAL custom", fmt.Sprintf("%.1f%%", r.InterfaceFrac*100)},
+		{"local place&route", "reused commercial", fmt.Sprintf("%.1f%%", r.LocalPNRFrac*100)},
+		{"relocation", "ViTAL custom", fmt.Sprintf("%.1f%%", r.RelocationFrac*100)},
+		{"global place&route", "reused commercial", fmt.Sprintf("%.1f%%", r.GlobalPNRFrac*100)},
+	}
+	return "Fig. 8 — compile-time breakdown over the suite\n" + Table(header, rows) +
+		fmt.Sprintf("place&route share: %s\n", PaperVsMeasured("83.9%", fmt.Sprintf("%.1f%%", r.PNRFrac*100))) +
+		fmt.Sprintf("custom-tool share: %s\n", PaperVsMeasured("1.6%", fmt.Sprintf("%.1f%%", r.CustomFrac*100))) +
+		"note: the shape (P&R dominant, custom tools minor) reproduces; the absolute split differs because\n" +
+		"the model P&R runs in seconds where Vivado runs for hours on the same netlists.\n"
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vital/internal/workload"
+)
+
+// Table3Result reproduces Table 3: the workload-set compositions used in
+// the system-layer evaluation, verified against a generated trace.
+type Table3Result struct {
+	Rows []workload.Composition
+	// ObservedShare holds the measured S/M/L shares of a generated trace
+	// per set (sanity that the generator honors the composition).
+	ObservedShare map[int][3]float64
+}
+
+// Table3 verifies every composition empirically.
+func Table3(requests int) (*Table3Result, error) {
+	if requests <= 0 {
+		requests = 2000
+	}
+	res := &Table3Result{ObservedShare: map[int][3]float64{}}
+	for _, c := range workload.Table3 {
+		trace, err := workload.GenerateTrace(c, workload.TraceConfig{
+			NumRequests:         requests,
+			MeanInterarrivalSec: 10,
+			Seed:                int64(c.Index),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var counts [3]int
+		for _, r := range trace {
+			counts[r.Spec.Variant]++
+		}
+		var share [3]float64
+		for v := range counts {
+			share[v] = float64(counts[v]) / float64(len(trace)) * 100
+		}
+		res.ObservedShare[c.Index] = share
+		res.Rows = append(res.Rows, c)
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *Table3Result) Render() string {
+	header := []string{"set", "composition", "observed S/M/L (%)"}
+	var rows [][]string
+	for _, c := range r.Rows {
+		s := r.ObservedShare[c.Index]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c.Index), c.Caption,
+			fmt.Sprintf("%.0f/%.0f/%.0f", s[0], s[1], s[2]),
+		})
+	}
+	return "Table 3 — workload-set compositions (generator verified)\n" + Table(header, rows)
+}

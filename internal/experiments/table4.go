@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vital/internal/fpga"
+	"vital/internal/interconnect"
+)
+
+// Table4Result reproduces Table 4: the per-block resources of the optimal
+// floorplan and the bare-metal communication performance of the
+// latency-insensitive interface under the first (synthetic traffic)
+// benchmark set.
+type Table4Result struct {
+	BlockResources string
+	Comm           []interconnect.BandwidthResult
+}
+
+// Table4 measures the interface.
+func Table4(cycles uint64) (*Table4Result, error) {
+	rows, err := interconnect.Table4(cycles)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4Result{
+		BlockResources: fpga.XCVU37P().BlockResources().String(),
+		Comm:           rows,
+	}, nil
+}
+
+// Render formats the table.
+func (r *Table4Result) Render() string {
+	out := "Table 4 — bare-metal performance\n"
+	out += fmt.Sprintf("physical block: %s\n", PaperVsMeasured("79.2k LUT, 158.4k DFF, 580 DSP, 4.22 Mb", r.BlockResources))
+	header := []string{"link", "peak (Gb/s)", "measured (Gb/s)", "min latency (ns)"}
+	var rows [][]string
+	for _, c := range r.Comm {
+		rows = append(rows, []string{
+			c.Class.String(),
+			fmt.Sprintf("%.1f", c.PeakGbps),
+			fmt.Sprintf("%.1f", c.Gbps),
+			fmt.Sprintf("%.1f", c.LatencyNs),
+		})
+	}
+	out += Table(header, rows)
+	out += "paper: inter-FPGA ring 100 Gb/s; inter-die 312.5 Gb/s\n"
+	return out
+}

@@ -1,0 +1,141 @@
+package fpga
+
+import "vital/internal/netlist"
+
+// This file instantiates the concrete devices used in the paper's
+// evaluation: the Xilinx UltraScale+ XCVU37P (the cluster device, Table 4
+// and Fig. 7) and the VU13P (the normalization baseline of Fig. 1a).
+//
+// Geometry is calibrated so the derived quantities match the paper exactly:
+//
+//	XCVU37P physical block (at 5 blocks/die): 79.2k LUT, 158.4k DFF,
+//	580 DSP, 4.22 Mb BRAM               — Table 4
+//	XCVU37P total: 1,303,680 LUT        — matches the real part
+//	Reserved fraction: ~8.9% (< 10%)    — Section 5.3
+//	Legal partitions per die: 1,2,5,10  — "<10 possible partitions", §5.3
+
+// vu37pDie builds one XCVU37P SLR. The user region has 90 CLB columns of
+// 550 sites, 5 DSP columns of 580 sites and 2 BRAM columns of 300 sites;
+// clock regions are 55 rows tall (10 per die).
+func vu37pDie(index int) Die {
+	cols := make([]Column, 0, 96)
+	// Interleave in a Xilinx-like pattern: blocks of CLB columns broken up
+	// by DSP and BRAM columns. The pattern places a DSP column after every
+	// 18 CLB columns and BRAM columns at one-third and two-thirds of the
+	// die width.
+	clbAdded, dspAdded, bramAdded := 0, 0, 0
+	for clbAdded < 90 || dspAdded < 5 || bramAdded < 2 {
+		for i := 0; i < 18 && clbAdded < 90; i++ {
+			cols = append(cols, Column{Kind: ColCLB, SitesPerDie: 550})
+			clbAdded++
+			if bramAdded < 2 && (clbAdded == 30 || clbAdded == 60) {
+				cols = append(cols, Column{Kind: ColBRAM, SitesPerDie: 300})
+				bramAdded++
+			}
+		}
+		if dspAdded < 5 {
+			cols = append(cols, Column{Kind: ColDSP, SitesPerDie: 580})
+			dspAdded++
+		}
+	}
+	return Die{
+		Index:           index,
+		UserColumns:     cols,
+		UserRows:        550,
+		ClockRegionRows: 55,
+		// Reserved regions per die (Fig. 7 regions 2–6): the communication
+		// region (latency-insensitive interface buffers and control), the
+		// service region (DRAM/Ethernet virtualization), and the pipeline
+		// registers connecting the transceivers.
+		Reserved: netlist.Resources{
+			LUTs:   38560,
+			DFFs:   77120,
+			DSPs:   108,
+			BRAMKb: 72 * netlist.BRAMKb, // 72 BRAM36 = 2592 Kb
+		},
+	}
+}
+
+// XCVU37P returns the cluster device of the paper's evaluation, partitioned
+// into the optimal floorplan found in Section 5.3: 5 physical blocks per
+// die, 15 per device.
+func XCVU37P() *Device {
+	d := &Device{Name: "xcvu37p", BlocksPerDie: 5}
+	for i := 0; i < 3; i++ {
+		d.Dies = append(d.Dies, vu37pDie(i))
+	}
+	return d
+}
+
+// XCVU9P returns a smaller UltraScale+ device (the AWS F1 part) that
+// provides the *same* physical-block shape as the XCVU37P: 90 CLB columns
+// × 110 rows, 5 DSP columns × 116, 2 BRAM columns × 60 per block — so
+// bitstreams compiled for the homogeneous abstraction relocate across
+// device types. The paper lists heterogeneous clusters as a direct
+// extension of ViTAL (Section 7); block identity across devices is what
+// makes it work. The VU9P's dies fit 3 such blocks each (its DSP columns
+// are shorter), so a device contributes 9 physical blocks; the wider
+// reserved share covers the shell and the unusable column remainders.
+func XCVU9P() *Device {
+	d := &Device{Name: "xcvu9p", BlocksPerDie: 3}
+	for i := 0; i < 3; i++ {
+		cols := make([]Column, 0, 97)
+		clbAdded, dspAdded, bramAdded := 0, 0, 0
+		for clbAdded < 90 || dspAdded < 5 || bramAdded < 2 {
+			for j := 0; j < 18 && clbAdded < 90; j++ {
+				cols = append(cols, Column{Kind: ColCLB, SitesPerDie: 330})
+				clbAdded++
+				if bramAdded < 2 && (clbAdded == 30 || clbAdded == 60) {
+					cols = append(cols, Column{Kind: ColBRAM, SitesPerDie: 180})
+					bramAdded++
+				}
+			}
+			if dspAdded < 5 {
+				cols = append(cols, Column{Kind: ColDSP, SitesPerDie: 348})
+				dspAdded++
+			}
+		}
+		d.Dies = append(d.Dies, Die{
+			Index:           i,
+			UserColumns:     cols,
+			UserRows:        330,
+			ClockRegionRows: 55,
+			// Shell, unusable column remainders and the comm/service
+			// regions: the VU9P's real totals are 1,182k LUT / 6,840 DSP /
+			// 75.9 Mb BRAM.
+			Reserved: netlist.Resources{
+				LUTs:   156480,
+				DFFs:   312960,
+				DSPs:   540,
+				BRAMKb: 360 * netlist.BRAMKb,
+			},
+		})
+	}
+	return d
+}
+
+// VU13P returns the Virtex UltraScale+ VU13P used to normalize Fig. 1a.
+// Only its total capacity matters for that figure.
+func VU13P() *Device {
+	d := &Device{Name: "xcvu13p", BlocksPerDie: 4}
+	for i := 0; i < 4; i++ {
+		cols := make([]Column, 0, 100)
+		for c := 0; c < 96; c++ {
+			cols = append(cols, Column{Kind: ColCLB, SitesPerDie: 540})
+		}
+		for c := 0; c < 4; c++ {
+			cols = append(cols, Column{Kind: ColDSP, SitesPerDie: 768})
+		}
+		for c := 0; c < 2; c++ {
+			cols = append(cols, Column{Kind: ColBRAM, SitesPerDie: 336})
+		}
+		d.Dies = append(d.Dies, Die{
+			Index:           i,
+			UserColumns:     cols,
+			UserRows:        540,
+			ClockRegionRows: 45,
+			Reserved:        netlist.Resources{LUTs: 17280, DFFs: 34560},
+		})
+	}
+	return d
+}

@@ -1,0 +1,182 @@
+package fpga
+
+import (
+	"fmt"
+
+	"vital/internal/netlist"
+)
+
+// Die is one silicon die (SLR — super logic region) of a multi-die package.
+// The paper's constraint that a physical block must not cross a die boundary
+// (Section 3.2, "key learning") is enforced structurally: blocks belong to
+// exactly one die.
+type Die struct {
+	Index int
+	// UserColumns are the resource columns of the user region, with site
+	// counts across the full user-region height.
+	UserColumns []Column
+	// UserRows is the height of the user region in CLB site rows.
+	UserRows int
+	// ClockRegionRows is the height of one clock region in site rows. A
+	// legal block height must be an integer multiple of this so that every
+	// block sees the same clock-skew profile (Section 3.2).
+	ClockRegionRows int
+	// Reserved are the resources of the die's system-reserved regions
+	// (communication + service + pipeline registers; Fig. 7 regions 2–6).
+	Reserved netlist.Resources
+}
+
+// UserResources returns the programmable resources of the die's user region.
+func (d *Die) UserResources() netlist.Resources {
+	var r netlist.Resources
+	for _, c := range d.UserColumns {
+		switch c.Kind {
+		case ColCLB:
+			r.LUTs += c.SitesPerDie * LUTsPerCLB
+			r.DFFs += c.SitesPerDie * DFFsPerCLB
+		case ColDSP:
+			r.DSPs += c.SitesPerDie
+		case ColBRAM:
+			r.BRAMKb += c.SitesPerDie * netlist.BRAMKb
+		}
+	}
+	return r
+}
+
+// Device models one FPGA package: one or more dies plus the partitioning
+// into identical physical blocks chosen by the floorplanner.
+type Device struct {
+	Name string
+	Dies []Die
+	// BlocksPerDie is how many identical physical blocks each die's user
+	// region is divided into.
+	BlocksPerDie int
+}
+
+// NumBlocks returns the total number of physical blocks on the device.
+func (d *Device) NumBlocks() int { return len(d.Dies) * d.BlocksPerDie }
+
+// BlockShape derives the per-block shape from the die geometry and the
+// current BlocksPerDie. It panics if the partitioning is not legal; use
+// LegalBlocksPerDie to enumerate legal values.
+func (d *Device) BlockShape() BlockShape {
+	if err := d.CheckPartition(d.BlocksPerDie); err != nil {
+		panic(err)
+	}
+	die := &d.Dies[0]
+	cols := make([]Column, len(die.UserColumns))
+	for i, c := range die.UserColumns {
+		cols[i] = Column{Kind: c.Kind, SitesPerDie: c.SitesPerDie / d.BlocksPerDie}
+	}
+	return BlockShape{Columns: cols, Rows: die.UserRows / d.BlocksPerDie}
+}
+
+// BlockResources returns the resources of one physical block (Table 4).
+func (d *Device) BlockResources() netlist.Resources { return d.BlockShape().Resources() }
+
+// CheckPartition validates that dividing each die into n blocks satisfies
+// the paper's physical constraints: (1) every column's sites divide evenly
+// so all blocks are identical, (2) the block height is an integer multiple
+// of the clock-region height so clock skew is uniform across blocks, and
+// (3) blocks never cross die boundaries (structural, but n must divide the
+// user rows exactly).
+func (d *Device) CheckPartition(n int) error {
+	if n < 1 {
+		return fmt.Errorf("fpga: blocks per die must be >= 1, got %d", n)
+	}
+	for i := range d.Dies {
+		die := &d.Dies[i]
+		if die.UserRows%n != 0 {
+			return fmt.Errorf("fpga: die %d user rows %d not divisible by %d blocks", i, die.UserRows, n)
+		}
+		h := die.UserRows / n
+		if die.ClockRegionRows > 0 && h%die.ClockRegionRows != 0 {
+			return fmt.Errorf("fpga: die %d block height %d rows not aligned to clock region height %d", i, h, die.ClockRegionRows)
+		}
+		for _, c := range die.UserColumns {
+			if c.SitesPerDie%n != 0 {
+				return fmt.Errorf("fpga: die %d %s column with %d sites not divisible by %d blocks", i, c.Kind, c.SitesPerDie, n)
+			}
+		}
+	}
+	return nil
+}
+
+// LegalBlocksPerDie enumerates all block counts per die that satisfy
+// CheckPartition, in increasing order. For XCVU37P this yields {1, 2, 5,
+// 10}: the paper's observation that the commercial constraints shrink the
+// design space to fewer than 10 candidate partitions.
+func (d *Device) LegalBlocksPerDie() []int {
+	var legal []int
+	maxN := d.Dies[0].UserRows
+	for n := 1; n <= maxN; n++ {
+		if d.CheckPartition(n) == nil {
+			legal = append(legal, n)
+		}
+	}
+	return legal
+}
+
+// TotalResources returns all programmable resources on the device,
+// user regions plus system-reserved regions.
+func (d *Device) TotalResources() netlist.Resources {
+	var r netlist.Resources
+	for i := range d.Dies {
+		r = r.Add(d.Dies[i].UserResources())
+		r = r.Add(d.Dies[i].Reserved)
+	}
+	return r
+}
+
+// UserResources returns the resources exposed to user applications.
+func (d *Device) UserResources() netlist.Resources {
+	var r netlist.Resources
+	for i := range d.Dies {
+		r = r.Add(d.Dies[i].UserResources())
+	}
+	return r
+}
+
+// ReservedResources returns the system-reserved resources (Fig. 7 regions
+// 2–6).
+func (d *Device) ReservedResources() netlist.Resources {
+	var r netlist.Resources
+	for i := range d.Dies {
+		r = r.Add(d.Dies[i].Reserved)
+	}
+	return r
+}
+
+// ReservedFraction returns reserved LUTs as a fraction of total LUTs — the
+// metric the paper keeps "below 10% of the total resources" (Section 5.3).
+func (d *Device) ReservedFraction() float64 {
+	total := d.TotalResources()
+	if total.LUTs == 0 {
+		return 0
+	}
+	return float64(d.ReservedResources().LUTs) / float64(total.LUTs)
+}
+
+// BlockRef identifies one physical block on a device.
+type BlockRef struct {
+	Die   int
+	Index int // block row within the die, 0 = bottom
+}
+
+// String renders the block reference as in Vivado floorplans, e.g. "SLR1/PB2".
+func (b BlockRef) String() string { return fmt.Sprintf("SLR%d/PB%d", b.Die, b.Index) }
+
+// Blocks enumerates all physical blocks on the device in (die, index) order.
+func (d *Device) Blocks() []BlockRef {
+	refs := make([]BlockRef, 0, d.NumBlocks())
+	for die := range d.Dies {
+		for i := 0; i < d.BlocksPerDie; i++ {
+			refs = append(refs, BlockRef{Die: die, Index: i})
+		}
+	}
+	return refs
+}
+
+// SameDie reports whether two blocks share a die (and therefore communicate
+// over intra-die routing rather than the inter-die or inter-FPGA network).
+func (d *Device) SameDie(a, b BlockRef) bool { return a.Die == b.Die }

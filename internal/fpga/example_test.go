@@ -1,0 +1,26 @@
+package fpga_test
+
+import (
+	"fmt"
+
+	"vital/internal/fpga"
+)
+
+// Inspect the paper's cluster device and its homogeneous abstraction.
+func Example() {
+	d := fpga.XCVU37P()
+	fmt.Printf("%s: %d dies × %d blocks\n", d.Name, len(d.Dies), d.BlocksPerDie)
+	fmt.Printf("block: %s\n", d.BlockResources())
+	fmt.Printf("legal partitions per die: %v\n", d.LegalBlocksPerDie())
+	// Output:
+	// xcvu37p: 3 dies × 5 blocks
+	// block: 79.2k LUT, 158.4k DFF, 580 DSP, 4.22 Mb BRAM
+	// legal partitions per die: [1 2 5 10]
+}
+
+func ExampleOptimalPartition() {
+	d := fpga.XCVU37P()
+	best, ok := fpga.OptimalPartition(d, true, fpga.DefaultInterfaceCost)
+	fmt.Println(best, ok)
+	// Output: 5 true
+}

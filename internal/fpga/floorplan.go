@@ -1,0 +1,205 @@
+package fpga
+
+import (
+	"fmt"
+
+	"vital/internal/netlist"
+)
+
+// RegionClass classifies the floorplan regions of Fig. 7.
+type RegionClass uint8
+
+// Region classes. Region numbers follow Fig. 7: region 1 is the user
+// region, regions 2–6 are reserved by the system.
+const (
+	// RegionUser (1) holds the identical physical blocks exposed to users.
+	RegionUser RegionClass = iota
+	// RegionCommInterFPGA (2) implements the latency-insensitive interface
+	// for inter-FPGA communication.
+	RegionCommInterFPGA
+	// RegionCommInterDie (3) implements the latency-insensitive interface
+	// for inter-die communication.
+	RegionCommInterDie
+	// RegionService (4) securely shares the DRAM interface and other
+	// peripherals with all physical blocks.
+	RegionService
+	// RegionTransceiver (5) holds the high-speed transceivers for the
+	// inter-FPGA ring.
+	RegionTransceiver
+	// RegionPipeline (6) holds pipeline registers connecting transceivers
+	// to the latency-insensitive interface.
+	RegionPipeline
+)
+
+// String names the region class.
+func (c RegionClass) String() string {
+	switch c {
+	case RegionUser:
+		return "user"
+	case RegionCommInterFPGA:
+		return "comm-interfpga"
+	case RegionCommInterDie:
+		return "comm-interdie"
+	case RegionService:
+		return "service"
+	case RegionTransceiver:
+		return "transceiver"
+	case RegionPipeline:
+		return "pipeline"
+	}
+	return fmt.Sprintf("RegionClass(%d)", uint8(c))
+}
+
+// Region is one floorplan region on one die.
+type Region struct {
+	// Number is the Fig. 7 region number (1–6).
+	Number int
+	Class  RegionClass
+	Die    int
+	// Capacity is the programmable resources provisioned for the region.
+	Capacity netlist.Resources
+}
+
+// Floorplan is a complete Fig. 7-style partitioning of a device.
+type Floorplan struct {
+	Device  *Device
+	Regions []Region
+}
+
+// Per-die split of the reserved resources into service and pipeline
+// portions; the remainder is the communication regions (2 and 3).
+var (
+	serviceCapacityPerDie  = netlist.Resources{LUTs: 8000, DFFs: 16000, DSPs: 108, BRAMKb: 12 * netlist.BRAMKb}
+	pipelineCapacityPerDie = netlist.Resources{LUTs: 560, DFFs: 1120}
+)
+
+// CommRegionCapacityPerDie returns the capacity provisioned for the
+// latency-insensitive interface (regions 2+3) on each die: the reserved
+// resources minus the service and pipeline shares.
+func CommRegionCapacityPerDie(d *Device) netlist.Resources {
+	return d.Dies[0].Reserved.Sub(serviceCapacityPerDie).Sub(pipelineCapacityPerDie)
+}
+
+// Build constructs the Fig. 7 floorplan for the device's current
+// partitioning choice.
+func Build(d *Device) *Floorplan {
+	fp := &Floorplan{Device: d}
+	block := d.BlockResources()
+	comm := CommRegionCapacityPerDie(d)
+	// Split the communication capacity: inter-FPGA interface (region 2)
+	// sits on the transceiver die edge, inter-die (region 3) on die
+	// boundaries; we provision them evenly.
+	commHalf := netlist.Resources{LUTs: comm.LUTs / 2, DFFs: comm.DFFs / 2, DSPs: comm.DSPs / 2, BRAMKb: comm.BRAMKb / 2}
+	for die := range d.Dies {
+		for i := 0; i < d.BlocksPerDie; i++ {
+			fp.Regions = append(fp.Regions, Region{Number: 1, Class: RegionUser, Die: die, Capacity: block})
+		}
+		fp.Regions = append(fp.Regions,
+			Region{Number: 2, Class: RegionCommInterFPGA, Die: die, Capacity: commHalf},
+			Region{Number: 3, Class: RegionCommInterDie, Die: die, Capacity: comm.Sub(commHalf)},
+			Region{Number: 4, Class: RegionService, Die: die, Capacity: serviceCapacityPerDie},
+			Region{Number: 5, Class: RegionTransceiver, Die: die},
+			Region{Number: 6, Class: RegionPipeline, Die: die, Capacity: pipelineCapacityPerDie},
+		)
+	}
+	return fp
+}
+
+// InterfaceCost models the per-channel resource cost of the
+// latency-insensitive interface (Section 3.5.2). A buffered channel carries
+// FIFOs plus back-pressure control; an elided channel (intra-FPGA, where
+// on-chip latency is deterministic and resolved at compile time) needs only
+// an arrival-time counter in the control logic.
+type InterfaceCost struct {
+	BufferedLUTs   int
+	BufferedDFFs   int
+	BufferedBRAMKb int
+	ElidedLUTs     int
+	ElidedDFFs     int
+}
+
+// DefaultInterfaceCost is calibrated against the prototype in the paper:
+// with buffer elision enabled the communication-region demand drops by
+// ≈82.3% (Section 5.3).
+var DefaultInterfaceCost = InterfaceCost{
+	BufferedLUTs:   620,
+	BufferedDFFs:   1240,
+	BufferedBRAMKb: 8 * netlist.BRAMKb, // 512-bit wide, 512-deep FIFO
+	ElidedLUTs:     37,
+	ElidedDFFs:     74,
+}
+
+// Channel provisioning per physical block: each block exposes
+// ChannelsPerBlock logical channels (half ingress, half egress); with
+// elision, BoundaryChannelsPerBlock of them stay buffered as the block's
+// port into the inter-die/inter-FPGA network.
+const (
+	ChannelsPerBlock         = 8
+	BoundaryChannelsPerBlock = 1
+)
+
+// CommDemandPerDie computes the communication-region resource demand on one
+// die for a given partition granularity, with or without the intra-FPGA
+// buffer-elision optimization of Section 3.5.2.
+func CommDemandPerDie(blocksPerDie int, elide bool, c InterfaceCost) netlist.Resources {
+	total := blocksPerDie * ChannelsPerBlock
+	buffered := total
+	if elide {
+		buffered = blocksPerDie * BoundaryChannelsPerBlock
+	}
+	elided := total - buffered
+	return netlist.Resources{
+		LUTs:   buffered*c.BufferedLUTs + elided*c.ElidedLUTs,
+		DFFs:   buffered*c.BufferedDFFs + elided*c.ElidedDFFs,
+		BRAMKb: buffered * c.BufferedBRAMKb,
+	}
+}
+
+// PartitionChoice is one candidate in the Section 5.3 design-space
+// exploration.
+type PartitionChoice struct {
+	BlocksPerDie int
+	BlockRes     netlist.Resources
+	CommDemand   netlist.Resources // per die
+	Feasible     bool
+	Reason       string // why infeasible, if so
+}
+
+// ExplorePartitions exhaustively evaluates the legal partitions of the
+// device (the paper notes the commercial-FPGA constraints leave fewer than
+// 10 candidates) and marks each as feasible if its communication-region
+// demand fits the provisioned capacity.
+func ExplorePartitions(d *Device, elide bool, cost InterfaceCost) []PartitionChoice {
+	capacity := CommRegionCapacityPerDie(d)
+	var out []PartitionChoice
+	for _, n := range d.LegalBlocksPerDie() {
+		trial := *d
+		trial.BlocksPerDie = n
+		choice := PartitionChoice{
+			BlocksPerDie: n,
+			BlockRes:     trial.BlockResources(),
+			CommDemand:   CommDemandPerDie(n, elide, cost),
+		}
+		if choice.CommDemand.FitsIn(capacity) {
+			choice.Feasible = true
+		} else {
+			choice.Reason = fmt.Sprintf("interface demand %s exceeds comm region capacity %s", choice.CommDemand, capacity)
+		}
+		out = append(out, choice)
+	}
+	return out
+}
+
+// OptimalPartition runs the design-space exploration and returns the
+// finest-grained feasible partition — the paper's objective of maximizing
+// user-exposed resources while maintaining fine-grained management. The
+// boolean reports whether any partition is feasible.
+func OptimalPartition(d *Device, elide bool, cost InterfaceCost) (int, bool) {
+	best, found := 0, false
+	for _, c := range ExplorePartitions(d, elide, cost) {
+		if c.Feasible && c.BlocksPerDie > best {
+			best, found = c.BlocksPerDie, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,278 @@
+package fpga
+
+import (
+	"testing"
+
+	"vital/internal/netlist"
+)
+
+func TestXCVU37PBlockMatchesTable4(t *testing.T) {
+	d := XCVU37P()
+	r := d.BlockResources()
+	want := netlist.Resources{LUTs: 79200, DFFs: 158400, DSPs: 580, BRAMKb: 4320}
+	if r != want {
+		t.Fatalf("block resources = %+v, want %+v (Table 4)", r, want)
+	}
+	if d.NumBlocks() != 15 {
+		t.Fatalf("NumBlocks = %d, want 15 (3 dies × 5)", d.NumBlocks())
+	}
+}
+
+func TestXCVU37PTotalsMatchRealPart(t *testing.T) {
+	d := XCVU37P()
+	total := d.TotalResources()
+	if total.LUTs != 1303680 {
+		t.Fatalf("total LUTs = %d, want 1303680", total.LUTs)
+	}
+	if total.DFFs != 2*total.LUTs {
+		t.Fatalf("total DFFs = %d, want 2× LUTs", total.DFFs)
+	}
+	if total.DSPs != 9024 {
+		t.Fatalf("total DSPs = %d, want 9024", total.DSPs)
+	}
+	mb := total.BRAMMb()
+	if mb < 70.0 || mb > 71.5 {
+		t.Fatalf("total BRAM = %.2f Mb, want ≈70.9", mb)
+	}
+}
+
+func TestReservedFractionBelowTenPercent(t *testing.T) {
+	d := XCVU37P()
+	f := d.ReservedFraction()
+	if f >= 0.10 {
+		t.Fatalf("reserved fraction %.3f, paper requires < 0.10", f)
+	}
+	if f < 0.05 {
+		t.Fatalf("reserved fraction %.3f implausibly small", f)
+	}
+}
+
+func TestVU13PTotals(t *testing.T) {
+	d := VU13P()
+	total := d.TotalResources()
+	if total.LUTs != 1728000 {
+		t.Fatalf("VU13P LUTs = %d, want 1728000", total.LUTs)
+	}
+	if total.DSPs != 12288 {
+		t.Fatalf("VU13P DSPs = %d, want 12288", total.DSPs)
+	}
+	if mb := total.BRAMMb(); mb < 94 || mb > 95 {
+		t.Fatalf("VU13P BRAM = %.2f Mb, want ≈94.5", mb)
+	}
+	// The default partitioning must be legal.
+	if err := d.CheckPartition(d.BlocksPerDie); err != nil {
+		t.Fatalf("VU13P default partition illegal: %v", err)
+	}
+}
+
+func TestLegalPartitionsConstrainedByClockRegions(t *testing.T) {
+	d := XCVU37P()
+	legal := d.LegalBlocksPerDie()
+	want := []int{1, 2, 5, 10}
+	if len(legal) != len(want) {
+		t.Fatalf("legal partitions = %v, want %v", legal, want)
+	}
+	for i := range want {
+		if legal[i] != want[i] {
+			t.Fatalf("legal partitions = %v, want %v", legal, want)
+		}
+	}
+	// The search space is small, as the paper observes (<10 candidates).
+	if len(legal) >= 10 {
+		t.Fatalf("search space %d should be < 10", len(legal))
+	}
+}
+
+func TestCheckPartitionRejectsMisaligned(t *testing.T) {
+	d := XCVU37P()
+	// 11 divides 550 rows (50 rows/block) but 50 is not a multiple of the
+	// 55-row clock region.
+	if err := d.CheckPartition(11); err == nil {
+		t.Fatal("partition 11 accepted despite clock-region misalignment")
+	}
+	if err := d.CheckPartition(0); err == nil {
+		t.Fatal("partition 0 accepted")
+	}
+}
+
+func TestBlocksEnumerationAndSameDie(t *testing.T) {
+	d := XCVU37P()
+	blocks := d.Blocks()
+	if len(blocks) != 15 {
+		t.Fatalf("Blocks() = %d entries", len(blocks))
+	}
+	if !d.SameDie(BlockRef{0, 0}, BlockRef{0, 4}) {
+		t.Fatal("blocks on die 0 reported as different dies")
+	}
+	if d.SameDie(BlockRef{0, 0}, BlockRef{1, 0}) {
+		t.Fatal("blocks on different dies reported as same die")
+	}
+	if s := (BlockRef{Die: 1, Index: 2}).String(); s != "SLR1/PB2" {
+		t.Fatalf("BlockRef.String = %q", s)
+	}
+}
+
+func TestUserPlusReservedEqualsTotal(t *testing.T) {
+	for _, d := range []*Device{XCVU37P(), VU13P()} {
+		sum := d.UserResources().Add(d.ReservedResources())
+		if sum != d.TotalResources() {
+			t.Fatalf("%s: user+reserved %+v != total %+v", d.Name, sum, d.TotalResources())
+		}
+	}
+}
+
+func TestBlockShapeTimesBlocksEqualsUserRegion(t *testing.T) {
+	d := XCVU37P()
+	per := d.BlockResources()
+	if got := per.Scale(d.NumBlocks()); got != d.UserResources() {
+		t.Fatalf("blocks × shape = %+v, user region = %+v", got, d.UserResources())
+	}
+}
+
+func TestFloorplanRegions(t *testing.T) {
+	d := XCVU37P()
+	fp := Build(d)
+	counts := map[RegionClass]int{}
+	var reserved netlist.Resources
+	for _, r := range fp.Regions {
+		counts[r.Class]++
+		if r.Class != RegionUser {
+			reserved = reserved.Add(r.Capacity)
+		}
+	}
+	if counts[RegionUser] != 15 {
+		t.Fatalf("user regions = %d, want 15", counts[RegionUser])
+	}
+	for _, c := range []RegionClass{RegionCommInterFPGA, RegionCommInterDie, RegionService, RegionTransceiver, RegionPipeline} {
+		if counts[c] != 3 {
+			t.Fatalf("%v regions = %d, want 3 (one per die)", c, counts[c])
+		}
+	}
+	if reserved != d.ReservedResources() {
+		t.Fatalf("floorplan reserved %+v != device reserved %+v", reserved, d.ReservedResources())
+	}
+}
+
+func TestBufferElisionSavesAbout82Percent(t *testing.T) {
+	without := CommDemandPerDie(5, false, DefaultInterfaceCost)
+	with := CommDemandPerDie(5, true, DefaultInterfaceCost)
+	reduction := 1 - float64(with.LUTs)/float64(without.LUTs)
+	if reduction < 0.80 || reduction > 0.85 {
+		t.Fatalf("elision LUT reduction = %.3f, paper reports 0.823", reduction)
+	}
+}
+
+func TestDesignSpaceExplorationPicksFiveBlocksPerDie(t *testing.T) {
+	d := XCVU37P()
+	best, ok := OptimalPartition(d, true, DefaultInterfaceCost)
+	if !ok {
+		t.Fatal("no feasible partition with elision")
+	}
+	if best != 5 {
+		t.Fatalf("optimal partition = %d blocks/die, want 5 (Fig. 7)", best)
+	}
+	// Without elision the interface demand exceeds the communication
+	// region at every granularity — the optimization is what makes the
+	// abstraction affordable.
+	if _, ok := OptimalPartition(d, false, DefaultInterfaceCost); ok {
+		t.Fatal("expected no feasible partition without buffer elision")
+	}
+}
+
+func TestCommDemandFitsProvisionedRegion(t *testing.T) {
+	d := XCVU37P()
+	demand := CommDemandPerDie(d.BlocksPerDie, true, DefaultInterfaceCost)
+	capacity := CommRegionCapacityPerDie(d)
+	if !demand.FitsIn(capacity) {
+		t.Fatalf("demand %s exceeds capacity %s", demand, capacity)
+	}
+}
+
+func TestGridGeometry(t *testing.T) {
+	d := XCVU37P()
+	g := NewGrid(d.BlockShape())
+	if g.Rows != 110 {
+		t.Fatalf("rows = %d, want 110", g.Rows)
+	}
+	if got := g.Capacity(ColCLB) * LUTsPerCLB; got != 79200 {
+		t.Fatalf("CLB LUT capacity = %d, want 79200", got)
+	}
+	if got := g.Capacity(ColDSP); got != 580 {
+		t.Fatalf("DSP capacity = %d", got)
+	}
+	if got := g.Capacity(ColBRAM); got != 120 {
+		t.Fatalf("BRAM capacity = %d", got)
+	}
+	// Site positions stay within the block bounds.
+	for _, col := range g.ColumnsOfKind(ColDSP) {
+		n := g.SitesInColumn(col)
+		for _, idx := range []int{0, n / 2, n - 1} {
+			x, y := g.SitePos(Site{Kind: ColDSP, Col: col, Idx: idx})
+			if x != float64(col) || y < 0 || y > float64(g.Rows) {
+				t.Fatalf("site (%d,%d) at (%v,%v) out of bounds", col, idx, x, y)
+			}
+		}
+	}
+}
+
+func TestNearestSite(t *testing.T) {
+	d := XCVU37P()
+	g := NewGrid(d.BlockShape())
+	s, err := g.NearestSite(ColBRAM, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Idx != 0 {
+		t.Fatalf("nearest BRAM site at bottom should have idx 0, got %d", s.Idx)
+	}
+	s, err = g.NearestSite(ColCLB, 3.2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Idx != g.SitesInColumn(s.Col)-1 {
+		t.Fatal("y overflow should clamp to top site")
+	}
+	if _, err := (&Grid{Shape: BlockShape{Rows: 1}}).NearestSite(ColDSP, 0, 0); err == nil {
+		t.Fatal("empty grid should error")
+	}
+}
+
+func TestXCVU9PBlockIdenticalToVU37P(t *testing.T) {
+	big := XCVU37P()
+	small := XCVU9P()
+	if small.NumBlocks() != 9 {
+		t.Fatalf("VU9P blocks = %d, want 9", small.NumBlocks())
+	}
+	// The homogeneous abstraction across a heterogeneous cluster: both
+	// devices must expose byte-identical block shapes.
+	bs, ss := big.BlockShape(), small.BlockShape()
+	if bs.Rows != ss.Rows || len(bs.Columns) != len(ss.Columns) {
+		t.Fatalf("block geometry differs: %d×%d vs %d×%d cols×rows",
+			len(bs.Columns), bs.Rows, len(ss.Columns), ss.Rows)
+	}
+	for i := range bs.Columns {
+		if bs.Columns[i] != ss.Columns[i] {
+			t.Fatalf("column %d differs: %+v vs %+v", i, bs.Columns[i], ss.Columns[i])
+		}
+	}
+	if big.BlockResources() != small.BlockResources() {
+		t.Fatal("block resources differ across device types")
+	}
+}
+
+func TestXCVU9PTotalsMatchRealPart(t *testing.T) {
+	d := XCVU9P()
+	total := d.TotalResources()
+	if total.LUTs != 1182240 {
+		t.Fatalf("VU9P LUTs = %d, want 1182240", total.LUTs)
+	}
+	if total.DSPs != 6840 {
+		t.Fatalf("VU9P DSPs = %d, want 6840", total.DSPs)
+	}
+	if mb := total.BRAMMb(); mb < 75.5 || mb > 76.2 {
+		t.Fatalf("VU9P BRAM = %.2f Mb, want ≈75.9", mb)
+	}
+	if err := d.CheckPartition(d.BlocksPerDie); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package hls
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the intermediate representations of the synthesis
+// front end (Fig. 3b): the control data-flow graph (CDFG), whose nodes are
+// loop-level basic blocks, and the flat data-flow graph (DFG). The paper
+// considers partitioning at either level and rejects both in favour of the
+// netlist level (Section 3.3); these IRs exist on the lowering path and
+// back the partition-level ablation study.
+
+// BasicBlock is one CDFG node: the operators executing under one loop label.
+type BasicBlock struct {
+	Loop string
+	Ops  []OpID
+}
+
+// CDFG is the control data-flow graph of a design.
+type CDFG struct {
+	Design *Design
+	Blocks []BasicBlock
+	// Edges are control/dataflow successors between blocks, by index into
+	// Blocks, with accumulated connection widths.
+	Edges map[[2]int]int
+}
+
+// BuildCDFG groups a design's operators by loop label and derives
+// inter-block edges from the dataflow connections.
+func BuildCDFG(d *Design) (*CDFG, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	byLoop := map[string][]OpID{}
+	var loops []string
+	for _, op := range d.Ops {
+		if _, seen := byLoop[op.Loop]; !seen {
+			loops = append(loops, op.Loop)
+		}
+		byLoop[op.Loop] = append(byLoop[op.Loop], op.ID)
+	}
+	sort.Strings(loops)
+	g := &CDFG{Design: d, Edges: map[[2]int]int{}}
+	blockOf := map[string]int{}
+	for i, loop := range loops {
+		blockOf[loop] = i
+		g.Blocks = append(g.Blocks, BasicBlock{Loop: loop, Ops: byLoop[loop]})
+	}
+	for _, c := range d.Conns {
+		a := blockOf[d.Ops[c.From].Loop]
+		b := blockOf[d.Ops[c.To].Loop]
+		if a != b {
+			g.Edges[[2]int{a, b}] += c.Width
+		}
+	}
+	return g, nil
+}
+
+// DFGNode is one node of the flat data-flow graph. Its resource estimate is
+// deliberately coarse (the paper's argument for netlist-level partitioning
+// is that CDFG/DFG-level estimates are inaccurate): the estimate rounds the
+// true budget to estimation granules.
+type DFGNode struct {
+	Op OpID
+	// EstLUTs is the DFG-level resource estimate used by the ablation
+	// partitioner; it differs from the exact netlist count.
+	EstLUTs int
+}
+
+// DFG is the flat data-flow graph.
+type DFG struct {
+	Design *Design
+	Nodes  []DFGNode
+	// Edges mirror the design connections.
+	Edges []Conn
+}
+
+// estGranule is the rounding granule of DFG-level resource estimation.
+const estGranule = 4096
+
+// BuildDFG flattens the design into a DFG with coarse resource estimates.
+func BuildDFG(d *Design) (*DFG, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	g := &DFG{Design: d, Edges: d.Conns}
+	for _, op := range d.Ops {
+		est := (op.Budget.LUTs + estGranule - 1) / estGranule * estGranule
+		if est == 0 && (op.Budget.DSPs > 0 || op.Budget.BRAMs > 0) {
+			est = estGranule
+		}
+		g.Nodes = append(g.Nodes, DFGNode{Op: op.ID, EstLUTs: est})
+	}
+	return g, nil
+}
+
+// TopoBlocks returns CDFG block indices in dataflow order; cycles (from
+// iterative workloads) are broken at the lowest-index back edge.
+func (g *CDFG) TopoBlocks() []int {
+	n := len(g.Blocks)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for e := range g.Edges {
+		succ[e[0]] = append(succ[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	for len(order) < n {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if !used[i] && indeg[i] == 0 {
+				picked = i
+				break
+			}
+		}
+		if picked == -1 {
+			// Cycle: break it at the first unused block.
+			for i := 0; i < n; i++ {
+				if !used[i] {
+					picked = i
+					break
+				}
+			}
+		}
+		used[picked] = true
+		order = append(order, picked)
+		for _, s := range succ[picked] {
+			indeg[s]--
+		}
+	}
+	return order
+}
+
+// String summarizes the CDFG.
+func (g *CDFG) String() string {
+	return fmt.Sprintf("CDFG(%s): %d blocks, %d edges", g.Design.Name, len(g.Blocks), len(g.Edges))
+}

@@ -1,0 +1,27 @@
+package hls_test
+
+import (
+	"fmt"
+
+	"vital/internal/hls"
+)
+
+// Describe a two-stage accelerator against the Programming Layer and
+// synthesize it into the primitive netlist the partitioner consumes.
+func Example() {
+	d := hls.NewDesign("edge-detect")
+	in := d.AddOp(hls.OpInput, "camera", "io", hls.Budget{})
+	conv := d.AddOp(hls.OpConv, "sobel", "l1", hls.Budget{LUTs: 1200, DFFs: 1800, DSPs: 9, BRAMs: 4})
+	th := d.AddOp(hls.OpActivation, "threshold", "l2", hls.Budget{LUTs: 300, DFFs: 300})
+	out := d.AddOp(hls.OpOutput, "stream", "io", hls.Budget{})
+	d.Connect(in, conv, 64)
+	d.Connect(conv, th, 128)
+	d.Connect(th, out, 8)
+
+	res, err := hls.Synthesize(d)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Netlist.Resources())
+	// Output: 1.5k LUT, 2.1k DFF, 9 DSP, 0.14 Mb BRAM
+}

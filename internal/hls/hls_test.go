@@ -1,0 +1,210 @@
+package hls
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vital/internal/netlist"
+)
+
+// smallCNN builds a toy two-layer design used across tests.
+func smallCNN() *Design {
+	d := NewDesign("smallcnn")
+	in := d.AddOp(OpInput, "in", "io", Budget{})
+	conv := d.AddOp(OpConv, "conv1", "layer1", Budget{LUTs: 400, DFFs: 800, DSPs: 8, BRAMs: 4})
+	act := d.AddOp(OpActivation, "relu1", "layer1", Budget{LUTs: 64, DFFs: 64})
+	fc := d.AddOp(OpFC, "fc1", "layer2", Budget{LUTs: 300, DFFs: 500, DSPs: 4, BRAMs: 2})
+	out := d.AddOp(OpOutput, "out", "io", Budget{})
+	d.Connect(in, conv, 64)
+	d.Connect(conv, act, 256)
+	d.Connect(act, fc, 256)
+	d.Connect(fc, out, 64)
+	return d
+}
+
+func TestDesignValidate(t *testing.T) {
+	d := smallCNN()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewDesign("bad")
+	a := bad.AddOp(OpConv, "a", "l", Budget{LUTs: 1})
+	bad.Connect(a, OpID(99), 8)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted out-of-range connection")
+	}
+	bad2 := NewDesign("bad2")
+	b := bad2.AddOp(OpConv, "b", "l", Budget{LUTs: 1})
+	bad2.Connect(b, b, 8)
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("accepted self connection")
+	}
+}
+
+func TestSynthesizeMatchesBudgetExactly(t *testing.T) {
+	d := smallCNN()
+	res, err := Synthesize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Netlist.Resources()
+	want := d.TotalBudget().Resources()
+	if got != want {
+		t.Fatalf("netlist resources %+v != design budget %+v", got, want)
+	}
+}
+
+func TestSynthesizeNetlistIsValid(t *testing.T) {
+	res, err := Synthesize(smallCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Netlist.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// One lowered record per op, with sane cell ranges.
+	if len(res.Ops) != 5 {
+		t.Fatalf("lowered ops = %d", len(res.Ops))
+	}
+	for _, lo := range res.Ops {
+		if lo.First > lo.Last {
+			t.Fatalf("op %d: bad cell range [%d,%d)", lo.Op, lo.First, lo.Last)
+		}
+		if lo.InCell < lo.First || lo.InCell >= lo.Last || lo.OutCell < lo.First || lo.OutCell >= lo.Last {
+			t.Fatalf("op %d: interface cells outside own range", lo.Op)
+		}
+	}
+}
+
+func TestSynthesizeConnectivity(t *testing.T) {
+	d := smallCNN()
+	res, err := Synthesize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All op macros plus the connections must form a single connected
+	// component (the design graph is connected).
+	_, count := res.Netlist.ConnectedComponents()
+	if count != 1 {
+		t.Fatalf("netlist has %d connected components, want 1", count)
+	}
+}
+
+func TestLowerOpZeroBudgetMakesIOPad(t *testing.T) {
+	d := NewDesign("io")
+	d.AddOp(OpInput, "in", "io", Budget{})
+	res, err := Synthesize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Netlist.CountKind(netlist.KindIO) != 1 {
+		t.Fatal("zero-budget op did not lower to an IO pad")
+	}
+}
+
+func TestLowerOpBRAMOnlyBudget(t *testing.T) {
+	d := NewDesign("mem")
+	d.AddOp(OpBuffer, "buf", "l", Budget{BRAMs: 3})
+	res, err := Synthesize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Netlist.CountKind(netlist.KindBRAM); got != 3 {
+		t.Fatalf("BRAM count = %d", got)
+	}
+	if err := res.Netlist.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCDFGGroupsByLoop(t *testing.T) {
+	g, err := BuildCDFG(smallCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 3 { // io, layer1, layer2
+		t.Fatalf("CDFG blocks = %d, want 3", len(g.Blocks))
+	}
+	// layer1 → layer2 edge must carry the 256-bit connection.
+	found := false
+	for e, w := range g.Edges {
+		a, b := g.Blocks[e[0]].Loop, g.Blocks[e[1]].Loop
+		if a == "layer1" && b == "layer2" && w == 256 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing layer1→layer2 edge: %v", g.Edges)
+	}
+}
+
+func TestTopoBlocksCoversAllBlocks(t *testing.T) {
+	g, err := BuildCDFG(smallCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := g.TopoBlocks()
+	if len(order) != len(g.Blocks) {
+		t.Fatalf("topo order %v misses blocks", order)
+	}
+	seen := map[int]bool{}
+	for _, b := range order {
+		if seen[b] {
+			t.Fatalf("duplicate block %d in order", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestBuildDFGEstimatesAreCoarse(t *testing.T) {
+	d := smallCNN()
+	g, err := BuildDFG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range g.Nodes {
+		exact := d.Ops[i].Budget.LUTs
+		if exact == 0 && d.Ops[i].Budget.DSPs == 0 && d.Ops[i].Budget.BRAMs == 0 {
+			continue
+		}
+		if node.EstLUTs < exact {
+			t.Fatalf("op %d: DFG estimate %d below exact %d", i, node.EstLUTs, exact)
+		}
+		if node.EstLUTs%estGranule != 0 {
+			t.Fatalf("op %d: estimate %d not granule-aligned", i, node.EstLUTs)
+		}
+	}
+}
+
+// Property: for random designs, synthesis yields a valid netlist whose
+// resources equal the budget exactly.
+func TestQuickSynthesizeBudgetExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDesign("rand")
+		nOps := 2 + rng.Intn(6)
+		for i := 0; i < nOps; i++ {
+			d.AddOp(OpConv, "op", "loop", Budget{
+				LUTs:  rng.Intn(500),
+				DFFs:  rng.Intn(500),
+				DSPs:  rng.Intn(10),
+				BRAMs: rng.Intn(5),
+			})
+		}
+		for i := 1; i < nOps; i++ {
+			d.Connect(OpID(i-1), OpID(i), 1+rng.Intn(128))
+		}
+		res, err := Synthesize(d)
+		if err != nil {
+			return false
+		}
+		if res.Netlist.Check() != nil {
+			return false
+		}
+		return res.Netlist.Resources() == d.TotalBudget().Resources()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package hls
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON design interchange: the Programming Layer's on-disk form, so users
+// can feed their own accelerator descriptions to the stack (cmd/vitalcompile)
+// without writing Go. Operators reference each other by name.
+//
+//	{
+//	  "name": "mydesign",
+//	  "ops": [
+//	    {"name": "in",    "kind": "input", "loop": "io"},
+//	    {"name": "conv1", "kind": "conv",  "loop": "l1",
+//	     "luts": 20000, "dffs": 20000, "dsps": 40, "brams": 70},
+//	    {"name": "out",   "kind": "output", "loop": "io"}
+//	  ],
+//	  "conns": [
+//	    {"from": "in",    "to": "conv1", "width": 128},
+//	    {"from": "conv1", "to": "out",   "width": 128}
+//	  ]
+//	}
+
+type jsonOp struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Loop  string `json:"loop"`
+	LUTs  int    `json:"luts"`
+	DFFs  int    `json:"dffs"`
+	DSPs  int    `json:"dsps"`
+	BRAMs int    `json:"brams"`
+}
+
+type jsonConn struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Width int    `json:"width"`
+}
+
+type jsonDesign struct {
+	Name  string     `json:"name"`
+	Ops   []jsonOp   `json:"ops"`
+	Conns []jsonConn `json:"conns"`
+}
+
+// opKindFromString maps the JSON kind names onto operator kinds.
+func opKindFromString(s string) (OpKind, error) {
+	kinds := map[string]OpKind{
+		"input": OpInput, "output": OpOutput, "conv": OpConv, "fc": OpFC,
+		"pool": OpPool, "activation": OpActivation, "norm": OpNorm,
+		"buffer": OpBuffer, "glue": OpGlue,
+	}
+	k, ok := kinds[s]
+	if !ok {
+		return 0, fmt.Errorf("hls: unknown op kind %q", s)
+	}
+	return k, nil
+}
+
+// LoadDesignJSON reads a design from its JSON interchange form and
+// validates it.
+func LoadDesignJSON(r io.Reader) (*Design, error) {
+	var jd jsonDesign
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("hls: decoding design: %w", err)
+	}
+	if jd.Name == "" {
+		return nil, fmt.Errorf("hls: design needs a name")
+	}
+	if len(jd.Ops) == 0 {
+		return nil, fmt.Errorf("hls: design %q has no operators", jd.Name)
+	}
+	d := NewDesign(jd.Name)
+	byName := map[string]OpID{}
+	for _, op := range jd.Ops {
+		if op.Name == "" {
+			return nil, fmt.Errorf("hls: design %q: operator without a name", jd.Name)
+		}
+		if _, dup := byName[op.Name]; dup {
+			return nil, fmt.Errorf("hls: design %q: duplicate operator %q", jd.Name, op.Name)
+		}
+		kind, err := opKindFromString(op.Kind)
+		if err != nil {
+			return nil, err
+		}
+		loop := op.Loop
+		if loop == "" {
+			loop = op.Name
+		}
+		byName[op.Name] = d.AddOp(kind, op.Name, loop, Budget{
+			LUTs: op.LUTs, DFFs: op.DFFs, DSPs: op.DSPs, BRAMs: op.BRAMs,
+		})
+	}
+	for i, c := range jd.Conns {
+		from, ok := byName[c.From]
+		if !ok {
+			return nil, fmt.Errorf("hls: design %q: connection %d references unknown op %q", jd.Name, i, c.From)
+		}
+		to, ok := byName[c.To]
+		if !ok {
+			return nil, fmt.Errorf("hls: design %q: connection %d references unknown op %q", jd.Name, i, c.To)
+		}
+		d.Connect(from, to, c.Width)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SaveDesignJSON writes a design in its JSON interchange form.
+func SaveDesignJSON(w io.Writer, d *Design) error {
+	jd := jsonDesign{Name: d.Name}
+	kindNames := map[OpKind]string{
+		OpInput: "input", OpOutput: "output", OpConv: "conv", OpFC: "fc",
+		OpPool: "pool", OpActivation: "activation", OpNorm: "norm",
+		OpBuffer: "buffer", OpGlue: "glue",
+	}
+	for _, op := range d.Ops {
+		jd.Ops = append(jd.Ops, jsonOp{
+			Name: op.Name, Kind: kindNames[op.Kind], Loop: op.Loop,
+			LUTs: op.Budget.LUTs, DFFs: op.Budget.DFFs, DSPs: op.Budget.DSPs, BRAMs: op.Budget.BRAMs,
+		})
+	}
+	for _, c := range d.Conns {
+		jd.Conns = append(jd.Conns, jsonConn{From: d.Ops[c.From].Name, To: d.Ops[c.To].Name, Width: c.Width})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jd)
+}

@@ -1,0 +1,83 @@
+package hls
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "demo",
+  "ops": [
+    {"name": "in", "kind": "input", "loop": "io"},
+    {"name": "conv1", "kind": "conv", "loop": "l1", "luts": 400, "dffs": 800, "dsps": 8, "brams": 4},
+    {"name": "out", "kind": "output", "loop": "io"}
+  ],
+  "conns": [
+    {"from": "in", "to": "conv1", "width": 128},
+    {"from": "conv1", "to": "out", "width": 64}
+  ]
+}`
+
+func TestLoadDesignJSON(t *testing.T) {
+	d, err := LoadDesignJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "demo" || len(d.Ops) != 3 || len(d.Conns) != 2 {
+		t.Fatalf("design = %+v", d)
+	}
+	if d.Ops[1].Budget.DSPs != 8 {
+		t.Fatalf("budget = %+v", d.Ops[1].Budget)
+	}
+	// The loaded design synthesizes.
+	res, err := Synthesize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Netlist.Resources(); got != d.TotalBudget().Resources() {
+		t.Fatalf("resources %+v", got)
+	}
+}
+
+func TestLoadDesignJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{}`, // no name
+		`{"name":"x"}`,
+		`{"name":"x","ops":[{"name":"a","kind":"warp"}]}`,
+		`{"name":"x","ops":[{"kind":"conv"}]}`,
+		`{"name":"x","ops":[{"name":"a","kind":"conv"},{"name":"a","kind":"conv"}]}`,
+		`{"name":"x","ops":[{"name":"a","kind":"conv"}],"conns":[{"from":"a","to":"ghost"}]}`,
+		`{"name":"x","ops":[{"name":"a","kind":"conv"}],"conns":[{"from":"ghost","to":"a"}]}`,
+		`{"name":"x","unknown_field":1,"ops":[{"name":"a","kind":"conv"}]}`,
+		`{"name":"x","ops":[{"name":"a","kind":"conv","luts":-5}]}`,
+	}
+	for i, src := range cases {
+		if _, err := LoadDesignJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := LoadDesignJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDesignJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDesignJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.Ops) != len(orig.Ops) || len(got.Conns) != len(orig.Conns) {
+		t.Fatal("round trip changed the design")
+	}
+	for i := range orig.Ops {
+		if got.Ops[i].Budget != orig.Ops[i].Budget || got.Ops[i].Kind != orig.Ops[i].Kind {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package hls is the high-level-synthesis front end of the compilation
+// layer (Section 3.3, step 1 "Synthesis"). It stands in for the Vivado
+// front end the paper reuses: applications are expressed as operator
+// graphs (the Programming Layer's view), lowered through a control
+// data-flow graph (CDFG) and a data-flow graph (DFG), and finally
+// technology-mapped into a primitive netlist (internal/netlist) — the
+// representation the ViTAL partitioner consumes.
+package hls
+
+import (
+	"fmt"
+
+	"vital/internal/netlist"
+)
+
+// OpKind classifies a dataflow operator. The set covers the DNN accelerator
+// structures produced by DNNWeaver-style generators (the paper's benchmark
+// generator) plus generic streaming operators.
+type OpKind uint8
+
+// Operator kinds.
+const (
+	// OpInput is an external input stream.
+	OpInput OpKind = iota
+	// OpOutput is an external output stream.
+	OpOutput
+	// OpConv is a 2-D convolution layer (PE array + line buffers).
+	OpConv
+	// OpFC is a fully-connected (matrix-vector) layer.
+	OpFC
+	// OpPool is a pooling layer.
+	OpPool
+	// OpActivation is an element-wise non-linearity.
+	OpActivation
+	// OpNorm is a normalization layer.
+	OpNorm
+	// OpBuffer is an on-chip staging buffer (BRAM backed).
+	OpBuffer
+	// OpGlue is pipeline/balancing logic (registers and small LUT logic)
+	// inserted by the generator to match a resource budget.
+	OpGlue
+)
+
+// String names the operator kind.
+func (k OpKind) String() string {
+	names := [...]string{"input", "output", "conv", "fc", "pool", "activation", "norm", "buffer", "glue"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// OpID indexes an operator within a Design.
+type OpID int
+
+// Budget is the resource budget of a single operator: how much fabric its
+// hardware expansion must occupy. The lowering stage (lower.go) materializes
+// the budget exactly, so netlist-level resource accounting is precise — the
+// property that motivates netlist-level partitioning in the paper.
+type Budget struct {
+	LUTs  int
+	DFFs  int
+	DSPs  int
+	BRAMs int // BRAM36 primitives (36 Kb each)
+}
+
+// Resources converts the budget to the common resource vector.
+func (b Budget) Resources() netlist.Resources {
+	return netlist.Resources{LUTs: b.LUTs, DFFs: b.DFFs, DSPs: b.DSPs, BRAMKb: b.BRAMs * netlist.BRAMKb}
+}
+
+// Add returns the element-wise sum of two budgets.
+func (b Budget) Add(o Budget) Budget {
+	return Budget{b.LUTs + o.LUTs, b.DFFs + o.DFFs, b.DSPs + o.DSPs, b.BRAMs + o.BRAMs}
+}
+
+// Op is one operator in a design.
+type Op struct {
+	ID     OpID
+	Kind   OpKind
+	Name   string
+	Budget Budget
+	// Loop is the loop-nest label the operator executes under; operators
+	// sharing a label form one CDFG basic block (e.g. one network layer).
+	Loop string
+}
+
+// Conn is a dataflow connection between two operators.
+type Conn struct {
+	From, To OpID
+	// Width is the connection width in bits; it becomes the net width in
+	// the lowered netlist and ultimately the demand on the
+	// latency-insensitive channel if the edge is cut by the partitioner.
+	Width int
+}
+
+// Design is an application as written against the Programming Layer: a
+// graph of operators. The user targets the single-large-FPGA illusion and
+// never mentions devices, dies or blocks.
+type Design struct {
+	Name  string
+	Ops   []Op
+	Conns []Conn
+}
+
+// NewDesign returns an empty design.
+func NewDesign(name string) *Design { return &Design{Name: name} }
+
+// AddOp appends an operator and returns its ID.
+func (d *Design) AddOp(kind OpKind, name, loop string, b Budget) OpID {
+	id := OpID(len(d.Ops))
+	d.Ops = append(d.Ops, Op{ID: id, Kind: kind, Name: name, Budget: b, Loop: loop})
+	return id
+}
+
+// Connect adds a dataflow edge of the given bit width.
+func (d *Design) Connect(from, to OpID, width int) {
+	if width < 1 {
+		width = 1
+	}
+	d.Conns = append(d.Conns, Conn{From: from, To: to, Width: width})
+}
+
+// Budget sums the per-operator budgets.
+func (d *Design) TotalBudget() Budget {
+	var t Budget
+	for _, op := range d.Ops {
+		t = t.Add(op.Budget)
+	}
+	return t
+}
+
+// Validate checks referential integrity and basic sanity.
+func (d *Design) Validate() error {
+	n := len(d.Ops)
+	for _, c := range d.Conns {
+		if int(c.From) >= n || int(c.To) >= n || c.From < 0 || c.To < 0 {
+			return fmt.Errorf("hls: design %s: connection %d→%d out of range", d.Name, c.From, c.To)
+		}
+		if c.From == c.To {
+			return fmt.Errorf("hls: design %s: self connection on op %d", d.Name, c.From)
+		}
+	}
+	for i, op := range d.Ops {
+		if op.ID != OpID(i) {
+			return fmt.Errorf("hls: design %s: op %d has ID %d", d.Name, i, op.ID)
+		}
+		b := op.Budget
+		if b.LUTs < 0 || b.DFFs < 0 || b.DSPs < 0 || b.BRAMs < 0 {
+			return fmt.Errorf("hls: design %s: op %s has negative budget", d.Name, op.Name)
+		}
+	}
+	return nil
+}

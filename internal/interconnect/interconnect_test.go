@@ -1,0 +1,510 @@
+package interconnect
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(Params{}); err == nil {
+		t.Fatal("accepted zero params")
+	}
+	// Elided buffers off-chip are illegal (latency is not deterministic).
+	p := DefaultParams(InterFPGA)
+	p.FIFODepth = 0
+	if _, err := New(p); !errors.Is(err, ErrElidedWrongUse) {
+		t.Fatalf("err = %v, want ErrElidedWrongUse", err)
+	}
+}
+
+func TestTokensTraverseWithConfiguredLatency(t *testing.T) {
+	for _, class := range []LinkClass{InterDie, InterFPGA} {
+		p := DefaultParams(class)
+		ch, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.Push(Token{Seq: 7}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < p.LatencyCycles-1; i++ {
+			ch.Step()
+			if ch.CanPop() {
+				t.Fatalf("%v: token arrived after %d cycles, latency is %d", class, i+1, p.LatencyCycles)
+			}
+		}
+		ch.Step()
+		got, ok := ch.Pop()
+		if !ok || got.Seq != 7 {
+			t.Fatalf("%v: token missing after latency", class)
+		}
+	}
+}
+
+func TestBackPressureGatesProducerWithoutLoss(t *testing.T) {
+	p := DefaultParams(InterDie)
+	p.FIFODepth = 4
+	ch, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := uint64(0)
+	// Producer pushes every cycle it is enabled; consumer never pops.
+	for cycle := 0; cycle < 100; cycle++ {
+		if ch.CanPush() {
+			if err := ch.Push(Token{Seq: pushed}); err != nil {
+				t.Fatal(err)
+			}
+			pushed++
+		}
+		ch.Step()
+	}
+	if pushed != uint64(p.FIFODepth) {
+		t.Fatalf("pushed %d tokens, credits should cap at FIFO depth %d", pushed, p.FIFODepth)
+	}
+	// Draining recovers every token in order.
+	for i := uint64(0); i < pushed; i++ {
+		got, ok := ch.Pop()
+		if !ok || got.Seq != i {
+			t.Fatalf("drain: got %+v ok=%v want seq %d", got, ok, i)
+		}
+	}
+}
+
+func TestPushWithoutCreditFails(t *testing.T) {
+	p := DefaultParams(InterDie)
+	p.FIFODepth = 1
+	ch, _ := New(p)
+	if err := ch.Push(Token{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Push(Token{}); !errors.Is(err, ErrNoCredit) {
+		t.Fatalf("err = %v, want ErrNoCredit", err)
+	}
+}
+
+// Property: under random producer/consumer stalls, no token is lost,
+// duplicated or reordered.
+func TestQuickNoLossNoReorderUnderStalls(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := DefaultParams(InterDie)
+		p.FIFODepth = 1 + rng.Intn(8)
+		p.LatencyCycles = rng.Intn(6)
+		ch, err := New(p)
+		if err != nil {
+			return false
+		}
+		const N = 200
+		var sent, recv uint64
+		next := uint64(0)
+		for cycle := 0; cycle < 20000 && recv < N; cycle++ {
+			if sent < N && rng.Intn(3) != 0 && ch.CanPush() {
+				if ch.Push(Token{Seq: sent}) != nil {
+					return false
+				}
+				sent++
+			}
+			ch.Step()
+			if rng.Intn(3) != 0 {
+				if tok, ok := ch.Pop(); ok {
+					if tok.Seq != next {
+						return false // reorder or duplicate
+					}
+					next++
+					recv++
+				}
+			}
+		}
+		return recv == N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElidedChannelDeliversOnSchedule(t *testing.T) {
+	p := DefaultParams(IntraDie)
+	ch, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Elided() {
+		t.Fatal("intra-die default should elide buffers")
+	}
+	// Push one token per cycle; consumer pops exactly at arrival: full
+	// throughput with no BRAM buffering.
+	for i := 0; i < 50; i++ {
+		if err := ch.Push(Token{Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ch.Step()
+		if i >= p.LatencyCycles-1 {
+			tok, ok := ch.Pop()
+			if !ok {
+				t.Fatalf("cycle %d: scheduled arrival missing", i)
+			}
+			want := uint64(i - (p.LatencyCycles - 1))
+			if tok.Seq != want {
+				t.Fatalf("cycle %d: seq %d, want %d", i, tok.Seq, want)
+			}
+		}
+	}
+}
+
+func TestElidedChannelElasticBackpressure(t *testing.T) {
+	p := DefaultParams(IntraDie)
+	ch, _ := New(p)
+	// Producer streams but the consumer stalls: the elastic pipeline
+	// absorbs LatencyCycles+2 tokens in its wire registers, then the
+	// clock-enable gates the producer. Nothing is lost.
+	pushed := 0
+	for i := 0; i < 20; i++ {
+		if ch.CanPush() {
+			if err := ch.Push(Token{Seq: uint64(pushed)}); err != nil {
+				t.Fatal(err)
+			}
+			pushed++
+		}
+		ch.Step()
+	}
+	if pushed != p.LatencyCycles+2 {
+		t.Fatalf("pushed %d, elastic capacity should be %d", pushed, p.LatencyCycles+2)
+	}
+	for i := 0; i < pushed; i++ {
+		for !ch.CanPop() {
+			ch.Step()
+		}
+		tok, _ := ch.Pop()
+		if tok.Seq != uint64(i) {
+			t.Fatalf("token %d out of order (seq %d)", i, tok.Seq)
+		}
+	}
+}
+
+func TestActorPipelineCompletes(t *testing.T) {
+	// src -> mid -> dst over inter-die and inter-FPGA channels.
+	c1, _ := New(DefaultParams(InterDie))
+	c2, _ := New(DefaultParams(InterFPGA))
+	src := &Actor{Name: "src", Outs: []*Channel{c1}, Work: 500}
+	mid := &Actor{Name: "mid", Ins: []*Channel{c1}, Outs: []*Channel{c2}, Work: 500}
+	dst := &Actor{Name: "dst", Ins: []*Channel{c2}, Work: 500}
+	sys := &System{Actors: []*Actor{src, mid, dst}, Channels: []*Channel{c1, c2}}
+	if _, err := sys.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Fired() != 500 {
+		t.Fatalf("dst fired %d, want 500", dst.Fired())
+	}
+	if !sys.AllDone() {
+		t.Fatal("bounded actors not done")
+	}
+}
+
+func TestCyclicSystemDeadlocksWithoutPriming(t *testing.T) {
+	// a -> b -> a with empty buffers: classic deadlock.
+	p := DefaultParams(InterDie)
+	ab, _ := New(p)
+	ba, _ := New(p)
+	a := &Actor{Name: "a", Ins: []*Channel{ba}, Outs: []*Channel{ab}, Work: 10}
+	b := &Actor{Name: "b", Ins: []*Channel{ab}, Outs: []*Channel{ba}, Work: 10}
+	sys := &System{Actors: []*Actor{a, b}, Channels: []*Channel{ab, ba}}
+	_, err := sys.Run(100_000)
+	var dl *ErrDeadlock
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestPrimingAvoidsDeadlock(t *testing.T) {
+	// Same cycle, but one buffer initialized per Section 3.5.1.
+	p := DefaultParams(InterDie)
+	ab, _ := New(p)
+	ba, _ := New(p)
+	if err := ba.Prime(1); err != nil {
+		t.Fatal(err)
+	}
+	a := &Actor{Name: "a", Ins: []*Channel{ba}, Outs: []*Channel{ab}, Work: 10}
+	b := &Actor{Name: "b", Ins: []*Channel{ab}, Outs: []*Channel{ba}, Work: 10}
+	sys := &System{Actors: []*Actor{a, b}, Channels: []*Channel{ab, ba}}
+	if _, err := sys.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.AllDone() {
+		t.Fatal("primed cycle did not complete")
+	}
+}
+
+func TestPrimeRespectsCapacity(t *testing.T) {
+	p := DefaultParams(InterDie)
+	p.FIFODepth = 2
+	ch, _ := New(p)
+	if err := ch.Prime(3); !errors.Is(err, ErrNoCredit) {
+		t.Fatalf("err = %v, want ErrNoCredit", err)
+	}
+}
+
+func TestTable4Bandwidths(t *testing.T) {
+	rows, err := Table4(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		var wantGbps float64
+		switch r.Class {
+		case InterFPGA:
+			wantGbps = 100
+		case InterDie:
+			wantGbps = 312.5
+		}
+		if math.Abs(r.PeakGbps-wantGbps) > 0.1 {
+			t.Fatalf("%v: peak %.2f Gb/s, want %.1f (Table 4)", r.Class, r.PeakGbps, wantGbps)
+		}
+		// The latency-insensitive interface must achieve ≥99% of peak
+		// under saturating traffic (deep-enough credits).
+		if r.Gbps < 0.99*wantGbps {
+			t.Fatalf("%v: measured %.2f Gb/s under saturation, peak %.1f", r.Class, r.Gbps, wantGbps)
+		}
+		if r.LatencyNs <= 0 {
+			t.Fatalf("%v: non-positive latency", r.Class)
+		}
+	}
+	// Inter-FPGA latency must far exceed inter-die.
+	if rows[0].LatencyNs < 20*rows[1].LatencyNs {
+		t.Fatalf("inter-FPGA latency %.1f ns should dwarf inter-die %.1f ns", rows[0].LatencyNs, rows[1].LatencyNs)
+	}
+}
+
+func TestMeasureLatencyMatchesParams(t *testing.T) {
+	for _, class := range []LinkClass{InterDie, InterFPGA} {
+		got, err := MeasureLatency(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DefaultParams(class).MinLatencyNs()
+		if math.Abs(got-want) > 0.01*want+1e-9 {
+			t.Fatalf("%v: latency %.2f ns, want %.2f", class, got, want)
+		}
+	}
+}
+
+func TestGatedCyclesCounted(t *testing.T) {
+	// A consumer with no producer is gated every cycle.
+	ch, _ := New(DefaultParams(InterDie))
+	dst := &Actor{Name: "dst", Ins: []*Channel{ch}, Work: 1}
+	sys := &System{Actors: []*Actor{dst}, Channels: []*Channel{ch}}
+	for i := 0; i < 10; i++ {
+		if _, err := sys.StepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.Gated != 10 {
+		t.Fatalf("gated cycles = %d, want 10", dst.Gated)
+	}
+}
+
+func TestRingContentionCapsAggregateBandwidth(t *testing.T) {
+	// Two tenants each own an inter-FPGA channel in the same ring
+	// direction; one slot per cycle means they share 100 Gb/s fairly.
+	ring, err := NewRing(RingBitsPerCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := New(DefaultParams(InterFPGA))
+	c2, _ := New(DefaultParams(InterFPGA))
+	if err := ring.Attach(c1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Attach(c2, true); err != nil {
+		t.Fatal(err)
+	}
+	const work = 1000
+	src1 := &Actor{Name: "s1", Outs: []*Channel{c1}, Work: work}
+	src2 := &Actor{Name: "s2", Outs: []*Channel{c2}, Work: work}
+	dst1 := &Actor{Name: "d1", Ins: []*Channel{c1}, Work: work}
+	dst2 := &Actor{Name: "d2", Ins: []*Channel{c2}, Work: work}
+	sys := &System{
+		Actors:   []*Actor{src1, src2, dst1, dst2},
+		Channels: []*Channel{c1, c2},
+		Rings:    []*Ring{ring},
+	}
+	cycles, err := sys.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.AllDone() {
+		t.Fatal("work incomplete")
+	}
+	// 2000 flits through a 1-flit/cycle medium: ≥2000 cycles; fair
+	// round-robin should be close to exactly 2× the solo time.
+	if cycles < 2*work {
+		t.Fatalf("2 tenants × %d flits finished in %d cycles — ring cap not enforced", work, cycles)
+	}
+	if cycles > 2*work+500 {
+		t.Fatalf("ring arbitration too slow: %d cycles", cycles)
+	}
+	// Fairness: both channels moved the same number of flits.
+	if c1.Popped != c2.Popped {
+		t.Fatalf("unfair ring: %d vs %d flits", c1.Popped, c2.Popped)
+	}
+}
+
+func TestRingOppositeDirectionsDontContend(t *testing.T) {
+	ring, _ := NewRing(RingBitsPerCycle)
+	c1, _ := New(DefaultParams(InterFPGA))
+	c2, _ := New(DefaultParams(InterFPGA))
+	_ = ring.Attach(c1, true)
+	_ = ring.Attach(c2, false) // counter-clockwise: own budget
+	const work = 1000
+	src1 := &Actor{Name: "s1", Outs: []*Channel{c1}, Work: work}
+	src2 := &Actor{Name: "s2", Outs: []*Channel{c2}, Work: work}
+	dst1 := &Actor{Name: "d1", Ins: []*Channel{c1}, Work: work}
+	dst2 := &Actor{Name: "d2", Ins: []*Channel{c2}, Work: work}
+	sys := &System{
+		Actors:   []*Actor{src1, src2, dst1, dst2},
+		Channels: []*Channel{c1, c2},
+		Rings:    []*Ring{ring},
+	}
+	cycles, err := sys.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bidirectional ring carries both tenants at full rate.
+	if cycles > work+300 {
+		t.Fatalf("opposite directions contended: %d cycles for %d flits", cycles, work)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("accepted zero slots")
+	}
+	ring, _ := NewRing(RingBitsPerCycle)
+	intra, _ := New(DefaultParams(IntraDie))
+	if err := ring.Attach(intra, true); err == nil {
+		t.Fatal("attached an on-chip channel to the ring")
+	}
+	c, _ := New(DefaultParams(InterFPGA))
+	if err := ring.Attach(c, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Attach(c, true); err == nil {
+		t.Fatal("double attach accepted")
+	}
+}
+
+func TestPathSegments(t *testing.T) {
+	cases := []struct {
+		n, from, to int
+		want        []int
+		cw          bool
+	}{
+		{4, 0, 1, []int{0}, true},
+		{4, 0, 2, []int{0, 1}, true},
+		{4, 0, 3, []int{3}, false},
+		{4, 3, 0, []int{3}, true},
+		{4, 2, 0, []int{2, 3}, true},
+		{4, 1, 1, nil, true},
+	}
+	for _, c := range cases {
+		got, cw := PathSegments(c.n, c.from, c.to)
+		if cw != c.cw || len(got) != len(c.want) {
+			t.Fatalf("PathSegments(%d,%d,%d) = %v,%v want %v,%v", c.n, c.from, c.to, got, cw, c.want, c.cw)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("PathSegments(%d,%d,%d) = %v, want %v", c.n, c.from, c.to, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSegmentedRingDisjointPathsDontContend(t *testing.T) {
+	// Segment 0 and segment 2 carry different tenants: both run at full
+	// rate even in the same direction.
+	ring, err := NewSegmentedRing(RingBitsPerCycle, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := New(DefaultParams(InterFPGA))
+	c2, _ := New(DefaultParams(InterFPGA))
+	if err := ring.AttachPath(c1, []int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.AttachPath(c2, []int{2}, true); err != nil {
+		t.Fatal(err)
+	}
+	const work = 800
+	sys := &System{
+		Actors: []*Actor{
+			{Name: "s1", Outs: []*Channel{c1}, Work: work},
+			{Name: "s2", Outs: []*Channel{c2}, Work: work},
+			{Name: "d1", Ins: []*Channel{c1}, Work: work},
+			{Name: "d2", Ins: []*Channel{c2}, Work: work},
+		},
+		Channels: []*Channel{c1, c2},
+		Rings:    []*Ring{ring},
+	}
+	cycles, err := sys.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles > work+300 {
+		t.Fatalf("disjoint segments contended: %d cycles for %d flits", cycles, work)
+	}
+}
+
+func TestSegmentedRingSharedSegmentContends(t *testing.T) {
+	// A 2-hop channel over segments {0,1} and a 1-hop channel over {1}
+	// share segment 1: combined throughput is capped there.
+	ring, _ := NewSegmentedRing(RingBitsPerCycle, 4)
+	long, _ := New(DefaultParams(InterFPGA))
+	short, _ := New(DefaultParams(InterFPGA))
+	if err := ring.AttachPath(long, []int{0, 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.AttachPath(short, []int{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	const work = 800
+	sys := &System{
+		Actors: []*Actor{
+			{Name: "s1", Outs: []*Channel{long}, Work: work},
+			{Name: "s2", Outs: []*Channel{short}, Work: work},
+			{Name: "d1", Ins: []*Channel{long}, Work: work},
+			{Name: "d2", Ins: []*Channel{short}, Work: work},
+		},
+		Channels: []*Channel{long, short},
+		Rings:    []*Ring{ring},
+	}
+	cycles, err := sys.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles < 2*work {
+		t.Fatalf("shared segment not enforced: %d cycles for 2×%d flits", cycles, work)
+	}
+	if long.Popped != short.Popped {
+		t.Fatalf("unfair sharing: %d vs %d", long.Popped, short.Popped)
+	}
+}
+
+func TestAttachPathValidation(t *testing.T) {
+	ring, _ := NewSegmentedRing(RingBitsPerCycle, 2)
+	c, _ := New(DefaultParams(InterFPGA))
+	if err := ring.AttachPath(c, nil, true); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if err := ring.AttachPath(c, []int{5}, true); err == nil {
+		t.Fatal("out-of-range segment accepted")
+	}
+	if _, err := NewSegmentedRing(512, 0); err == nil {
+		t.Fatal("zero segments accepted")
+	}
+}

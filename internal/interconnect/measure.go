@@ -1,0 +1,86 @@
+package interconnect
+
+import "fmt"
+
+// This file implements the first benchmark of Section 5.1: synthetic
+// random/streaming traffic over the latency-insensitive interface to
+// identify the maximum bandwidth and minimum latency of the inter-FPGA and
+// inter-die connections (Table 4).
+
+// BandwidthResult is one measured row of Table 4.
+type BandwidthResult struct {
+	Class     LinkClass
+	PeakGbps  float64 // theoretical width × clock
+	Gbps      float64 // measured under saturating traffic
+	LatencyNs float64 // measured empty-channel flight time
+}
+
+// MeasureBandwidth saturates a channel of the given class for the given
+// number of cycles (producer always willing, consumer always draining) and
+// reports the achieved bandwidth.
+func MeasureBandwidth(class LinkClass, cycles uint64) (BandwidthResult, error) {
+	p := DefaultParams(class)
+	ch, err := New(p)
+	if err != nil {
+		return BandwidthResult{}, err
+	}
+	src := &Actor{Name: "src", Outs: []*Channel{ch}, Work: cycles}
+	dst := &Actor{Name: "dst", Ins: []*Channel{ch}}
+	sys := &System{Actors: []*Actor{src, dst}, Channels: []*Channel{ch}}
+	ran, err := sys.Run(cycles)
+	if err != nil {
+		return BandwidthResult{}, err
+	}
+	if ran == 0 {
+		return BandwidthResult{}, fmt.Errorf("interconnect: no cycles executed")
+	}
+	seconds := float64(ran) / (p.ClockMHz * 1e6)
+	bits := float64(ch.Popped) * float64(p.WidthBits)
+	return BandwidthResult{
+		Class:     class,
+		PeakGbps:  p.PeakGbps(),
+		Gbps:      bits / seconds / 1e9,
+		LatencyNs: p.MinLatencyNs(),
+	}, nil
+}
+
+// MeasureLatency injects a single token into an idle channel and counts
+// cycles until it becomes visible at the consumer, returning nanoseconds.
+func MeasureLatency(class LinkClass) (float64, error) {
+	p := DefaultParams(class)
+	ch, err := New(p)
+	if err != nil {
+		return 0, err
+	}
+	if err := ch.Push(Token{Seq: 1}); err != nil {
+		return 0, err
+	}
+	cycles := 0
+	for !ch.CanPop() {
+		ch.Step()
+		cycles++
+		if cycles > p.LatencyCycles+8 {
+			return 0, fmt.Errorf("interconnect: token never arrived")
+		}
+	}
+	return float64(cycles) / (p.ClockMHz * 1e6) * 1e9, nil
+}
+
+// Table4 measures every link class and returns the rows of the paper's
+// Table 4 communication-performance section.
+func Table4(cycles uint64) ([]BandwidthResult, error) {
+	var rows []BandwidthResult
+	for _, class := range []LinkClass{InterFPGA, InterDie} {
+		r, err := MeasureBandwidth(class, cycles)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := MeasureLatency(class)
+		if err != nil {
+			return nil, err
+		}
+		r.LatencyNs = lat
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

@@ -1,0 +1,122 @@
+package memvirt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Virtual Ethernet: the service region exposes one virtual NIC per
+// application, all multiplexed onto the board's physical port. Tenants can
+// only send from their own NIC and only receive frames addressed to them —
+// network isolation to match the memory isolation.
+
+// MAC is a virtual NIC address.
+type MAC [6]byte
+
+// String renders the MAC conventionally.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EthFrame is one virtual Ethernet frame.
+type EthFrame struct {
+	Src, Dst MAC
+	Payload  []byte
+}
+
+// VNIC is one application's virtual NIC.
+type VNIC struct {
+	App string
+	MAC MAC
+
+	mu    sync.Mutex
+	inbox []EthFrame
+	// Counters.
+	TxFrames, RxFrames uint64
+}
+
+// Recv pops the next received frame.
+func (v *VNIC) Recv() (EthFrame, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.inbox) == 0 {
+		return EthFrame{}, false
+	}
+	f := v.inbox[0]
+	v.inbox = v.inbox[1:]
+	return f, true
+}
+
+func (v *VNIC) deliver(f EthFrame) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.inbox = append(v.inbox, f)
+	v.RxFrames++
+}
+
+// Switch is the service region's virtual switch.
+type Switch struct {
+	mu     sync.Mutex
+	byMAC  map[MAC]*VNIC
+	byApp  map[string]*VNIC
+	nextID uint32
+}
+
+// NewSwitch returns an empty virtual switch.
+func NewSwitch() *Switch {
+	return &Switch{byMAC: map[MAC]*VNIC{}, byApp: map[string]*VNIC{}}
+}
+
+// AttachNIC creates a virtual NIC for an application with a locally
+// administered, sequentially assigned MAC.
+func (s *Switch) AttachNIC(app string) (*VNIC, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.byApp[app]; exists {
+		return nil, fmt.Errorf("memvirt: app %q already has a NIC", app)
+	}
+	s.nextID++
+	mac := MAC{0x02, 0x56, 0x54, byte(s.nextID >> 16), byte(s.nextID >> 8), byte(s.nextID)}
+	nic := &VNIC{App: app, MAC: mac}
+	s.byMAC[mac] = nic
+	s.byApp[app] = nic
+	return nic, nil
+}
+
+// DetachNIC removes an application's NIC.
+func (s *Switch) DetachNIC(app string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nic, ok := s.byApp[app]; ok {
+		delete(s.byMAC, nic.MAC)
+		delete(s.byApp, app)
+	}
+}
+
+// Errors from Send.
+var (
+	ErrSpoofedSource = errors.New("memvirt: source MAC does not belong to sender")
+	ErrUnknownDest   = errors.New("memvirt: unknown destination MAC")
+)
+
+// Send transmits a frame on behalf of app. The switch enforces that the
+// source MAC belongs to the sending application (no spoofing) and delivers
+// only to the addressed NIC.
+func (s *Switch) Send(app string, f EthFrame) error {
+	s.mu.Lock()
+	src, ok := s.byApp[app]
+	dst, dok := s.byMAC[f.Dst]
+	s.mu.Unlock()
+	if !ok || src.MAC != f.Src {
+		return ErrSpoofedSource
+	}
+	if !dok {
+		return ErrUnknownDest
+	}
+	src.mu.Lock()
+	src.TxFrames++
+	src.mu.Unlock()
+	dst.deliver(f)
+	return nil
+}

@@ -1,0 +1,321 @@
+package memvirt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newMgr(pages int) *Manager {
+	return NewManager(NewDRAM(uint64(pages)*PageBytes, 19.2))
+}
+
+func TestAllocTranslateRoundTrip(t *testing.T) {
+	m := newMgr(16)
+	if _, err := m.CreateDomain("a", 8*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	va, err := m.Alloc("a", 3*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offsets are preserved within pages, and consecutive virtual pages
+	// translate to valid (not necessarily consecutive) physical pages.
+	for off := uint64(0); off < 3*PageBytes; off += PageBytes / 2 {
+		pa, err := m.Translate("a", va+off)
+		if err != nil {
+			t.Fatalf("translate +0x%x: %v", off, err)
+		}
+		if pa%PageBytes != (va+off)%PageBytes {
+			t.Fatalf("page offset not preserved: va=0x%x pa=0x%x", va+off, pa)
+		}
+	}
+}
+
+func TestTranslateFaultsOnUnmapped(t *testing.T) {
+	m := newMgr(4)
+	if _, err := m.CreateDomain("a", 4*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Translate("a", 7*PageBytes)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want Fault", err)
+	}
+	d, _ := m.Domain("a")
+	if d.Faults != 1 {
+		t.Fatalf("fault counter = %d", d.Faults)
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	m := newMgr(16)
+	if _, err := m.CreateDomain("a", 2*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc("a", 3*PageBytes); err == nil {
+		t.Fatal("quota not enforced")
+	}
+	if _, err := m.Alloc("a", 2*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfMemoryRollsBack(t *testing.T) {
+	m := newMgr(2)
+	if _, err := m.CreateDomain("a", 100*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc("a", 3*PageBytes); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if got := m.DRAM.FreePages(); got != 2 {
+		t.Fatalf("partial allocation leaked pages: free = %d, want 2", got)
+	}
+	if err := m.CheckIsolation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestroyDomainFreesPages(t *testing.T) {
+	m := newMgr(8)
+	if _, err := m.CreateDomain("a", 8*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc("a", 5*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DestroyDomain("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DRAM.FreePages(); got != 8 {
+		t.Fatalf("free pages = %d, want 8", got)
+	}
+	if _, err := m.Translate("a", 0); err == nil {
+		t.Fatal("translation in destroyed domain succeeded")
+	}
+}
+
+func TestAccessMonitoring(t *testing.T) {
+	m := newMgr(8)
+	if _, err := m.CreateDomain("a", 8*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := m.Alloc("a", 2*PageBytes)
+	if err := m.Access("a", va, PageBytes+100, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Access("a", va+PageBytes, 50, true); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := m.Domain("a")
+	if d.Reads != 1 || d.Writes != 1 || d.BytesRead != PageBytes+100 || d.BytesWrit != 50 {
+		t.Fatalf("counters: %+v", d)
+	}
+	// Out-of-bounds access faults and is counted.
+	if err := m.Access("a", va+PageBytes, 2*PageBytes, true); err == nil {
+		t.Fatal("out-of-range access allowed")
+	}
+	if d.Faults != 1 {
+		t.Fatalf("faults = %d", d.Faults)
+	}
+}
+
+// Property: however allocations interleave across domains, no physical page
+// is ever shared and destroying all domains returns the DRAM to full.
+func TestQuickIsolationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := newMgr(64)
+		apps := []string{"a", "b", "c"}
+		for _, a := range apps {
+			if _, err := m.CreateDomain(a, 40*PageBytes); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < 30; i++ {
+			a := apps[rng.Intn(len(apps))]
+			_, _ = m.Alloc(a, uint64(1+rng.Intn(4))*PageBytes)
+			if m.CheckIsolation() != nil {
+				return false
+			}
+		}
+		for _, a := range apps {
+			if m.DestroyDomain(a) != nil {
+				return false
+			}
+		}
+		return m.DRAM.FreePages() == 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	d := NewDRAM(8*PageBytes, 19.2)
+	if got := d.TransferTime(19.2e9 / 2); got < 0.49 || got > 0.51 {
+		t.Fatalf("TransferTime = %v, want ≈0.5s", got)
+	}
+}
+
+func TestEthernetDeliveryAndIsolation(t *testing.T) {
+	s := NewSwitch()
+	a, err := s.AttachNIC("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AttachNIC("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AttachNIC("a"); err == nil {
+		t.Fatal("double attach allowed")
+	}
+	if err := s.Send("a", EthFrame{Src: a.MAC, Dst: b.MAC, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Recv()
+	if !ok || string(got.Payload) != "hi" {
+		t.Fatalf("recv = %+v ok=%v", got, ok)
+	}
+	if _, ok := a.Recv(); ok {
+		t.Fatal("frame leaked to non-addressed NIC")
+	}
+	// Spoofing the source MAC is rejected.
+	if err := s.Send("b", EthFrame{Src: a.MAC, Dst: a.MAC}); !errors.Is(err, ErrSpoofedSource) {
+		t.Fatalf("err = %v, want ErrSpoofedSource", err)
+	}
+	// Unknown destination is rejected.
+	if err := s.Send("a", EthFrame{Src: a.MAC, Dst: MAC{9, 9, 9, 9, 9, 9}}); !errors.Is(err, ErrUnknownDest) {
+		t.Fatalf("err = %v, want ErrUnknownDest", err)
+	}
+	s.DetachNIC("b")
+	if err := s.Send("a", EthFrame{Src: a.MAC, Dst: b.MAC}); !errors.Is(err, ErrUnknownDest) {
+		t.Fatal("send to detached NIC succeeded")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0x56, 0x54, 0, 0, 1}
+	if m.String() != "02:56:54:00:00:01" {
+		t.Fatalf("MAC = %s", m)
+	}
+}
+
+func TestTLBHitsAndEviction(t *testing.T) {
+	m := newMgr(TLBEntries * 2)
+	if _, err := m.CreateDomain("a", uint64(TLBEntries*2)*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	va, err := m.Alloc("a", uint64(TLBEntries+8)*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := m.Domain("a")
+	// First touch of each page misses; a second touch of a recent page hits.
+	for i := uint64(0); i < 4; i++ {
+		if _, err := m.Translate("a", va+i*PageBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.TLBMisses != 4 || d.TLBHits != 0 {
+		t.Fatalf("after cold touches: hits=%d misses=%d", d.TLBHits, d.TLBMisses)
+	}
+	if _, err := m.Translate("a", va); err != nil {
+		t.Fatal(err)
+	}
+	if d.TLBHits != 1 {
+		t.Fatalf("warm touch did not hit: hits=%d", d.TLBHits)
+	}
+	// Touch more pages than the TLB holds: the first page gets evicted and
+	// misses again.
+	for i := uint64(0); i < TLBEntries+4; i++ {
+		if _, err := m.Translate("a", va+i*PageBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missesBefore := d.TLBMisses
+	if _, err := m.Translate("a", va); err != nil {
+		t.Fatal(err)
+	}
+	if d.TLBMisses != missesBefore+1 {
+		t.Fatalf("evicted entry did not miss (misses %d → %d)", missesBefore, d.TLBMisses)
+	}
+	if len(d.tlb) > TLBEntries {
+		t.Fatalf("TLB grew to %d entries", len(d.tlb))
+	}
+}
+
+func TestTLBNeverServesStaleAfterFault(t *testing.T) {
+	m := newMgr(4)
+	if _, err := m.CreateDomain("a", 4*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := m.Alloc("a", PageBytes)
+	if _, err := m.Translate("a", va); err != nil {
+		t.Fatal(err)
+	}
+	// Unmapped addresses fault even with a warm TLB.
+	if _, err := m.Translate("a", va+10*PageBytes); err == nil {
+		t.Fatal("unmapped address translated")
+	}
+}
+
+func TestFreeUnmapsAndInvalidatesTLB(t *testing.T) {
+	m := newMgr(8)
+	if _, err := m.CreateDomain("a", 8*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := m.Alloc("a", 3*PageBytes)
+	// Warm the TLB on the middle page.
+	if _, err := m.Translate("a", va+PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free("a", va+PageBytes, PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	// The freed page faults even though it was cached.
+	if _, err := m.Translate("a", va+PageBytes); err == nil {
+		t.Fatal("freed page still translates (stale TLB entry)")
+	}
+	// Neighbours survive.
+	if _, err := m.Translate("a", va); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Translate("a", va+2*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	// The page returned to the allocator and quota was released.
+	if got := m.DRAM.FreePages(); got != 6 {
+		t.Fatalf("free pages = %d, want 6", got)
+	}
+	if _, err := m.Alloc("a", 6*PageBytes); err != nil {
+		t.Fatalf("quota not released: %v", err)
+	}
+	if err := m.CheckIsolation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeRejectsUnmappedRange(t *testing.T) {
+	m := newMgr(4)
+	if _, err := m.CreateDomain("a", 4*PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := m.Alloc("a", PageBytes)
+	if err := m.Free("a", va, 2*PageBytes); err == nil {
+		t.Fatal("freed a partially unmapped range")
+	}
+	// Nothing was freed by the failed call.
+	if _, err := m.Translate("a", va); err != nil {
+		t.Fatal("atomicity violated: mapped page lost")
+	}
+	if err := m.Free("ghost", 0, PageBytes); err == nil {
+		t.Fatal("free in unknown domain accepted")
+	}
+	if err := m.Free("a", va, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"vital/internal/netlist"
+)
+
+// Build a two-cell design and inspect its resources — the IR every stage of
+// the stack exchanges.
+func Example() {
+	n := netlist.New("blinky")
+	lut := n.AddCell(netlist.KindLUT, "inv")
+	ff := n.AddCell(netlist.KindDFF, "state")
+	d := n.AddNet("d", 1)
+	q := n.AddNet("q", 1)
+	n.SetDriver(d, lut)
+	n.AddSink(d, ff)
+	n.SetDriver(q, ff)
+	n.AddSink(q, lut)
+	if err := n.Check(); err != nil {
+		panic(err)
+	}
+	fmt.Println(n.Stats())
+	// Output: blinky: 2 cells, 2 nets (0.0k LUT, 0.0k DFF, 0 DSP, 0.00 Mb BRAM)
+}
+
+func ExampleResources_BlocksNeeded() {
+	block := netlist.Resources{LUTs: 79200, DFFs: 158400, DSPs: 580, BRAMKb: 4320}
+	demand := netlist.Resources{LUTs: 94000, DFFs: 93200, DSPs: 168, BRAMKb: 10656}
+	fmt.Println(demand.BlocksNeeded(block))
+	// Output: 3
+}

@@ -1,0 +1,144 @@
+package netlist
+
+import "fmt"
+
+// Resources is a vector of FPGA resource quantities. It is used both for
+// demand (how much a netlist or virtual block needs) and for supply (how
+// much a physical block or device provides). BRAM is tracked in kilobits so
+// that the paper's Mb figures can be represented exactly.
+type Resources struct {
+	LUTs   int
+	DFFs   int
+	DSPs   int
+	BRAMKb int
+}
+
+// AddCell accumulates the resource cost of a single primitive of kind k.
+func (r *Resources) AddCell(k Kind) {
+	switch k {
+	case KindLUT:
+		r.LUTs++
+	case KindDFF:
+		r.DFFs++
+	case KindDSP:
+		r.DSPs++
+	case KindBRAM:
+		r.BRAMKb += BRAMKb
+	}
+}
+
+// Add returns the element-wise sum r + o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		LUTs:   r.LUTs + o.LUTs,
+		DFFs:   r.DFFs + o.DFFs,
+		DSPs:   r.DSPs + o.DSPs,
+		BRAMKb: r.BRAMKb + o.BRAMKb,
+	}
+}
+
+// Sub returns the element-wise difference r - o.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{
+		LUTs:   r.LUTs - o.LUTs,
+		DFFs:   r.DFFs - o.DFFs,
+		DSPs:   r.DSPs - o.DSPs,
+		BRAMKb: r.BRAMKb - o.BRAMKb,
+	}
+}
+
+// Scale returns r multiplied element-wise by the integer factor k.
+func (r Resources) Scale(k int) Resources {
+	return Resources{
+		LUTs:   r.LUTs * k,
+		DFFs:   r.DFFs * k,
+		DSPs:   r.DSPs * k,
+		BRAMKb: r.BRAMKb * k,
+	}
+}
+
+// FitsIn reports whether every component of r is at most the corresponding
+// component of capacity.
+func (r Resources) FitsIn(capacity Resources) bool {
+	return r.LUTs <= capacity.LUTs &&
+		r.DFFs <= capacity.DFFs &&
+		r.DSPs <= capacity.DSPs &&
+		r.BRAMKb <= capacity.BRAMKb
+}
+
+// IsZero reports whether all components are zero.
+func (r Resources) IsZero() bool {
+	return r == Resources{}
+}
+
+// NonNegative reports whether all components are >= 0.
+func (r Resources) NonNegative() bool {
+	return r.LUTs >= 0 && r.DFFs >= 0 && r.DSPs >= 0 && r.BRAMKb >= 0
+}
+
+// MaxRatio returns the largest ratio r[i]/cap[i] over all components, i.e.
+// the utilization of the binding resource. Components with zero capacity and
+// zero demand are ignored; zero capacity with non-zero demand yields +Inf
+// semantics via a very large value.
+func (r Resources) MaxRatio(capacity Resources) float64 {
+	ratio := func(d, c int) float64 {
+		if c == 0 {
+			if d == 0 {
+				return 0
+			}
+			return 1e18
+		}
+		return float64(d) / float64(c)
+	}
+	m := ratio(r.LUTs, capacity.LUTs)
+	if v := ratio(r.DFFs, capacity.DFFs); v > m {
+		m = v
+	}
+	if v := ratio(r.DSPs, capacity.DSPs); v > m {
+		m = v
+	}
+	if v := ratio(r.BRAMKb, capacity.BRAMKb); v > m {
+		m = v
+	}
+	return m
+}
+
+// BlocksNeeded returns the minimum number of blocks of the given per-block
+// capacity required to hold r, considering each resource class
+// independently. This is the lower bound the compilation layer uses when
+// choosing how many virtual blocks to allocate for an application (Section
+// 3.3, step "allocating a certain number of virtual blocks").
+func (r Resources) BlocksNeeded(perBlock Resources) int {
+	need := 0
+	ceilDiv := func(a, b int) int {
+		if b <= 0 {
+			if a > 0 {
+				return 1 << 30
+			}
+			return 0
+		}
+		return (a + b - 1) / b
+	}
+	if v := ceilDiv(r.LUTs, perBlock.LUTs); v > need {
+		need = v
+	}
+	if v := ceilDiv(r.DFFs, perBlock.DFFs); v > need {
+		need = v
+	}
+	if v := ceilDiv(r.DSPs, perBlock.DSPs); v > need {
+		need = v
+	}
+	if v := ceilDiv(r.BRAMKb, perBlock.BRAMKb); v > need {
+		need = v
+	}
+	return need
+}
+
+// BRAMMb returns the BRAM capacity in megabits as a float (paper units).
+func (r Resources) BRAMMb() float64 { return float64(r.BRAMKb) / 1024 }
+
+// String renders the vector in the paper's units (BRAM in Mb).
+func (r Resources) String() string {
+	return fmt.Sprintf("%.1fk LUT, %.1fk DFF, %d DSP, %.2f Mb BRAM",
+		float64(r.LUTs)/1000, float64(r.DFFs)/1000, r.DSPs, r.BRAMMb())
+}

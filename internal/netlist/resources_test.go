@@ -1,0 +1,137 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{LUTs: 10, DFFs: 20, DSPs: 2, BRAMKb: 72}
+	b := Resources{LUTs: 5, DFFs: 5, DSPs: 1, BRAMKb: 36}
+	sum := a.Add(b)
+	if sum != (Resources{15, 25, 3, 108}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if d := sum.Sub(b); d != a {
+		t.Fatalf("Sub = %+v, want %+v", d, a)
+	}
+	if s := b.Scale(3); s != (Resources{15, 15, 3, 108}) {
+		t.Fatalf("Scale = %+v", s)
+	}
+}
+
+func TestFitsIn(t *testing.T) {
+	capacity := Resources{LUTs: 100, DFFs: 200, DSPs: 10, BRAMKb: 360}
+	if !(Resources{100, 200, 10, 360}).FitsIn(capacity) {
+		t.Fatal("exact fit rejected")
+	}
+	if (Resources{101, 0, 0, 0}).FitsIn(capacity) {
+		t.Fatal("LUT overflow accepted")
+	}
+	if (Resources{0, 0, 11, 0}).FitsIn(capacity) {
+		t.Fatal("DSP overflow accepted")
+	}
+}
+
+func TestMaxRatio(t *testing.T) {
+	capacity := Resources{LUTs: 100, DFFs: 200, DSPs: 10, BRAMKb: 100}
+	d := Resources{LUTs: 50, DFFs: 100, DSPs: 9, BRAMKb: 10}
+	if got := d.MaxRatio(capacity); got != 0.9 {
+		t.Fatalf("MaxRatio = %v, want 0.9", got)
+	}
+	if got := (Resources{}).MaxRatio(Resources{}); got != 0 {
+		t.Fatalf("zero/zero MaxRatio = %v, want 0", got)
+	}
+	if got := (Resources{LUTs: 1}).MaxRatio(Resources{}); got < 1e17 {
+		t.Fatalf("demand with zero capacity should be huge, got %v", got)
+	}
+}
+
+func TestBlocksNeeded(t *testing.T) {
+	// Paper Table 4 physical block capacity.
+	block := Resources{LUTs: 79200, DFFs: 158400, DSPs: 580, BRAMKb: 4320}
+	cases := []struct {
+		name string
+		r    Resources
+		want int
+	}{
+		{"empty", Resources{}, 0},
+		{"tiny", Resources{LUTs: 1}, 1},
+		{"exactly one block", block, 1},
+		{"one more LUT", Resources{LUTs: 79201}, 2},
+		// Table 2 large accel: 269k LUT / 268.7k DFF / 520 DSP / 31.3 Mb.
+		// BRAM binds: ceil(32051/4320) = 8 is the lower bound; the paper's
+		// partitioner actually uses 10 blocks for this design.
+		{"large accel lower bound", Resources{LUTs: 269000, DFFs: 268700, DSPs: 520, BRAMKb: 32051}, 8},
+	}
+	for _, c := range cases {
+		if got := c.r.BlocksNeeded(block); got != c.want {
+			t.Errorf("%s: BlocksNeeded = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestResourcesString(t *testing.T) {
+	r := Resources{LUTs: 79200, DFFs: 158400, DSPs: 580, BRAMKb: 4320}
+	s := r.String()
+	for _, want := range []string{"79.2k LUT", "158.4k DFF", "580 DSP", "4.22 Mb BRAM"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: Add is commutative and Sub inverts Add; FitsIn is monotone.
+func TestQuickResourceAlgebra(t *testing.T) {
+	norm := func(r Resources) Resources {
+		abs := func(v int) int {
+			if v < 0 {
+				v = -v
+			}
+			return v % 100000
+		}
+		return Resources{abs(r.LUTs), abs(r.DFFs), abs(r.DSPs), abs(r.BRAMKb)}
+	}
+	f := func(a, b Resources) bool {
+		a, b = norm(a), norm(b)
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		if a.Add(b).Sub(b) != a {
+			return false
+		}
+		// a always fits in a+b for non-negative vectors.
+		return a.FitsIn(a.Add(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BlocksNeeded is the minimal feasible count — the returned count
+// scaled by the block capacity fits the demand, and one fewer does not
+// (unless the count is 0).
+func TestQuickBlocksNeededMinimal(t *testing.T) {
+	block := Resources{LUTs: 79200, DFFs: 158400, DSPs: 580, BRAMKb: 4320}
+	f := func(a Resources) bool {
+		abs := func(v int) int {
+			if v < 0 {
+				v = -v
+			}
+			return v % 1000000
+		}
+		r := Resources{abs(a.LUTs), abs(a.DFFs), abs(a.DSPs), abs(a.BRAMKb)}
+		k := r.BlocksNeeded(block)
+		if !r.FitsIn(block.Scale(k)) {
+			return false
+		}
+		if k > 0 && r.FitsIn(block.Scale(k-1)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package netlist
+
+// A line-oriented text interchange format for netlists, in the spirit of
+// structural Verilog / EDIF: enough to dump a technology-mapped design from
+// one tool and read it into another (the netlist is the stack's
+// language-independent IR, Section 3.3). The format is deliberately plain:
+//
+//	netlist <name>
+//	cell <id> <kind> <name>
+//	net <id> <width> <name>
+//	drive <net> <cell>
+//	sink <net> <cell>
+//	port <name> <net> <in|out> <width>
+//
+// IDs must be dense and ascending; Parse validates with Check.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes the netlist. It implements io.WriterTo.
+func (n *Netlist) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	emit := func(format string, args ...interface{}) error {
+		k, err := fmt.Fprintf(bw, format, args...)
+		total += int64(k)
+		return err
+	}
+	if err := emit("netlist %s\n", escapeToken(n.Name)); err != nil {
+		return total, err
+	}
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		if err := emit("cell %d %s %s\n", c.ID, c.Kind, escapeToken(c.Name)); err != nil {
+			return total, err
+		}
+	}
+	for i := range n.Nets {
+		t := &n.Nets[i]
+		if err := emit("net %d %d %s\n", t.ID, t.Width, escapeToken(t.Name)); err != nil {
+			return total, err
+		}
+		if t.Driver != NoCell {
+			if err := emit("drive %d %d\n", t.ID, t.Driver); err != nil {
+				return total, err
+			}
+		}
+		for _, s := range t.Sinks {
+			if err := emit("sink %d %d\n", t.ID, s); err != nil {
+				return total, err
+			}
+		}
+	}
+	for _, p := range n.Ports {
+		dir := "in"
+		if p.Dir == DirOut {
+			dir = "out"
+		}
+		if err := emit("port %s %d %s %d\n", escapeToken(p.Name), p.Net, dir, p.Width); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// escapeToken keeps names single-token (spaces become U+00A0-free escapes).
+func escapeToken(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.ReplaceAll(s, " ", "\\s")
+}
+
+func unescapeToken(s string) string {
+	if s == "_" {
+		return ""
+	}
+	return strings.ReplaceAll(s, "\\s", " ")
+}
+
+// kindFromString inverts Kind.String.
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "LUT":
+		return KindLUT, nil
+	case "DFF":
+		return KindDFF, nil
+	case "DSP":
+		return KindDSP, nil
+	case "BRAM":
+		return KindBRAM, nil
+	case "IO":
+		return KindIO, nil
+	}
+	return 0, fmt.Errorf("netlist: unknown cell kind %q", s)
+}
+
+// Parse reads the text format back into a validated netlist.
+func Parse(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var n *Netlist
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(why string) error {
+			return fmt.Errorf("netlist: line %d: %s: %q", lineNo, why, line)
+		}
+		switch fields[0] {
+		case "netlist":
+			if len(fields) != 2 {
+				return nil, bad("want: netlist <name>")
+			}
+			if n != nil {
+				return nil, bad("duplicate netlist header")
+			}
+			n = New(unescapeToken(fields[1]))
+		case "cell":
+			if n == nil {
+				return nil, bad("cell before netlist header")
+			}
+			if len(fields) != 4 {
+				return nil, bad("want: cell <id> <kind> <name>")
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != n.NumCells() {
+				return nil, bad("cell IDs must be dense and ascending")
+			}
+			kind, err := kindFromString(fields[2])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			n.AddCell(kind, unescapeToken(fields[3]))
+		case "net":
+			if n == nil {
+				return nil, bad("net before netlist header")
+			}
+			if len(fields) != 4 {
+				return nil, bad("want: net <id> <width> <name>")
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != n.NumNets() {
+				return nil, bad("net IDs must be dense and ascending")
+			}
+			width, err := strconv.Atoi(fields[2])
+			if err != nil || width < 1 {
+				return nil, bad("bad width")
+			}
+			n.AddNet(unescapeToken(fields[3]), width)
+		case "drive", "sink":
+			if n == nil {
+				return nil, bad("connection before netlist header")
+			}
+			if len(fields) != 3 {
+				return nil, bad("want: " + fields[0] + " <net> <cell>")
+			}
+			tid, err1 := strconv.Atoi(fields[1])
+			cid, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || tid < 0 || tid >= n.NumNets() || cid < 0 || cid >= n.NumCells() {
+				return nil, bad("net/cell out of range")
+			}
+			if fields[0] == "drive" {
+				if n.Nets[tid].Driver != NoCell {
+					return nil, bad("net already driven")
+				}
+				n.SetDriver(NetID(tid), CellID(cid))
+			} else {
+				n.AddSink(NetID(tid), CellID(cid))
+			}
+		case "port":
+			if n == nil {
+				return nil, bad("port before netlist header")
+			}
+			if len(fields) != 5 {
+				return nil, bad("want: port <name> <net> <in|out> <width>")
+			}
+			tid, err := strconv.Atoi(fields[2])
+			if err != nil || tid < 0 || tid >= n.NumNets() {
+				return nil, bad("port net out of range")
+			}
+			var dir Dir
+			switch fields[3] {
+			case "in":
+				dir = DirIn
+			case "out":
+				dir = DirOut
+			default:
+				return nil, bad("port direction must be in or out")
+			}
+			width, err := strconv.Atoi(fields[4])
+			if err != nil || width < 1 {
+				return nil, bad("bad port width")
+			}
+			n.AddPort(unescapeToken(fields[1]), NetID(tid), dir, width)
+		default:
+			return nil, bad("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n == nil {
+		return nil, fmt.Errorf("netlist: empty input")
+	}
+	if err := n.Check(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

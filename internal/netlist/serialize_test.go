@@ -1,0 +1,101 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	n := buildChain(t)
+	n.AddPort("clk in", 0, DirIn, 1)
+	n.AddPort("dout", 3, DirOut, 1)
+	var buf bytes.Buffer
+	if _, err := n.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != n.Name || got.NumCells() != n.NumCells() || got.NumNets() != n.NumNets() {
+		t.Fatalf("round trip changed shape: %s vs %s", got.Stats(), n.Stats())
+	}
+	for i := range n.Cells {
+		if got.Cells[i].Kind != n.Cells[i].Kind || got.Cells[i].Name != n.Cells[i].Name {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+	for i := range n.Nets {
+		a, b := &n.Nets[i], &got.Nets[i]
+		if a.Width != b.Width || a.Driver != b.Driver || len(a.Sinks) != len(b.Sinks) {
+			t.Fatalf("net %d differs", i)
+		}
+	}
+	if len(got.Ports) != 2 || got.Ports[0].Name != "clk in" {
+		t.Fatalf("ports = %+v", got.Ports)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                                // empty
+		"cell 0 LUT a",                    // before header
+		"netlist x\ncell 1 LUT a",         // non-dense ID
+		"netlist x\ncell 0 GPU a",         // unknown kind
+		"netlist x\nnet 0 0 w",            // zero width
+		"netlist x\nnet 0 1 w\ndrive 0 5", // cell out of range
+		"netlist x\nbogus 1 2 3",          // unknown directive
+		"netlist x\nnetlist y",            // duplicate header
+		"netlist x\nnet 0 1 w\nport p 0 sideways 1",                              // bad direction
+		"netlist x\ncell 0 LUT a\ncell 1 LUT b\nnet 0 1 w\ndrive 0 0\ndrive 0 1", // double drive
+	}
+	for i, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d parsed without error:\n%s", i, src)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlank(t *testing.T) {
+	src := "# a comment\n\nnetlist demo\n# another\ncell 0 LUT l0\n"
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "demo" || n.NumCells() != 1 {
+		t.Fatalf("parsed %s", n.Stats())
+	}
+}
+
+// Property: random valid netlists survive a round trip bit-exactly in all
+// structural respects.
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomNetlist(seed, 30, 60)
+		var buf bytes.Buffer
+		if _, err := n.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumCells() != n.NumCells() || got.NumNets() != n.NumNets() {
+			return false
+		}
+		if got.Resources() != n.Resources() {
+			return false
+		}
+		for i := range n.Nets {
+			if got.Nets[i].Driver != n.Nets[i].Driver || got.Nets[i].Width != n.Nets[i].Width {
+				return false
+			}
+		}
+		return got.CutWidth(make([]int, got.NumCells())) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

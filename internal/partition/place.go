@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"fmt"
+
+	"vital/internal/linalg"
+	"vital/internal/netlist"
+)
+
+// clusterGraph is the weighted connectivity between packed clusters, the
+// w_ij of Eq. 1.
+type clusterGraph struct {
+	n     int
+	edges map[[2]int]float64 // i < j
+	// deg is the summed incident weight per cluster (Laplacian diagonal).
+	deg []float64
+}
+
+// buildClusterGraph projects the netlist connectivity onto clusters.
+func buildClusterGraph(n *netlist.Netlist, clusterOf []int, numClusters, maxFanout int) *clusterGraph {
+	g := &clusterGraph{n: numClusters, edges: map[[2]int]float64{}, deg: make([]float64, numClusters)}
+	for i := range n.Nets {
+		t := &n.Nets[i]
+		if t.Driver == netlist.NoCell {
+			continue
+		}
+		if maxFanout > 0 && len(t.Sinks) > maxFanout {
+			continue
+		}
+		a := clusterOf[t.Driver]
+		for _, s := range t.Sinks {
+			b := clusterOf[s]
+			if a == b || a < 0 || b < 0 {
+				continue
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			g.edges[[2]int{lo, hi}] += float64(t.Width)
+		}
+	}
+	for e, w := range g.edges {
+		g.deg[e[0]] += w
+		g.deg[e[1]] += w
+	}
+	return g
+}
+
+// wirelength evaluates Eq. 1: L = Σ w_ij [α (x_i−x_j)² + (y_i−y_j)²].
+func (g *clusterGraph) wirelength(x, y []float64, alpha float64) float64 {
+	L := 0.0
+	for e, w := range g.edges {
+		dx := x[e[0]] - x[e[1]]
+		dy := y[e[0]] - y[e[1]]
+		L += w * (alpha*dx*dx + dy*dy)
+	}
+	return L
+}
+
+// quadraticSolve performs step (1)/(3) of §4.2: minimize Eq. 4's anchored
+// wirelength by solving the two independent linear systems (∂L/∂x = 0,
+// ∂L/∂y = 0). anchorX/anchorY give the pseudo-cluster positions x″, y″
+// (step 3); beta[i] is the per-cluster anchor weight β_ii (zero on the
+// first iteration, when no pseudo clusters exist yet). ioAnchors adds
+// fixed-position pulls for IO clusters so the unanchored first solve is
+// non-singular (the netlist's external ports are at fixed pad locations).
+func quadraticSolve(g *clusterGraph, x, y, anchorX, anchorY, beta []float64, ioAnchorX map[int]float64, ioW float64) error {
+	n := g.n
+	ts := make([]linalg.Triplet, 0, len(g.edges)*4+n)
+	for e, w := range g.edges {
+		i, j := e[0], e[1]
+		ts = append(ts,
+			linalg.Triplet{Row: i, Col: i, Val: w},
+			linalg.Triplet{Row: j, Col: j, Val: w},
+			linalg.Triplet{Row: i, Col: j, Val: -w},
+			linalg.Triplet{Row: j, Col: i, Val: -w})
+	}
+	bx := make([]float64, n)
+	by := make([]float64, n)
+	// A small uniform regularizer keeps isolated clusters well-defined.
+	const eps = 1e-6
+	for i := 0; i < n; i++ {
+		w := beta[i] + eps
+		ts = append(ts, linalg.Triplet{Row: i, Col: i, Val: w})
+		bx[i] = beta[i]*anchorX[i] + eps*anchorX[i]
+		by[i] = beta[i]*anchorY[i] + eps*anchorY[i]
+	}
+	for i, ax := range ioAnchorX {
+		ts = append(ts, linalg.Triplet{Row: i, Col: i, Val: ioW})
+		bx[i] += ioW * ax
+		// IO pads sit at mid-height.
+		by[i] += ioW * 0.5
+	}
+	m, err := linalg.FromTriplets(n, ts)
+	if err != nil {
+		return err
+	}
+	if _, err := linalg.SolveCG(m, x, bx, linalg.CGOptions{Tol: 1e-7}); err != nil {
+		return fmt.Errorf("partition: x placement solve: %w", err)
+	}
+	if _, err := linalg.SolveCG(m, y, by, linalg.CGOptions{Tol: 1e-7}); err != nil {
+		return fmt.Errorf("partition: y placement solve: %w", err)
+	}
+	return nil
+}

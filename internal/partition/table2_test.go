@@ -1,0 +1,34 @@
+package partition
+
+import (
+	"testing"
+
+	"vital/internal/hls"
+	"vital/internal/workload"
+)
+
+// TestAutoMatchesPaperBlockCountsFull checks the compiler-chosen block
+// count against Table 2 for the entire benchmark suite. This is the slow,
+// exhaustive version of TestAutoMatchesPaperBlockCounts; skipped with -short.
+func TestAutoMatchesPaperBlockCountsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 2 sweep skipped in -short mode")
+	}
+	for _, s := range workload.AllSpecs() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			res, err := hls.Synthesize(workload.BuildDesign(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Auto(res.Netlist, Config{BlockCapacity: blockCap, Seed: 11}, 16)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if r.NumBlocks != s.PaperBlocks() {
+				t.Errorf("%s: Auto chose %d blocks, paper reports %d", s.Name(), r.NumBlocks, s.PaperBlocks())
+			}
+		})
+	}
+}

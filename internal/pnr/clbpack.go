@@ -1,0 +1,129 @@
+// Package pnr is the place-and-route substrate of the compilation layer:
+// the stand-in for the Vivado back end that the paper reuses for its local
+// and global P&R steps (Section 3.3, steps 4 and 6). It packs LUTs and
+// flip-flops into CLB sites, places packed entities onto a physical block's
+// site grid with an analytic (quadratic) placer, routes nets over a
+// capacitated routing grid with congestion negotiation, and reports
+// wirelength, congestion and timing.
+package pnr
+
+import (
+	"vital/internal/fpga"
+	"vital/internal/netlist"
+)
+
+// Entity is one placeable unit: a packed CLB (up to 8 LUTs + 16 DFFs), a
+// DSP slice, or a BRAM.
+type Entity struct {
+	ID   int
+	Kind fpga.ColumnKind
+	// Cells lists the netlist cells packed into this entity.
+	Cells []netlist.CellID
+}
+
+// clbCapacity of an UltraScale+ SLICE.
+const (
+	clbLUTs = fpga.LUTsPerCLB
+	clbDFFs = fpga.DFFsPerCLB
+)
+
+// packCLBs groups the block's cells into placeable entities. LUTs and DFFs
+// are packed along connectivity (BFS over the adjacency graph) so that
+// tightly coupled logic shares a CLB; DSPs and BRAMs map one-to-one.
+// IO cells have no site inside a block and are skipped (they bind to the
+// interface in the communication region).
+func packCLBs(n *netlist.Netlist, cells []netlist.CellID, adj [][]netlist.Edge) []Entity {
+	inBlock := make(map[netlist.CellID]bool, len(cells))
+	for _, c := range cells {
+		inBlock[c] = true
+	}
+	assigned := make(map[netlist.CellID]bool, len(cells))
+	var entities []Entity
+
+	newEntity := func(kind fpga.ColumnKind) *Entity {
+		entities = append(entities, Entity{ID: len(entities), Kind: kind})
+		return &entities[len(entities)-1]
+	}
+
+	// Hard blocks first: deterministic order.
+	for _, c := range cells {
+		switch n.Cells[c].Kind {
+		case netlist.KindDSP:
+			e := newEntity(fpga.ColDSP)
+			e.Cells = append(e.Cells, c)
+			assigned[c] = true
+		case netlist.KindBRAM:
+			e := newEntity(fpga.ColBRAM)
+			e.Cells = append(e.Cells, c)
+			assigned[c] = true
+		case netlist.KindIO:
+			assigned[c] = true // interface-bound, not placed here
+		}
+	}
+
+	// Soft logic: BFS from each unassigned cell, filling CLBs.
+	var queue []netlist.CellID
+	for _, seed := range cells {
+		if assigned[seed] {
+			continue
+		}
+		cur := newEntity(fpga.ColCLB)
+		luts, dffs := 0, 0
+		queue = append(queue[:0], seed)
+		assigned[seed] = true
+		pend := []netlist.CellID{}
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			k := n.Cells[c].Kind
+			fits := (k == netlist.KindLUT && luts < clbLUTs) || (k == netlist.KindDFF && dffs < clbDFFs)
+			if !fits {
+				// CLB full for this kind: remember the cell for the next
+				// entity seeded from it.
+				pend = append(pend, c)
+				continue
+			}
+			cur.Cells = append(cur.Cells, c)
+			if k == netlist.KindLUT {
+				luts++
+			} else {
+				dffs++
+			}
+			for _, e := range adj[c] {
+				if inBlock[e.To] && !assigned[e.To] {
+					kk := n.Cells[e.To].Kind
+					if kk == netlist.KindLUT || kk == netlist.KindDFF {
+						assigned[e.To] = true
+						queue = append(queue, e.To)
+					}
+				}
+			}
+			if luts >= clbLUTs && dffs >= clbDFFs {
+				break
+			}
+		}
+		// Spill: anything left in the queue or pending starts fresh CLBs.
+		rest := append(pend, queue...)
+		for len(rest) > 0 {
+			cur = newEntity(fpga.ColCLB)
+			luts, dffs = 0, 0
+			var next []netlist.CellID
+			for _, c := range rest {
+				k := n.Cells[c].Kind
+				switch {
+				case k == netlist.KindLUT && luts < clbLUTs:
+					cur.Cells = append(cur.Cells, c)
+					luts++
+				case k == netlist.KindDFF && dffs < clbDFFs:
+					cur.Cells = append(cur.Cells, c)
+					dffs++
+				default:
+					next = append(next, c)
+				}
+			}
+			rest = next
+		}
+		queue = queue[:0]
+	}
+	return entities
+}

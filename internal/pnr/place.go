@@ -1,0 +1,254 @@
+package pnr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vital/internal/fpga"
+	"vital/internal/linalg"
+	"vital/internal/netlist"
+)
+
+// Placement maps every placeable entity of one virtual block onto a site of
+// the physical block's grid. Because all physical blocks of a device are
+// identical, the placement is position independent: relocating the block
+// reuses it unchanged (Section 3.2).
+type Placement struct {
+	Grid     *fpga.Grid
+	Entities []Entity
+	// Sites[i] is the site of Entities[i].
+	Sites []fpga.Site
+	// cellEntity maps a netlist cell to its entity index (-1 for cells not
+	// placed in this block, e.g. IO).
+	cellEntity map[netlist.CellID]int
+}
+
+// SiteOf returns the site of the entity containing cell c.
+func (p *Placement) SiteOf(c netlist.CellID) (fpga.Site, bool) {
+	e, ok := p.cellEntity[c]
+	if !ok || e < 0 {
+		return fpga.Site{}, false
+	}
+	return p.Sites[e], true
+}
+
+// PlaceBlock packs and places the given cells (the contents of one virtual
+// block) onto the block grid. It returns an error if the cells exceed the
+// grid's site capacity.
+func PlaceBlock(n *netlist.Netlist, cells []netlist.CellID, grid *fpga.Grid) (*Placement, error) {
+	adj := n.Adjacency(64)
+	entities := packCLBs(n, cells, adj)
+
+	// Capacity check per kind.
+	need := map[fpga.ColumnKind]int{}
+	for i := range entities {
+		need[entities[i].Kind]++
+	}
+	for kind, cnt := range need {
+		if cap := grid.Capacity(kind); cnt > cap {
+			return nil, fmt.Errorf("pnr: %d %v entities exceed block capacity %d", cnt, kind, cap)
+		}
+	}
+
+	p := &Placement{Grid: grid, Entities: entities, Sites: make([]fpga.Site, len(entities)),
+		cellEntity: make(map[netlist.CellID]int, len(cells))}
+	for i := range entities {
+		for _, c := range entities[i].Cells {
+			p.cellEntity[c] = i
+		}
+	}
+
+	p.place(n, adj)
+	return p, nil
+}
+
+// placeIterations is the number of solve→legalize rounds of the analytic
+// placement loop (SimPL-style: anchored quadratic relaxations interleaved
+// with legalization, with growing anchor weight).
+const placeIterations = 6
+
+// place runs the iterative analytic placement loop and keeps the best
+// legalized result by weighted wirelength.
+func (p *Placement) place(n *netlist.Netlist, adj [][]netlist.Edge) {
+	ew := p.entityEdges(adj)
+	x, y := p.analyticPositions(n, adj, nil, nil, 0)
+	bestWL := math.Inf(1)
+	bestSites := make([]fpga.Site, len(p.Sites))
+	anchorW := 0.02
+	for iter := 0; iter < placeIterations; iter++ {
+		p.legalize(x, y)
+		if wl := p.weightedWirelength(ew); wl < bestWL {
+			bestWL = wl
+			copy(bestSites, p.Sites)
+		}
+		if iter == placeIterations-1 {
+			break
+		}
+		// Anchor every entity to its legalized site and re-relax.
+		ax := make([]float64, len(p.Entities))
+		ay := make([]float64, len(p.Entities))
+		for i := range p.Entities {
+			ax[i], ay[i] = p.Grid.SitePos(p.Sites[i])
+		}
+		x, y = p.analyticPositions(n, adj, ax, ay, anchorW)
+		anchorW *= 2
+	}
+	copy(p.Sites, bestSites)
+	// Detailed placement: greedy swap refinement on the winning solution.
+	p.refineDetailed(ew)
+}
+
+// entityEdge is one weighted entity-level connection.
+type entityEdge struct {
+	a, b int
+	w    float64
+}
+
+// entityEdges projects cell adjacency onto entities.
+func (p *Placement) entityEdges(adj [][]netlist.Edge) []entityEdge {
+	type ek struct{ a, b int }
+	weights := map[ek]float64{}
+	for c, ei := range p.cellEntity {
+		for _, e := range adj[c] {
+			ej, ok := p.cellEntity[e.To]
+			if !ok || ej == ei {
+				continue
+			}
+			a, b := ei, ej
+			if a > b {
+				a, b = b, a
+			}
+			weights[ek{a, b}] += float64(e.Weight) / 2 // each edge visited twice
+		}
+	}
+	edges := make([]entityEdge, 0, len(weights))
+	for k, w := range weights {
+		edges = append(edges, entityEdge{k.a, k.b, w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	return edges
+}
+
+// weightedWirelength evaluates the current legalized placement.
+func (p *Placement) weightedWirelength(edges []entityEdge) float64 {
+	wl := 0.0
+	for _, e := range edges {
+		xa, ya := p.Grid.SitePos(p.Sites[e.a])
+		xb, yb := p.Grid.SitePos(p.Sites[e.b])
+		wl += e.w * (math.Abs(xa-xb) + math.Abs(ya-yb))
+	}
+	return wl
+}
+
+// analyticPositions computes continuous positions by quadratic placement:
+// minimize Σ w_ij ((x_i−x_j)² + (y_i−y_j)²), solved by conjugate gradients.
+// When ax/ay are nil, a few spread anchors break translation invariance
+// (first relaxation); otherwise every entity is anchored at (ax[i], ay[i])
+// with weight anchorW (the SimPL-style pull toward the last legalization).
+func (p *Placement) analyticPositions(n *netlist.Netlist, adj [][]netlist.Edge, ax, ay []float64, anchorW float64) ([]float64, []float64) {
+	ne := len(p.Entities)
+	x := make([]float64, ne)
+	y := make([]float64, ne)
+	if ne == 0 {
+		return x, y
+	}
+	var ts []linalg.Triplet
+	for _, e := range p.entityEdges(adj) {
+		ts = append(ts,
+			linalg.Triplet{Row: e.a, Col: e.a, Val: e.w},
+			linalg.Triplet{Row: e.b, Col: e.b, Val: e.w},
+			linalg.Triplet{Row: e.a, Col: e.b, Val: -e.w},
+			linalg.Triplet{Row: e.b, Col: e.a, Val: -e.w})
+	}
+	bx := make([]float64, ne)
+	by := make([]float64, ne)
+	W, H := float64(p.Grid.Width), float64(p.Grid.Rows)
+	if ax == nil {
+		// Spread anchors: every kth entity is softly pulled to a distinct
+		// spot on a grid, which fixes the global position and spreads the
+		// relaxation.
+		const spreadW = 0.05
+		stride := max(ne/64, 1)
+		slot := 0
+		for i := 0; i < ne; i += stride {
+			fx := (float64(slot%8) + 0.5) / 8 * W
+			fy := (float64(slot/8%8) + 0.5) / 8 * H
+			ts = append(ts, linalg.Triplet{Row: i, Col: i, Val: spreadW})
+			bx[i] += spreadW * fx
+			by[i] += spreadW * fy
+			slot++
+		}
+	} else {
+		for i := 0; i < ne; i++ {
+			ts = append(ts, linalg.Triplet{Row: i, Col: i, Val: anchorW})
+			bx[i] += anchorW * ax[i]
+			by[i] += anchorW * ay[i]
+		}
+	}
+	// Weak uniform regularizer centers isolated entities.
+	const eps = 1e-6
+	for i := 0; i < ne; i++ {
+		ts = append(ts, linalg.Triplet{Row: i, Col: i, Val: eps})
+		bx[i] += eps * W / 2
+		by[i] += eps * H / 2
+	}
+	m, err := linalg.FromTriplets(ne, ts)
+	if err == nil {
+		// Convergence tolerance is modest: legalization absorbs residual
+		// error anyway.
+		_, _ = linalg.SolveCG(m, x, bx, linalg.CGOptions{Tol: 1e-4, MaxIter: 300})
+		_, _ = linalg.SolveCG(m, y, by, linalg.CGOptions{Tol: 1e-4, MaxIter: 300})
+	}
+	return x, y
+}
+
+// legalize snaps continuous positions to sites: per resource kind, entities
+// are distributed over that kind's columns by x order, then packed into
+// sites by y order.
+func (p *Placement) legalize(x, y []float64) {
+	byKind := map[fpga.ColumnKind][]int{}
+	for i := range p.Entities {
+		byKind[p.Entities[i].Kind] = append(byKind[p.Entities[i].Kind], i)
+	}
+	for kind, idxs := range byKind {
+		cols := p.Grid.ColumnsOfKind(kind)
+		// Sort entities by x, split proportionally across columns.
+		sort.Slice(idxs, func(a, b int) bool {
+			if x[idxs[a]] != x[idxs[b]] {
+				return x[idxs[a]] < x[idxs[b]]
+			}
+			return idxs[a] < idxs[b]
+		})
+		total := len(idxs)
+		start := 0
+		remaining := total
+		for ci, col := range cols {
+			// Fill columns evenly (ceil division keeps the tail columns
+			// within capacity).
+			left := len(cols) - ci
+			want := (remaining + left - 1) / left
+			if capSites := p.Grid.SitesInColumn(col); want > capSites {
+				want = capSites
+			}
+			colEnt := idxs[start : start+want]
+			// Within a column, order by y.
+			sort.Slice(colEnt, func(a, b int) bool {
+				if y[colEnt[a]] != y[colEnt[b]] {
+					return y[colEnt[a]] < y[colEnt[b]]
+				}
+				return colEnt[a] < colEnt[b]
+			})
+			for si, ei := range colEnt {
+				p.Sites[ei] = fpga.Site{Kind: kind, Col: col, Idx: si}
+			}
+			start += want
+			remaining -= want
+		}
+	}
+}

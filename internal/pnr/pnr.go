@@ -1,0 +1,101 @@
+package pnr
+
+import (
+	"fmt"
+	"time"
+
+	"vital/internal/fpga"
+	"vital/internal/netlist"
+)
+
+// BlockResult is the local place-and-route outcome for one virtual block
+// (Section 3.3, step 4): where every cell landed, how the nets routed, and
+// the achievable clock.
+type BlockResult struct {
+	Block     int
+	Placement *Placement
+	Routing   *Routing
+	Timing    TimingResult
+	// Elapsed is the wall time of this block's P&R, feeding the Fig. 8
+	// compile-time breakdown.
+	Elapsed time.Duration
+}
+
+// LocalPlaceAndRoute runs P&R for every virtual block of a partitioned
+// netlist: cellBlock[c] gives the block of cell c, numBlocks the block
+// count, and grid the (identical) physical block geometry.
+func LocalPlaceAndRoute(n *netlist.Netlist, cellBlock []int, numBlocks int, grid *fpga.Grid) ([]*BlockResult, error) {
+	if len(cellBlock) != n.NumCells() {
+		return nil, fmt.Errorf("pnr: cellBlock length %d != %d cells", len(cellBlock), n.NumCells())
+	}
+	perBlock := make([][]netlist.CellID, numBlocks)
+	for c, b := range cellBlock {
+		if b < 0 || b >= numBlocks {
+			return nil, fmt.Errorf("pnr: cell %d assigned to block %d of %d", c, b, numBlocks)
+		}
+		perBlock[b] = append(perBlock[b], netlist.CellID(c))
+	}
+	results := make([]*BlockResult, numBlocks)
+	for b := 0; b < numBlocks; b++ {
+		start := time.Now()
+		placement, err := PlaceBlock(n, perBlock[b], grid)
+		if err != nil {
+			return nil, fmt.Errorf("pnr: block %d: %w", b, err)
+		}
+		routing := RouteBlock(n, placement)
+		results[b] = &BlockResult{
+			Block:     b,
+			Placement: placement,
+			Routing:   routing,
+			Timing:    AnalyzeTiming(n, placement, routing),
+			Elapsed:   time.Since(start),
+		}
+	}
+	return results, nil
+}
+
+// GlobalResult is the global place-and-route outcome (Section 3.3, step 6):
+// the stitched full design with inter-block connections assigned to
+// latency-insensitive channels through the communication region.
+type GlobalResult struct {
+	// ChannelAssignments maps each cut net to a channel index on its
+	// source block.
+	ChannelAssignments map[netlist.NetID]int
+	// InterBlockNets is the number of stitched nets; InterBlockBits their
+	// summed width.
+	InterBlockNets int
+	InterBlockBits int
+	Elapsed        time.Duration
+}
+
+// GlobalPlaceAndRoute stitches individually implemented blocks into a
+// complete design: every net crossing blocks is assigned to a channel slot
+// in the communication region of its driver's block.
+func GlobalPlaceAndRoute(n *netlist.Netlist, cellBlock []int, numBlocks int) *GlobalResult {
+	start := time.Now()
+	g := &GlobalResult{ChannelAssignments: make(map[netlist.NetID]int)}
+	nextChan := make([]int, numBlocks)
+	for i := range n.Nets {
+		t := &n.Nets[i]
+		if t.Driver == netlist.NoCell {
+			continue
+		}
+		db := cellBlock[t.Driver]
+		cut := false
+		for _, s := range t.Sinks {
+			if cellBlock[s] != db {
+				cut = true
+				break
+			}
+		}
+		if !cut {
+			continue
+		}
+		g.ChannelAssignments[t.ID] = nextChan[db]
+		nextChan[db]++
+		g.InterBlockNets++
+		g.InterBlockBits += t.Width
+	}
+	g.Elapsed = time.Since(start)
+	return g
+}

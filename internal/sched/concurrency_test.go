@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentDeployUndeploy exercises the controller from many tenants
+// at once: the resource database must never double-book, and the final
+// state must be clean. Run with -race to check the locking.
+func TestConcurrentDeployUndeploy(t *testing.T) {
+	ct := NewController(testCluster())
+	const tenants = 24
+	for i := 0; i < tenants; i++ {
+		storeSynthetic(t, ct, fmt.Sprintf("t%d", i), 1+i%4)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			app := fmt.Sprintf("t%d", i)
+			for round := 0; round < 5; round++ {
+				dep, err := ct.Deploy(app, 1<<28)
+				if err != nil {
+					continue // cluster momentarily full: expected
+				}
+				// Every block we hold must be attributed to us.
+				for _, blk := range dep.Blocks {
+					if owner := ct.DB.Owner(blk); owner != app {
+						t.Errorf("block %v owned by %q while deployed as %q", blk, owner, app)
+					}
+				}
+				if err := ct.Undeploy(app); err != nil {
+					t.Errorf("undeploy %s: %v", app, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := ct.Status(); st.UsedBlocks != 0 || len(st.Apps) != 0 {
+		t.Fatalf("state leaked after concurrent churn: %+v", st)
+	}
+	for _, b := range ct.Cluster.Boards {
+		if err := b.Mem.CheckIsolation(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentClaims hammers the resource database directly.
+func TestConcurrentClaims(t *testing.T) {
+	db := NewResourceDB(testCluster())
+	var wg sync.WaitGroup
+	claimed := make([]int, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app := fmt.Sprintf("g%d", g)
+			for round := 0; round < 50; round++ {
+				refs, err := Allocate(db, 3)
+				if err != nil {
+					continue
+				}
+				if err := db.Claim(app, refs); err != nil {
+					continue // lost the race: fine, but nothing corrupted
+				}
+				claimed[g]++
+				db.ReleaseApp(app)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.UsedBlocks() != 0 {
+		t.Fatalf("blocks leaked: %d", db.UsedBlocks())
+	}
+	total := 0
+	for _, c := range claimed {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no goroutine ever claimed — test is vacuous")
+	}
+}

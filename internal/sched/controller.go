@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vital/internal/bitstream"
+	"vital/internal/cluster"
+	"vital/internal/memvirt"
+)
+
+// Controller is the system controller of Fig. 6: it owns the resource
+// database and the bitstream database, performs runtime resource
+// management, deploys applications by partial reconfiguration, and wires up
+// the per-application protection domains.
+type Controller struct {
+	Cluster    *cluster.Cluster
+	DB         *ResourceDB
+	Bitstreams *bitstream.Database
+
+	mu       sync.Mutex
+	deployed map[string]*Deployment
+	log      *eventLog
+}
+
+// Deployment records a running application.
+type Deployment struct {
+	App    string
+	Blocks []cluster.GlobalBlockRef
+	// Programmed holds the relocated bitstreams, index-aligned with Blocks.
+	Programmed []*bitstream.Bitstream
+	// ReconfigTime is the partial-reconfiguration latency incurred
+	// (per-board programming proceeds in parallel; within a board it is
+	// serial through the one ICAP).
+	ReconfigTime time.Duration
+	// MultiFPGA reports whether the app spans multiple boards.
+	MultiFPGA bool
+	// VNIC is the app's virtual NIC on its primary board.
+	VNIC *memvirt.VNIC
+}
+
+// NewController assembles a controller over a cluster.
+func NewController(c *cluster.Cluster) *Controller {
+	return &Controller{
+		Cluster:    c,
+		DB:         NewResourceDB(c),
+		Bitstreams: bitstream.NewDatabase(),
+		deployed:   map[string]*Deployment{},
+		log:        newEventLog(),
+	}
+}
+
+// Deploy places a compiled application onto the cluster: it looks up the
+// bitstreams, runs the communication-aware allocator, relocates each
+// virtual block's bitstream to its physical block, claims the blocks, and
+// creates the app's memory domain and virtual NIC. memQuota is the app's
+// DRAM quota on its primary board.
+func (ct *Controller) Deploy(app string, memQuota uint64) (*Deployment, error) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if _, exists := ct.deployed[app]; exists {
+		return nil, fmt.Errorf("sched: %q already deployed", app)
+	}
+	images, ok := ct.Bitstreams.Lookup(app)
+	if !ok {
+		return nil, fmt.Errorf("sched: no compiled bitstreams for %q", app)
+	}
+	refs, err := Allocate(ct.DB, len(images))
+	if err != nil {
+		return nil, err
+	}
+	// Relocate every virtual block's bitstream to its physical block —
+	// no recompilation (Section 3.3, step 5).
+	programmed := make([]*bitstream.Bitstream, len(refs))
+	perBoard := map[int]time.Duration{}
+	for i, ref := range refs {
+		moved, err := images[i].Relocate(ref.BlockRef, ct.Cluster.Boards[ref.Board].Device)
+		if err != nil {
+			return nil, fmt.Errorf("sched: relocating vb%d to %v: %w", i, ref, err)
+		}
+		programmed[i] = moved
+		perBoard[ref.Board] += moved.ReconfigTime()
+	}
+	if err := ct.DB.Claim(app, refs); err != nil {
+		return nil, err
+	}
+	boards := BoardsOf(refs)
+	primary := ct.Cluster.Boards[boards[0]]
+	if _, err := primary.Mem.CreateDomain(app, memQuota); err != nil {
+		ct.DB.ReleaseApp(app)
+		return nil, err
+	}
+	vnic, err := primary.Net.AttachNIC(app)
+	if err != nil {
+		_ = primary.Mem.DestroyDomain(app)
+		ct.DB.ReleaseApp(app)
+		return nil, err
+	}
+	var reconfig time.Duration
+	for _, d := range perBoard {
+		if d > reconfig {
+			reconfig = d
+		}
+	}
+	dep := &Deployment{
+		App:          app,
+		Blocks:       refs,
+		Programmed:   programmed,
+		ReconfigTime: reconfig,
+		MultiFPGA:    len(boards) > 1,
+		VNIC:         vnic,
+	}
+	ct.deployed[app] = dep
+	ct.log.add(EventDeploy, app, fmt.Sprintf("%d blocks on %v", len(refs), boards))
+	return dep, nil
+}
+
+// Undeploy stops an application, releasing blocks, memory and network.
+func (ct *Controller) Undeploy(app string) error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	dep, ok := ct.deployed[app]
+	if !ok {
+		return fmt.Errorf("sched: %q not deployed", app)
+	}
+	primary := ct.Cluster.Boards[BoardsOf(dep.Blocks)[0]]
+	if err := primary.Mem.DestroyDomain(app); err != nil {
+		return err
+	}
+	primary.Net.DetachNIC(app)
+	ct.DB.ReleaseApp(app)
+	delete(ct.deployed, app)
+	ct.log.add(EventUndeploy, app, fmt.Sprintf("%d blocks freed", len(dep.Blocks)))
+	return nil
+}
+
+// Deployment returns the running deployment of an app.
+func (ct *Controller) Deployment(app string) (*Deployment, bool) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	d, ok := ct.deployed[app]
+	return d, ok
+}
+
+// Relocate moves one virtual block of a running application to a specific
+// free physical block without recompilation (Fig. 10's flexible sharing).
+func (ct *Controller) Relocate(app string, vb int, target cluster.GlobalBlockRef) error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	dep, ok := ct.deployed[app]
+	if !ok {
+		return fmt.Errorf("sched: %q not deployed", app)
+	}
+	if vb < 0 || vb >= len(dep.Blocks) {
+		return fmt.Errorf("sched: %q has no virtual block %d", app, vb)
+	}
+	if owner := ct.DB.Owner(target); owner != "" {
+		return fmt.Errorf("sched: target %v owned by %q", target, owner)
+	}
+	moved, err := dep.Programmed[vb].Relocate(target.BlockRef, ct.Cluster.Boards[target.Board].Device)
+	if err != nil {
+		return err
+	}
+	if err := ct.DB.Claim(app, []cluster.GlobalBlockRef{target}); err != nil {
+		return err
+	}
+	// Free the old block: rebuild the app's claim set.
+	old := dep.Blocks[vb]
+	all := ct.DB.ReleaseApp(app)
+	keep := all[:0]
+	for _, r := range all {
+		if r != old {
+			keep = append(keep, r)
+		}
+	}
+	if err := ct.DB.Claim(app, keep); err != nil {
+		return err
+	}
+	dep.Blocks[vb] = target
+	dep.Programmed[vb] = moved
+	dep.MultiFPGA = len(BoardsOf(dep.Blocks)) > 1
+	ct.log.add(EventRelocate, app, fmt.Sprintf("vb%d %v → %v", vb, old, target))
+	return nil
+}
+
+// Status summarizes the controller state for the API.
+type Status struct {
+	Boards      int            `json:"boards"`
+	TotalBlocks int            `json:"total_blocks"`
+	UsedBlocks  int            `json:"used_blocks"`
+	FreePerFPGA []int          `json:"free_per_fpga"`
+	Apps        map[string]int `json:"apps"` // app → blocks held
+}
+
+// Status reports the cluster occupancy.
+func (ct *Controller) Status() Status {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	st := Status{
+		Boards:      len(ct.Cluster.Boards),
+		TotalBlocks: ct.Cluster.TotalBlocks(),
+		UsedBlocks:  ct.DB.UsedBlocks(),
+		FreePerFPGA: ct.DB.FreeCount(),
+		Apps:        map[string]int{},
+	}
+	for app, dep := range ct.deployed {
+		st.Apps[app] = len(dep.Blocks)
+	}
+	return st
+}

@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"vital/internal/cluster"
+)
+
+// Runtime defragmentation — the "more comprehensive runtime policy" the
+// paper leaves as future work (Section 3.4). Because virtual blocks
+// relocate without recompilation (Section 3.3 step 5), the controller can
+// consolidate a fragmented cluster online: draining lightly-used boards
+// re-creates whole-board holes for large applications, and compacting a
+// spanning application onto one board removes its inter-FPGA traffic.
+
+// Drain relocates every block off the given board onto free blocks of
+// other boards (preferring boards that already host the same application,
+// to avoid creating new inter-FPGA edges). It returns the number of blocks
+// moved; it fails without changes if the rest of the cluster lacks room.
+func (ct *Controller) Drain(board int) (int, error) {
+	ct.mu.Lock()
+	// Collect (app, vb) pairs resident on the board.
+	type resident struct {
+		app string
+		vb  int
+	}
+	var residents []resident
+	for app, dep := range ct.deployed {
+		for vb, blk := range dep.Blocks {
+			if blk.Board == board {
+				residents = append(residents, resident{app, vb})
+			}
+		}
+	}
+	ct.mu.Unlock()
+	if len(residents) == 0 {
+		return 0, nil
+	}
+	// Capacity check: free blocks elsewhere must cover the residents.
+	freeElsewhere := 0
+	for b := range ct.Cluster.Boards {
+		if b != board {
+			freeElsewhere += len(ct.DB.FreeOnBoard(b))
+		}
+	}
+	if freeElsewhere < len(residents) {
+		return 0, fmt.Errorf("sched: cannot drain board %d: %d blocks resident, %d free elsewhere", board, len(residents), freeElsewhere)
+	}
+	sort.Slice(residents, func(i, j int) bool {
+		if residents[i].app != residents[j].app {
+			return residents[i].app < residents[j].app
+		}
+		return residents[i].vb < residents[j].vb
+	})
+	moved := 0
+	for _, r := range residents {
+		target, err := ct.drainTarget(r.app, board)
+		if err != nil {
+			return moved, err
+		}
+		if err := ct.Relocate(r.app, r.vb, target); err != nil {
+			return moved, fmt.Errorf("sched: draining %s/vb%d: %w", r.app, r.vb, err)
+		}
+		moved++
+	}
+	ct.log.add(EventDrain, "", fmt.Sprintf("board %d: %d blocks relocated", board, moved))
+	return moved, nil
+}
+
+// drainTarget picks a destination block off the given board for one of the
+// app's blocks: a board already hosting the app if possible, else the board
+// with the fewest free blocks (best fit).
+func (ct *Controller) drainTarget(app string, avoid int) (cluster.GlobalBlockRef, error) {
+	dep, ok := ct.Deployment(app)
+	if !ok {
+		return cluster.GlobalBlockRef{}, fmt.Errorf("sched: %q not deployed", app)
+	}
+	hosts := map[int]bool{}
+	for _, blk := range dep.Blocks {
+		if blk.Board != avoid {
+			hosts[blk.Board] = true
+		}
+	}
+	best, bestFree := -1, 0
+	for b := range ct.Cluster.Boards {
+		if b == avoid {
+			continue
+		}
+		free := len(ct.DB.FreeOnBoard(b))
+		if free == 0 {
+			continue
+		}
+		better := best == -1 ||
+			(hosts[b] && !hosts[best]) ||
+			(hosts[b] == hosts[best] && free < bestFree)
+		if better {
+			best, bestFree = b, free
+		}
+	}
+	if best == -1 {
+		return cluster.GlobalBlockRef{}, fmt.Errorf("sched: no free block outside board %d", avoid)
+	}
+	return ct.DB.FreeOnBoard(best)[0], nil
+}
+
+// CompactApp relocates a multi-FPGA application onto a single board when
+// one has enough free blocks plus the app's own blocks there — removing
+// its inter-FPGA communication entirely. It returns whether compaction
+// happened.
+func (ct *Controller) CompactApp(app string) (bool, error) {
+	dep, ok := ct.Deployment(app)
+	if !ok {
+		return false, fmt.Errorf("sched: %q not deployed", app)
+	}
+	boards := BoardsOf(dep.Blocks)
+	if len(boards) <= 1 {
+		return false, nil
+	}
+	perBoard := map[int]int{}
+	for _, blk := range dep.Blocks {
+		perBoard[blk.Board]++
+	}
+	// Best candidate: already hosts the most of the app and has room for
+	// the rest.
+	best := -1
+	for b := range ct.Cluster.Boards {
+		need := len(dep.Blocks) - perBoard[b]
+		if need <= len(ct.DB.FreeOnBoard(b)) {
+			if best == -1 || perBoard[b] > perBoard[best] {
+				best = b
+			}
+		}
+	}
+	if best == -1 {
+		return false, nil
+	}
+	free := ct.DB.FreeOnBoard(best)
+	fi := 0
+	for vb, blk := range dep.Blocks {
+		if blk.Board == best {
+			continue
+		}
+		if err := ct.Relocate(app, vb, free[fi]); err != nil {
+			return false, fmt.Errorf("sched: compacting %s/vb%d: %w", app, vb, err)
+		}
+		fi++
+	}
+	return true, nil
+}
+
+// DeploySingleBoard deploys an application under a no-spanning constraint
+// (latency-sensitive tenants that refuse inter-FPGA hops). When no single
+// board currently has enough free blocks but the cluster as a whole does,
+// the controller defragments first: it drains the occupied board that
+// would then offer enough contiguous room, and retries — the
+// relocation-powered consolidation a static slot system cannot do.
+func (ct *Controller) DeploySingleBoard(app string, memQuota uint64) (*Deployment, error) {
+	images, ok := ct.Bitstreams.Lookup(app)
+	if !ok {
+		return nil, fmt.Errorf("sched: no compiled bitstreams for %q", app)
+	}
+	n := len(images)
+	fits := func() int {
+		for b := range ct.Cluster.Boards {
+			if len(ct.DB.FreeOnBoard(b)) >= n {
+				return b
+			}
+		}
+		return -1
+	}
+	if fits() == -1 {
+		// Find a board whose residents can move elsewhere and whose
+		// capacity covers the request, and drain it.
+		candidate := -1
+		for b := range ct.Cluster.Boards {
+			total := ct.Cluster.Boards[b].Device.NumBlocks()
+			used := total - len(ct.DB.FreeOnBoard(b))
+			if used == 0 || total < n {
+				continue
+			}
+			freeElsewhere := 0
+			for o := range ct.Cluster.Boards {
+				if o != b {
+					freeElsewhere += len(ct.DB.FreeOnBoard(o))
+				}
+			}
+			if freeElsewhere >= used {
+				candidate = b
+				break
+			}
+		}
+		if candidate == -1 {
+			return nil, fmt.Errorf("sched: no single board can host %d blocks for %q, even after defragmentation", n, app)
+		}
+		if _, err := ct.Drain(candidate); err != nil {
+			return nil, fmt.Errorf("sched: defragmenting for %q: %w", app, err)
+		}
+	}
+	if fits() == -1 {
+		return nil, fmt.Errorf("sched: no single board can host %d blocks for %q", n, app)
+	}
+	dep, err := ct.Deploy(app, memQuota)
+	if err != nil {
+		return nil, err
+	}
+	if dep.MultiFPGA {
+		// The communication-aware policy prefers single boards, so with a
+		// board known to fit this cannot happen; guard anyway.
+		_ = ct.Undeploy(app)
+		return nil, fmt.Errorf("sched: single-board placement of %q not honored", app)
+	}
+	return dep, nil
+}

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"testing"
+
+	"vital/internal/bitstream"
+)
+
+// storeSynthetic registers n relocatable single-block bitstreams for an app
+// without running the whole compile flow (the placement content is
+// irrelevant to allocation tests).
+func storeSynthetic(t *testing.T, ct *Controller, app string, n int) {
+	t.Helper()
+	imgs := compileToBitstreams(t, app)
+	all := make([]*bitstream.Bitstream, n)
+	for i := 0; i < n; i++ {
+		img := *imgs[0]
+		img.VirtualBlock = i
+		all[i] = &img
+	}
+	if err := ct.Bitstreams.Store(app, all); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainEmptiesBoard(t *testing.T) {
+	ct := NewController(testCluster())
+	storeSynthetic(t, ct, "a", 3)
+	storeSynthetic(t, ct, "b", 2)
+	if _, err := ct.Deploy("a", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Deploy("b", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	// Both apps land on board 0 (best fit); drain it.
+	moved, err := ct.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 5 {
+		t.Fatalf("moved %d blocks, want 5", moved)
+	}
+	if free := len(ct.DB.FreeOnBoard(0)); free != 15 {
+		t.Fatalf("board 0 has %d free after drain, want 15", free)
+	}
+	// Apps still deployed and each still holds its blocks.
+	for _, app := range []string{"a", "b"} {
+		dep, ok := ct.Deployment(app)
+		if !ok {
+			t.Fatalf("%s lost during drain", app)
+		}
+		for _, blk := range dep.Blocks {
+			if blk.Board == 0 {
+				t.Fatalf("%s still has a block on board 0", app)
+			}
+			if ct.DB.Owner(blk) != app {
+				t.Fatalf("ownership lost for %v", blk)
+			}
+		}
+	}
+}
+
+func TestDrainFailsWithoutRoom(t *testing.T) {
+	ct := NewController(testCluster())
+	// Fill boards 1-3 completely, put one app on board 0.
+	for b := 1; b < 4; b++ {
+		if err := ct.DB.Claim("filler", ct.DB.FreeOnBoard(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	storeSynthetic(t, ct, "a", 3)
+	if _, err := ct.Deploy("a", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Drain(0); err == nil {
+		t.Fatal("drain succeeded with no free blocks elsewhere")
+	}
+	// Nothing moved.
+	dep, _ := ct.Deployment("a")
+	for _, blk := range dep.Blocks {
+		if blk.Board != 0 {
+			t.Fatal("partial drain despite failure")
+		}
+	}
+}
+
+func TestDrainEmptyBoardNoop(t *testing.T) {
+	ct := NewController(testCluster())
+	moved, err := ct.Drain(2)
+	if err != nil || moved != 0 {
+		t.Fatalf("moved=%d err=%v", moved, err)
+	}
+}
+
+func TestCompactAppRemovesSpanning(t *testing.T) {
+	ct := NewController(testCluster())
+	// Force app "a" (4 blocks) to span boards: 2 free on board 0, rest on 1.
+	fill0 := ct.DB.FreeOnBoard(0)
+	if err := ct.DB.Claim("filler", fill0[:13]); err != nil {
+		t.Fatal(err)
+	}
+	fill1 := ct.DB.FreeOnBoard(1)
+	if err := ct.DB.Claim("filler2", fill1[:13]); err != nil {
+		t.Fatal(err)
+	}
+	fill2 := ct.DB.FreeOnBoard(2)
+	if err := ct.DB.Claim("filler3", fill2[:14]); err != nil {
+		t.Fatal(err)
+	}
+	fill3 := ct.DB.FreeOnBoard(3)
+	if err := ct.DB.Claim("filler4", fill3[:14]); err != nil {
+		t.Fatal(err)
+	}
+	storeSynthetic(t, ct, "a", 4)
+	dep, err := ct.Deploy("a", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dep.MultiFPGA {
+		t.Fatal("setup failed: app not spanning")
+	}
+	// Free a whole board's worth of room on board 3 and compact.
+	ct.DB.ReleaseApp("filler4")
+	did, err := ct.CompactApp("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("compaction did not happen")
+	}
+	dep2, _ := ct.Deployment("a")
+	if dep2.MultiFPGA {
+		t.Fatal("app still spans boards after compaction")
+	}
+	if len(BoardsOf(dep2.Blocks)) != 1 {
+		t.Fatalf("app on %d boards", len(BoardsOf(dep2.Blocks)))
+	}
+}
+
+func TestCompactAppNoopWhenSingleBoard(t *testing.T) {
+	ct := NewController(testCluster())
+	storeSynthetic(t, ct, "a", 2)
+	if _, err := ct.Deploy("a", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	did, err := ct.CompactApp("a")
+	if err != nil || did {
+		t.Fatalf("did=%v err=%v", did, err)
+	}
+	if _, err := ct.CompactApp("ghost"); err == nil {
+		t.Fatal("compaction of unknown app accepted")
+	}
+}
+
+func TestDeploySingleBoardDefragments(t *testing.T) {
+	ct := NewController(testCluster())
+	// Fragment the cluster: a movable 8-block tenant sits on board 0, and
+	// boards 1-3 each keep only 4 blocks free (immovable fillers), so no
+	// board can host a 10-block no-spanning tenant even though 19 blocks
+	// are free in total.
+	storeSynthetic(t, ct, "movable", 8)
+	if _, err := ct.Deploy("movable", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b < 4; b++ {
+		free := ct.DB.FreeOnBoard(b)
+		if err := ct.DB.Claim("filler", free[:len(free)-4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	storeSynthetic(t, ct, "latency-sensitive", 10)
+	// Plain Deploy would span boards; the single-board path must first
+	// drain board 0 (its 8 movable blocks fit the 12 free elsewhere).
+	dep, err := ct.DeploySingleBoard("latency-sensitive", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.MultiFPGA {
+		t.Fatal("single-board deployment spans FPGAs")
+	}
+	if len(BoardsOf(dep.Blocks)) != 1 || dep.Blocks[0].Board != 0 {
+		t.Fatalf("expected board 0 after drain, got %v", dep.Blocks)
+	}
+	// The movable tenant survived the defragmentation.
+	if _, ok := ct.Deployment("movable"); !ok {
+		t.Fatal("movable tenant lost")
+	}
+}
+
+func TestDeploySingleBoardFailsWhenImpossible(t *testing.T) {
+	ct := NewController(testCluster())
+	// Immovable fillers leave 4 free blocks per board; a 10-block
+	// no-spanning request is impossible even with defragmentation.
+	for b := 0; b < 4; b++ {
+		free := ct.DB.FreeOnBoard(b)
+		if err := ct.DB.Claim("filler", free[:len(free)-4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	storeSynthetic(t, ct, "big", 10)
+	if _, err := ct.DeploySingleBoard("big", 1<<30); err == nil {
+		t.Fatal("impossible single-board request granted")
+	}
+	if _, err := ct.DeploySingleBoard("ghost", 1<<30); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies controller events.
+type EventKind string
+
+// Event kinds.
+const (
+	EventDeploy   EventKind = "deploy"
+	EventUndeploy EventKind = "undeploy"
+	EventRelocate EventKind = "relocate"
+	EventDrain    EventKind = "drain"
+)
+
+// Event is one entry of the controller's audit log: cloud operators need
+// to reconstruct who held which physical blocks when.
+type Event struct {
+	At     time.Time `json:"at"`
+	Kind   EventKind `json:"kind"`
+	App    string    `json:"app"`
+	Detail string    `json:"detail"`
+}
+
+// eventLog is a bounded in-memory audit log.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+	// Counters for the metrics endpoint.
+	counts map[EventKind]uint64
+}
+
+const defaultEventLimit = 4096
+
+func newEventLog() *eventLog {
+	return &eventLog{limit: defaultEventLimit, counts: map[EventKind]uint64{}}
+}
+
+func (l *eventLog) add(kind EventKind, app, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.counts[kind]++
+	l.events = append(l.events, Event{At: time.Now(), Kind: kind, App: app, Detail: detail})
+	if len(l.events) > l.limit {
+		l.events = l.events[len(l.events)-l.limit:]
+	}
+}
+
+// Snapshot returns the most recent events, newest last.
+func (l *eventLog) Snapshot(max int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.events)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Event, n)
+	copy(out, l.events[len(l.events)-n:])
+	return out
+}
+
+// Counts returns per-kind event totals.
+func (l *eventLog) Counts() map[EventKind]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[EventKind]uint64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Events returns the controller's recent audit log (newest last).
+func (ct *Controller) Events(max int) []Event {
+	return ct.log.Snapshot(max)
+}
+
+// Metrics summarizes controller activity for monitoring.
+type Metrics struct {
+	TotalBlocks int                  `json:"total_blocks"`
+	UsedBlocks  int                  `json:"used_blocks"`
+	Deployed    int                  `json:"deployed_apps"`
+	Events      map[EventKind]uint64 `json:"events"`
+}
+
+// Metrics reports occupancy and event counters.
+func (ct *Controller) Metrics() Metrics {
+	st := ct.Status()
+	return Metrics{
+		TotalBlocks: st.TotalBlocks,
+		UsedBlocks:  st.UsedBlocks,
+		Deployed:    len(st.Apps),
+		Events:      ct.log.Counts(),
+	}
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler exposes the system controller over HTTP — the API surface a
+// higher-level system (hypervisor, cloud control plane) integrates with
+// (Fig. 6: "exposes APIs for an easy system integration").
+//
+//	GET  /status            → cluster occupancy
+//	GET  /metrics           → occupancy + event counters
+//	GET  /events            → recent audit log
+//	GET  /apps              → deployed applications
+//	POST /deploy   {app, mem_quota_bytes} → deployment summary
+//	POST /undeploy {app}
+func NewHandler(ct *Controller) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ct.Status())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ct.Metrics())
+	})
+
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"events": ct.Events(256)})
+	})
+
+	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
+		st := ct.Status()
+		apps := make([]string, 0, len(st.Apps))
+		for a := range st.Apps {
+			apps = append(apps, a)
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"apps": apps})
+	})
+
+	type deployReq struct {
+		App           string `json:"app"`
+		MemQuotaBytes uint64 `json:"mem_quota_bytes"`
+	}
+	mux.HandleFunc("POST /deploy", func(w http.ResponseWriter, r *http.Request) {
+		var req deployReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+			return
+		}
+		if req.App == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("missing app name"))
+			return
+		}
+		if req.MemQuotaBytes == 0 {
+			req.MemQuotaBytes = 1 << 30
+		}
+		dep, err := ct.Deploy(req.App, req.MemQuotaBytes)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		blocks := make([]string, len(dep.Blocks))
+		for i, b := range dep.Blocks {
+			blocks[i] = b.String()
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"app":              dep.App,
+			"blocks":           blocks,
+			"multi_fpga":       dep.MultiFPGA,
+			"reconfig_time_ms": float64(dep.ReconfigTime.Microseconds()) / 1000,
+			"vnic_mac":         dep.VNIC.MAC.String(),
+		})
+	})
+
+	type undeployReq struct {
+		App string `json:"app"`
+	}
+	mux.HandleFunc("POST /undeploy", func(w http.ResponseWriter, r *http.Request) {
+		var req undeployReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+			return
+		}
+		if err := ct.Undeploy(req.App); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"undeployed": req.App})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Controller, *httptest.Server) {
+	t.Helper()
+	ct := NewController(testCluster())
+	if err := ct.Bitstreams.Store("app1", compileToBitstreams(t, "app1")); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(ct))
+	t.Cleanup(srv.Close)
+	return ct, srv
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHTTPDeployStatusUndeploy(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	resp := postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	var dep map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&dep); err != nil {
+		t.Fatal(err)
+	}
+	if dep["app"] != "app1" {
+		t.Fatalf("deploy response = %v", dep)
+	}
+	if blocks, ok := dep["blocks"].([]interface{}); !ok || len(blocks) != 1 {
+		t.Fatalf("blocks = %v", dep["blocks"])
+	}
+
+	st, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var status Status
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.UsedBlocks != 1 || status.Apps["app1"] != 1 {
+		t.Fatalf("status = %+v", status)
+	}
+
+	// Double deploy conflicts.
+	if resp := postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double deploy status = %d", resp.StatusCode)
+	}
+
+	if resp := postJSON(t, srv.URL+"/undeploy", map[string]string{"app": "app1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("undeploy status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/undeploy", map[string]string{"app": "app1"}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double undeploy status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	_, srv := newTestServer(t)
+	if resp := postJSON(t, srv.URL+"/deploy", map[string]string{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing app name status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/deploy", map[string]string{"app": "ghost"}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unknown app status = %d", resp.StatusCode)
+	}
+	resp, err := http.Post(srv.URL+"/deploy", "application/json", bytes.NewReader([]byte("{bad")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPApps(t *testing.T) {
+	_, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+	resp, err := http.Get(srv.URL + "/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Apps []string `json:"apps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Apps) != 1 || out.Apps[0] != "app1" {
+		t.Fatalf("apps = %v", out.Apps)
+	}
+}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"fmt"
+
+	"vital/internal/cluster"
+)
+
+// Allocate implements the communication-aware multi-round policy of
+// Section 3.4: round 1 looks for a single FPGA with enough free blocks
+// (best fit: the fullest board that still fits, to preserve large holes);
+// each following round increases the board count, choosing the
+// ring-adjacent window that minimizes inter-FPGA hops. Within a window,
+// fuller boards contribute first, again to preserve holes.
+//
+// It returns the chosen blocks without claiming them; callers claim via
+// ResourceDB.Claim.
+func Allocate(db *ResourceDB, n int) ([]cluster.GlobalBlockRef, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: allocation of %d blocks", n)
+	}
+	c := db.Cluster()
+	numBoards := len(c.Boards)
+	free := db.FreeCount()
+
+	// Round 1: single FPGA, best fit.
+	best := -1
+	for b := 0; b < numBoards; b++ {
+		if free[b] >= n && (best == -1 || free[b] < free[best]) {
+			best = b
+		}
+	}
+	if best != -1 {
+		return db.FreeOnBoard(best)[:n], nil
+	}
+
+	// Rounds 2..numBoards: contiguous ring windows of increasing size.
+	for span := 2; span <= numBoards; span++ {
+		bestStart, bestFree := -1, -1
+		for start := 0; start < numBoards; start++ {
+			total := 0
+			for k := 0; k < span; k++ {
+				total += free[(start+k)%numBoards]
+			}
+			// Feasible window with the fewest free blocks wastes least.
+			if total >= n && (bestStart == -1 || total < bestFree) {
+				bestStart, bestFree = start, total
+			}
+		}
+		if bestStart == -1 {
+			continue
+		}
+		// Take blocks board by board, fullest (fewest free) boards first,
+		// so the allocation concentrates and leaves bigger holes.
+		boards := make([]int, span)
+		for k := 0; k < span; k++ {
+			boards[k] = (bestStart + k) % numBoards
+		}
+		for i := 1; i < span; i++ {
+			for j := i; j > 0 && free[boards[j]] < free[boards[j-1]]; j-- {
+				boards[j], boards[j-1] = boards[j-1], boards[j]
+			}
+		}
+		var refs []cluster.GlobalBlockRef
+		need := n
+		for _, b := range boards {
+			take := min(need, free[b])
+			refs = append(refs, db.FreeOnBoard(b)[:take]...)
+			need -= take
+			if need == 0 {
+				break
+			}
+		}
+		return refs, nil
+	}
+	return nil, fmt.Errorf("sched: %d blocks not available (%v free)", n, free)
+}
+
+// BoardsOf returns the distinct boards of an allocation, in first-seen
+// order.
+func BoardsOf(refs []cluster.GlobalBlockRef) []int {
+	seen := map[int]bool{}
+	var boards []int
+	for _, r := range refs {
+		if !seen[r.Board] {
+			seen[r.Board] = true
+			boards = append(boards, r.Board)
+		}
+	}
+	return boards
+}

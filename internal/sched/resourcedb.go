@@ -1,0 +1,146 @@
+// Package sched is ViTAL's system layer (Section 3.4, Fig. 6): the system
+// controller with its resource database and bitstream database, the
+// communication-aware runtime allocation policy, deployment via partial
+// reconfiguration, isolation enforcement, and an HTTP API for integration
+// with a higher-level system (hypervisor).
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vital/internal/cluster"
+)
+
+// ResourceDB tracks the status of every physical block in the cluster: the
+// resource database of Fig. 6.
+type ResourceDB struct {
+	mu      sync.Mutex
+	cluster *cluster.Cluster
+	// owner maps a block to the application holding it ("" = free).
+	owner map[cluster.GlobalBlockRef]string
+	// byApp indexes the blocks held by each application.
+	byApp map[string][]cluster.GlobalBlockRef
+}
+
+// NewResourceDB builds the database with every block free.
+func NewResourceDB(c *cluster.Cluster) *ResourceDB {
+	db := &ResourceDB{
+		cluster: c,
+		owner:   make(map[cluster.GlobalBlockRef]string, c.TotalBlocks()),
+		byApp:   map[string][]cluster.GlobalBlockRef{},
+	}
+	for _, ref := range c.AllBlocks() {
+		db.owner[ref] = ""
+	}
+	return db
+}
+
+// Cluster returns the cluster this database manages.
+func (db *ResourceDB) Cluster() *cluster.Cluster { return db.cluster }
+
+// FreeOnBoard returns the free blocks of one board, in (die, index) order.
+func (db *ResourceDB) FreeOnBoard(board int) []cluster.GlobalBlockRef {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.freeOnBoardLocked(board)
+}
+
+func (db *ResourceDB) freeOnBoardLocked(board int) []cluster.GlobalBlockRef {
+	var free []cluster.GlobalBlockRef
+	for _, ref := range db.cluster.Boards[board].Device.Blocks() {
+		g := cluster.GlobalBlockRef{Board: board, BlockRef: ref}
+		if db.owner[g] == "" {
+			free = append(free, g)
+		}
+	}
+	return free
+}
+
+// FreeCount returns the number of free blocks per board.
+func (db *ResourceDB) FreeCount() []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	counts := make([]int, len(db.cluster.Boards))
+	for b := range db.cluster.Boards {
+		counts[b] = len(db.freeOnBoardLocked(b))
+	}
+	return counts
+}
+
+// UsedBlocks returns the total number of occupied blocks.
+func (db *ResourceDB) UsedBlocks() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	used := 0
+	for _, app := range db.owner {
+		if app != "" {
+			used++
+		}
+	}
+	return used
+}
+
+// Claim atomically assigns the blocks to the application. If any block is
+// already owned, nothing changes and an error is returned — the isolation
+// guarantee that no physical block is ever shared (Section 3.4).
+func (db *ResourceDB) Claim(app string, refs []cluster.GlobalBlockRef) error {
+	if app == "" {
+		return fmt.Errorf("sched: empty application name")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, ref := range refs {
+		owner, known := db.owner[ref]
+		if !known {
+			return fmt.Errorf("sched: unknown block %v", ref)
+		}
+		if owner != "" {
+			return fmt.Errorf("sched: block %v already owned by %q", ref, owner)
+		}
+	}
+	seen := map[cluster.GlobalBlockRef]bool{}
+	for _, ref := range refs {
+		if seen[ref] {
+			return fmt.Errorf("sched: duplicate block %v in claim", ref)
+		}
+		seen[ref] = true
+	}
+	for _, ref := range refs {
+		db.owner[ref] = app
+	}
+	db.byApp[app] = append(db.byApp[app], refs...)
+	return nil
+}
+
+// ReleaseApp frees all blocks of an application and returns them.
+func (db *ResourceDB) ReleaseApp(app string) []cluster.GlobalBlockRef {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	refs := db.byApp[app]
+	for _, ref := range refs {
+		db.owner[ref] = ""
+	}
+	delete(db.byApp, app)
+	return refs
+}
+
+// Owner returns the application holding a block ("" when free).
+func (db *ResourceDB) Owner(ref cluster.GlobalBlockRef) string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.owner[ref]
+}
+
+// Apps lists applications currently holding blocks.
+func (db *ResourceDB) Apps() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	apps := make([]string, 0, len(db.byApp))
+	for a := range db.byApp {
+		apps = append(apps, a)
+	}
+	sort.Strings(apps)
+	return apps
+}

@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"vital/internal/bitstream"
+	"vital/internal/cluster"
+	"vital/internal/fpga"
+	"vital/internal/hls"
+	"vital/internal/pnr"
+	"vital/internal/sim"
+	"vital/internal/workload"
+)
+
+func testCluster() *cluster.Cluster { return cluster.Default() }
+
+func TestResourceDBClaimRelease(t *testing.T) {
+	db := NewResourceDB(testCluster())
+	refs := db.FreeOnBoard(0)[:3]
+	if err := db.Claim("a", refs); err != nil {
+		t.Fatal(err)
+	}
+	if db.UsedBlocks() != 3 {
+		t.Fatalf("used = %d", db.UsedBlocks())
+	}
+	if owner := db.Owner(refs[0]); owner != "a" {
+		t.Fatalf("owner = %q", owner)
+	}
+	// Double-claim of any overlapping set fails atomically.
+	if err := db.Claim("b", refs[2:3]); err == nil {
+		t.Fatal("double claim allowed — isolation violated")
+	}
+	got := db.ReleaseApp("a")
+	if len(got) != 3 || db.UsedBlocks() != 0 {
+		t.Fatalf("release returned %d blocks, used now %d", len(got), db.UsedBlocks())
+	}
+}
+
+func TestResourceDBClaimValidation(t *testing.T) {
+	db := NewResourceDB(testCluster())
+	if err := db.Claim("", db.FreeOnBoard(0)[:1]); err == nil {
+		t.Fatal("empty app name accepted")
+	}
+	ref := db.FreeOnBoard(0)[0]
+	if err := db.Claim("a", []cluster.GlobalBlockRef{ref, ref}); err == nil {
+		t.Fatal("duplicate block accepted")
+	}
+	bad := cluster.GlobalBlockRef{Board: 9, BlockRef: fpga.BlockRef{}}
+	if err := db.Claim("a", []cluster.GlobalBlockRef{bad}); err == nil {
+		t.Fatal("unknown block accepted")
+	}
+}
+
+func TestAllocateSingleFPGAPreferred(t *testing.T) {
+	db := NewResourceDB(testCluster())
+	// Occupy board 0 partially so best-fit prefers it for small requests.
+	if err := db.Claim("x", db.FreeOnBoard(0)[:10]); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := Allocate(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boards := BoardsOf(refs)
+	if len(boards) != 1 {
+		t.Fatalf("5 blocks spread over %d boards", len(boards))
+	}
+	if boards[0] != 0 {
+		t.Fatalf("best fit should pick the fullest feasible board 0, got %d", boards[0])
+	}
+}
+
+func TestAllocateSpansWhenNecessary(t *testing.T) {
+	db := NewResourceDB(testCluster())
+	// Leave 3 free on each of two adjacent boards, everything else taken.
+	for b := 0; b < 4; b++ {
+		free := db.FreeOnBoard(b)
+		n := len(free)
+		if b == 1 || b == 2 {
+			n -= 3
+		}
+		if err := db.Claim("filler", free[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs, err := Allocate(db, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boards := BoardsOf(refs)
+	if len(boards) != 2 {
+		t.Fatalf("allocation uses %d boards, want 2", len(boards))
+	}
+	if _, err := Allocate(db, 7); err == nil {
+		t.Fatal("7 blocks granted with only 6 free")
+	}
+}
+
+func TestAllocateRejectsNonPositive(t *testing.T) {
+	db := NewResourceDB(testCluster())
+	if _, err := Allocate(db, 0); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+// compileToBitstreams produces real bitstreams for a small app.
+func compileToBitstreams(t *testing.T, name string) []*bitstream.Bitstream {
+	t.Helper()
+	b, err := workload.Find("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hls.Synthesize(workload.BuildDesign(workload.Spec{Benchmark: b, Variant: workload.Small}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Netlist
+	all := make([]int, n.NumCells())
+	dev := fpga.XCVU37P()
+	results, err := pnr.LocalPlaceAndRoute(n, all, 1, fpga.NewGrid(dev.BlockShape()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*bitstream.Bitstream{
+		bitstream.FromPlacement(name, 0, results[0].Placement, fpga.BlockRef{}),
+	}
+}
+
+func TestControllerDeployUndeploy(t *testing.T) {
+	ct := NewController(testCluster())
+	if err := ct.Bitstreams.Store("app1", compileToBitstreams(t, "app1")); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := ct.Deploy("app1", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Blocks) != 1 || dep.MultiFPGA {
+		t.Fatalf("deployment = %+v", dep)
+	}
+	if dep.ReconfigTime <= 0 {
+		t.Fatal("no reconfiguration time")
+	}
+	if dep.VNIC == nil {
+		t.Fatal("no virtual NIC")
+	}
+	// Programmed bitstream is addressed to the allocated block.
+	if dep.Programmed[0].Base != dep.Blocks[0].BlockRef {
+		t.Fatal("bitstream not relocated to allocated block")
+	}
+	st := ct.Status()
+	if st.UsedBlocks != 1 || st.Apps["app1"] != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	// Deploying again is rejected; undeploy frees everything.
+	if _, err := ct.Deploy("app1", 1<<30); err == nil {
+		t.Fatal("double deploy accepted")
+	}
+	if err := ct.Undeploy("app1"); err != nil {
+		t.Fatal(err)
+	}
+	if st := ct.Status(); st.UsedBlocks != 0 {
+		t.Fatalf("blocks leak after undeploy: %+v", st)
+	}
+	if err := ct.Undeploy("app1"); err == nil {
+		t.Fatal("double undeploy accepted")
+	}
+}
+
+func TestControllerDeployUnknownApp(t *testing.T) {
+	ct := NewController(testCluster())
+	if _, err := ct.Deploy("ghost", 1<<30); err == nil || !strings.Contains(err.Error(), "no compiled bitstreams") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestControllerRelocate(t *testing.T) {
+	ct := NewController(testCluster())
+	if err := ct.Bitstreams.Store("app1", compileToBitstreams(t, "app1")); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := ct.Deploy("app1", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldBlock := dep.Blocks[0]
+	target := cluster.GlobalBlockRef{Board: 2, BlockRef: fpga.BlockRef{Die: 1, Index: 3}}
+	if err := ct.Relocate("app1", 0, target); err != nil {
+		t.Fatal(err)
+	}
+	if ct.DB.Owner(oldBlock) != "" {
+		t.Fatal("old block not freed")
+	}
+	if ct.DB.Owner(target) != "app1" {
+		t.Fatal("target not owned after relocation")
+	}
+	dep2, _ := ct.Deployment("app1")
+	if dep2.Blocks[0] != target || dep2.Programmed[0].Base != target.BlockRef {
+		t.Fatal("deployment record not updated")
+	}
+	// Relocating onto an owned block fails.
+	if err := ct.Relocate("app1", 0, target); err == nil {
+		t.Fatal("relocation onto owned block accepted")
+	}
+	if err := ct.Relocate("app1", 5, target); err == nil {
+		t.Fatal("bad virtual block index accepted")
+	}
+}
+
+func TestSimAllocatorAdmitRelease(t *testing.T) {
+	a := NewSimAllocator(testCluster())
+	app := &sim.AppLoad{ID: 1, Blocks: 10, ServiceSec: 10}
+	adm, ok := a.TryAdmit(app, 0)
+	if !ok {
+		t.Fatal("admission failed on empty cluster")
+	}
+	if adm.BlocksUsed != 10 || len(adm.Boards) != 1 {
+		t.Fatalf("admission = %+v", adm)
+	}
+	if adm.ServiceScale != 1 {
+		t.Fatal("single-FPGA app should have no overhead")
+	}
+	if a.UsedBlocks() != 10 {
+		t.Fatalf("used = %d", a.UsedBlocks())
+	}
+	// A 10-block app forces spanning once boards are mostly full.
+	for i := 2; i <= 5; i++ {
+		if _, ok := a.TryAdmit(&sim.AppLoad{ID: i, Blocks: 10}, 0); !ok {
+			t.Fatalf("admission %d failed", i)
+		}
+	}
+	adm6, ok := a.TryAdmit(&sim.AppLoad{ID: 6, Blocks: 10}, 0)
+	if !ok {
+		t.Fatal("sixth 10-block app should fit across boards (60 total)")
+	}
+	if len(adm6.Boards) < 2 {
+		t.Fatal("expected multi-FPGA deployment")
+	}
+	if adm6.ServiceScale <= 1 || adm6.ServiceScale > 1.001 {
+		t.Fatalf("multi-FPGA overhead = %v, want ≈1.0003", adm6.ServiceScale)
+	}
+	a.Release(1, 0)
+	if a.UsedBlocks() != 50 {
+		t.Fatalf("used after release = %d", a.UsedBlocks())
+	}
+}
+
+func TestEventLogAndMetrics(t *testing.T) {
+	ct := NewController(testCluster())
+	if err := ct.Bitstreams.Store("app1", compileToBitstreams(t, "app1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Deploy("app1", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Undeploy("app1"); err != nil {
+		t.Fatal(err)
+	}
+	events := ct.Events(0)
+	if len(events) != 2 || events[0].Kind != EventDeploy || events[1].Kind != EventUndeploy {
+		t.Fatalf("events = %+v", events)
+	}
+	m := ct.Metrics()
+	if m.Events[EventDeploy] != 1 || m.Events[EventUndeploy] != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.UsedBlocks != 0 || m.Deployed != 0 {
+		t.Fatalf("occupancy after teardown: %+v", m)
+	}
+	// Bounded snapshot.
+	if got := ct.Events(1); len(got) != 1 || got[0].Kind != EventUndeploy {
+		t.Fatalf("Events(1) = %+v", got)
+	}
+}

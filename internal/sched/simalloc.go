@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+
+	"vital/internal/cluster"
+	"vital/internal/sim"
+)
+
+// SimAllocator adapts the ViTAL system layer to the cloud simulator: apps
+// request virtual-block counts, placement uses the communication-aware
+// policy, deployment costs partial-reconfiguration time only, and
+// multi-FPGA mappings pay the (tiny) latency-insensitive interface
+// overhead the paper measures at <0.03% of execution time.
+type SimAllocator struct {
+	db *ResourceDB
+	// PerBlockReconfigSec is the partial-reconfiguration time per block;
+	// blocks on different boards program in parallel.
+	PerBlockReconfigSec float64
+	// MultiFPGAOverhead scales service time when an app spans boards.
+	MultiFPGAOverhead float64
+
+	held map[int][]cluster.GlobalBlockRef
+}
+
+// NewSimAllocator builds the ViTAL policy over a fresh resource database.
+func NewSimAllocator(c *cluster.Cluster) *SimAllocator {
+	return &SimAllocator{
+		db:                  NewResourceDB(c),
+		PerBlockReconfigSec: 0.0022, // one block image through the ICAP
+		MultiFPGAOverhead:   1.0003, // < 0.03% (Section 5.5)
+		held:                map[int][]cluster.GlobalBlockRef{},
+	}
+}
+
+// Name implements sim.Allocator.
+func (a *SimAllocator) Name() string { return "vital" }
+
+// TryAdmit implements sim.Allocator using the Section 3.4 policy.
+func (a *SimAllocator) TryAdmit(app *sim.AppLoad, now float64) (*sim.Admission, bool) {
+	refs, err := Allocate(a.db, app.Blocks)
+	if err != nil {
+		return nil, false
+	}
+	if err := a.db.Claim(simAppKey(app.ID), refs); err != nil {
+		return nil, false
+	}
+	a.held[app.ID] = refs
+	boards := BoardsOf(refs)
+	// Per-board programming is serial through one ICAP; boards in parallel.
+	perBoard := map[int]int{}
+	maxBlocks := 0
+	for _, r := range refs {
+		perBoard[r.Board]++
+		if perBoard[r.Board] > maxBlocks {
+			maxBlocks = perBoard[r.Board]
+		}
+	}
+	adm := &sim.Admission{
+		DeploySec:    float64(maxBlocks) * a.PerBlockReconfigSec,
+		ServiceScale: 1,
+		Boards:       boards,
+		BlocksUsed:   len(refs),
+	}
+	if len(boards) > 1 {
+		adm.ServiceScale = a.MultiFPGAOverhead
+	}
+	return adm, true
+}
+
+// Release implements sim.Allocator.
+func (a *SimAllocator) Release(appID int, now float64) {
+	a.db.ReleaseApp(simAppKey(appID))
+	delete(a.held, appID)
+}
+
+// UsedBlocks implements sim.Allocator.
+func (a *SimAllocator) UsedBlocks() int { return a.db.UsedBlocks() }
+
+// TotalBlocks implements sim.Allocator.
+func (a *SimAllocator) TotalBlocks() int { return a.db.Cluster().TotalBlocks() }
+
+func simAppKey(id int) string { return fmt.Sprintf("sim-app-%d", id) }

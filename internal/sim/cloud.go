@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vital/internal/netlist"
+)
+
+// AppLoad is one application request as the system layer sees it: its
+// virtual-block count and resource vector (from the compilation layer), its
+// nominal service time, and its arrival time.
+type AppLoad struct {
+	ID         int
+	Name       string
+	Blocks     int
+	Resources  netlist.Resources
+	ServiceSec float64
+	ArriveSec  float64
+}
+
+// Admission describes how a policy placed an application.
+type Admission struct {
+	// DeploySec is spent programming the fabric before service starts.
+	DeploySec float64
+	// ServiceScale multiplies the nominal service time (e.g. the
+	// latency-insensitive interface overhead of a multi-FPGA mapping).
+	ServiceScale float64
+	// Boards lists the boards hosting the app.
+	Boards []int
+	// BlocksUsed is the number of physical blocks occupied.
+	BlocksUsed int
+	// ExtendOthers postpones other running apps' completion (AmorphOS-style
+	// whole-FPGA morphing pauses co-residents during reconfiguration).
+	ExtendOthers map[int]float64
+}
+
+// Allocator is a resource-management policy under test.
+type Allocator interface {
+	Name() string
+	// TryAdmit attempts to place the app now; it must either claim the
+	// resources and return an admission, or leave state untouched.
+	TryAdmit(app *AppLoad, now float64) (*Admission, bool)
+	// Release frees the app's resources.
+	Release(appID int, now float64)
+	// UsedBlocks reports currently occupied physical blocks.
+	UsedBlocks() int
+	// TotalBlocks reports the cluster's physical block capacity.
+	TotalBlocks() int
+}
+
+// Result aggregates the metrics of one cloud-simulation run (the Section
+// 5.5 measurements).
+type Result struct {
+	Policy          string
+	Apps            int
+	MeanResponseSec float64
+	MeanWaitSec     float64
+	MeanServiceSec  float64
+	P95ResponseSec  float64
+	// UtilizationAvg is block-seconds used over capacity across the
+	// makespan; UtilizationBusy restricts to times when requests were
+	// waiting (the paper's ">93% of blocks utilized" regime).
+	UtilizationAvg  float64
+	UtilizationBusy float64
+	// AvgConcurrency is the time-average number of co-running apps;
+	// MaxConcurrency the peak.
+	AvgConcurrency float64
+	MaxConcurrency int
+	// MultiFPGAFrac is the fraction of apps deployed across >1 FPGA.
+	MultiFPGAFrac float64
+	MakespanSec   float64
+}
+
+// RunCloud replays the request sequence against the allocator. Requests
+// queue in arrival order with backfilling: whenever resources free up, the
+// queue is scanned front to back and every request that fits is admitted
+// (small requests may overtake blocked large ones, as in real clusters).
+func RunCloud(alloc Allocator, apps []AppLoad) (*Result, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	eng := NewEngine()
+	type running struct {
+		finishAt float64
+	}
+	var (
+		queue      []*AppLoad
+		live       = map[int]*running{}
+		waits      = map[int]float64{}
+		responses  = make([]float64, 0, len(apps))
+		services   float64
+		multi      int
+		utilInt    float64
+		busyInt    float64
+		busyCapInt float64
+		concInt    float64
+		lastT      float64
+		maxConc    int
+	)
+	total := float64(alloc.TotalBlocks())
+
+	accountTo := func(now float64) {
+		dt := now - lastT
+		if dt > 0 {
+			used := float64(alloc.UsedBlocks())
+			utilInt += used * dt
+			concInt += float64(len(live)) * dt
+			if len(queue) > 0 {
+				busyInt += used * dt
+				busyCapInt += total * dt
+			}
+			lastT = now
+		}
+	}
+
+	var tryAdmit func()
+	var complete func(id int)
+
+	tryAdmit = func() {
+		now := eng.Now()
+		for qi := 0; qi < len(queue); {
+			app := queue[qi]
+			adm, ok := alloc.TryAdmit(app, now)
+			if !ok {
+				qi++
+				continue
+			}
+			accountTo(now)
+			queue = append(queue[:qi], queue[qi+1:]...)
+			if len(adm.Boards) > 1 {
+				multi++
+			}
+			waits[app.ID] = now - app.ArriveSec
+			scale := adm.ServiceScale
+			if scale == 0 {
+				scale = 1
+			}
+			service := app.ServiceSec * scale
+			services += service
+			finish := now + adm.DeploySec + service
+			live[app.ID] = &running{finishAt: finish}
+			if len(live) > maxConc {
+				maxConc = len(live)
+			}
+			for other, extra := range adm.ExtendOthers {
+				if r, ok := live[other]; ok {
+					r.finishAt += extra
+					id := other
+					eng.Schedule(r.finishAt-now, func() { complete(id) })
+				}
+			}
+			id := app.ID
+			eng.Schedule(finish-now, func() { complete(id) })
+		}
+	}
+
+	finished := map[int]float64{}
+	complete = func(id int) {
+		r, ok := live[id]
+		if !ok {
+			return // already completed (stale event after extension)
+		}
+		now := eng.Now()
+		if now+1e-9 < r.finishAt {
+			return // postponed; the rescheduled event will handle it
+		}
+		finished[id] = r.finishAt
+		accountTo(now)
+		delete(live, id)
+		alloc.Release(id, now)
+		tryAdmit()
+	}
+
+	// Track arrival→app for response computation.
+	byID := map[int]*AppLoad{}
+	for i := range apps {
+		app := &apps[i]
+		byID[app.ID] = app
+		eng.Schedule(app.ArriveSec, func() {
+			accountTo(eng.Now())
+			queue = append(queue, app)
+			tryAdmit()
+		})
+	}
+
+	if fired := eng.Run(20_000_000); fired >= 20_000_000 {
+		return nil, fmt.Errorf("sim: event budget exhausted — likely a livelock")
+	}
+	if len(finished) != len(apps) {
+		return nil, fmt.Errorf("sim: %d of %d apps completed", len(finished), len(apps))
+	}
+
+	res := &Result{Policy: alloc.Name(), Apps: len(apps)}
+	for id, fin := range finished {
+		resp := fin - byID[id].ArriveSec
+		responses = append(responses, resp)
+		res.MeanResponseSec += resp
+		res.MeanWaitSec += waits[id]
+	}
+	res.MeanResponseSec /= float64(len(apps))
+	res.MeanWaitSec /= float64(len(apps))
+	res.MeanServiceSec = services / float64(len(apps))
+	sort.Float64s(responses)
+	res.P95ResponseSec = responses[int(math.Ceil(0.95*float64(len(responses))))-1]
+	res.MakespanSec = eng.Now()
+	if res.MakespanSec > 0 {
+		res.UtilizationAvg = utilInt / (total * res.MakespanSec)
+		res.AvgConcurrency = concInt / res.MakespanSec
+	}
+	if busyCapInt > 0 {
+		res.UtilizationBusy = busyInt / busyCapInt
+	}
+	res.MultiFPGAFrac = float64(multi) / float64(len(apps))
+	res.MaxConcurrency = maxConc
+	return res, nil
+}

@@ -1,0 +1,76 @@
+// Package sim provides the discrete-event simulation engine and the cloud
+// workload harness behind the system-layer evaluation (Section 5.5): it
+// replays a synthetic request trace against a resource-management policy
+// and records response times, utilization and concurrency.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a minimal discrete-event simulator with a float64 clock in
+// seconds.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds. Negative delays panic: the past is
+// immutable.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue drains or maxEvents fire, returning
+// the number processed.
+func (e *Engine) Run(maxEvents int) int {
+	fired := 0
+	for len(e.events) > 0 && fired < maxEvents {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+		fired++
+	}
+	return fired
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

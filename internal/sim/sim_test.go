@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vital/internal/netlist"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() {
+		fired++
+		e.Schedule(1, func() { fired++ })
+	})
+	if n := e.Run(10); n != 2 {
+		t.Fatalf("events = %d", n)
+	}
+	if fired != 2 || e.Now() != 2 {
+		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestEngineRejectsNegativeDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay accepted")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEngineEventBudget(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(1, loop)
+	if n := e.Run(100); n != 100 {
+		t.Fatalf("budget run = %d", n)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("pending event lost")
+	}
+}
+
+// fifoAllocator admits up to cap concurrent apps, one block each.
+type fifoAllocator struct {
+	cap  int
+	live map[int]bool
+}
+
+func (f *fifoAllocator) Name() string { return "fifo" }
+func (f *fifoAllocator) TryAdmit(app *AppLoad, now float64) (*Admission, bool) {
+	if len(f.live) >= f.cap {
+		return nil, false
+	}
+	f.live[app.ID] = true
+	return &Admission{ServiceScale: 1, Boards: []int{0}, BlocksUsed: 1}, true
+}
+func (f *fifoAllocator) Release(appID int, now float64) { delete(f.live, appID) }
+func (f *fifoAllocator) UsedBlocks() int                { return len(f.live) }
+func (f *fifoAllocator) TotalBlocks() int               { return f.cap }
+
+func TestRunCloudQueueingMatchesTheory(t *testing.T) {
+	// Two servers, deterministic service 10s, arrivals at t=0,0,0:
+	// app0,1 run [0,10]; app2 waits 10 then runs [10,20].
+	apps := []AppLoad{
+		{ID: 0, ServiceSec: 10, ArriveSec: 0, Blocks: 1},
+		{ID: 1, ServiceSec: 10, ArriveSec: 0, Blocks: 1},
+		{ID: 2, ServiceSec: 10, ArriveSec: 0, Blocks: 1},
+	}
+	res, err := RunCloud(&fifoAllocator{cap: 2, live: map[int]bool{}}, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec != 20 {
+		t.Fatalf("makespan = %v, want 20", res.MakespanSec)
+	}
+	wantMeanResp := (10.0 + 10.0 + 20.0) / 3
+	if diff := res.MeanResponseSec - wantMeanResp; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean response = %v, want %v", res.MeanResponseSec, wantMeanResp)
+	}
+	wantMeanWait := 10.0 / 3
+	if diff := res.MeanWaitSec - wantMeanWait; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean wait = %v, want %v", res.MeanWaitSec, wantMeanWait)
+	}
+	if res.MaxConcurrency != 2 {
+		t.Fatalf("max concurrency = %d", res.MaxConcurrency)
+	}
+}
+
+func TestRunCloudExtendOthers(t *testing.T) {
+	// An allocator that extends the running app by 5s when a new one
+	// arrives (AmorphOS-style morph disturbance).
+	type morphAlloc struct{ fifoAllocator }
+	m := &morphAlloc{fifoAllocator{cap: 2, live: map[int]bool{}}}
+	ext := func(app *AppLoad, now float64) (*Admission, bool) {
+		adm, ok := m.fifoAllocator.TryAdmit(app, now)
+		if !ok {
+			return nil, false
+		}
+		adm.ExtendOthers = map[int]float64{}
+		for id := range m.live {
+			if id != app.ID {
+				adm.ExtendOthers[id] = 5
+			}
+		}
+		return adm, true
+	}
+	_ = ext
+	apps := []AppLoad{
+		{ID: 0, ServiceSec: 10, ArriveSec: 0, Blocks: 1},
+		{ID: 1, ServiceSec: 10, ArriveSec: 2, Blocks: 1},
+	}
+	res, err := RunCloud(allocFunc{m, ext}, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// app0: [0,10] extended by 5 at t=2 → finishes 15. app1: [2,12].
+	if res.MakespanSec != 15 {
+		t.Fatalf("makespan = %v, want 15 (extension applied)", res.MakespanSec)
+	}
+}
+
+// allocFunc overrides TryAdmit of an embedded allocator.
+type allocFunc struct {
+	Allocator
+	admit func(app *AppLoad, now float64) (*Admission, bool)
+}
+
+func (a allocFunc) TryAdmit(app *AppLoad, now float64) (*Admission, bool) {
+	return a.admit(app, now)
+}
+
+func TestRunCloudEmptyWorkload(t *testing.T) {
+	if _, err := RunCloud(&fifoAllocator{cap: 1, live: map[int]bool{}}, nil); err == nil {
+		t.Fatal("accepted empty workload")
+	}
+}
+
+// Property: all apps complete, responses ≥ service, waits ≥ 0, utilization
+// within [0, 1].
+func TestQuickRunCloudInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		apps := make([]AppLoad, n)
+		at := 0.0
+		for i := range apps {
+			at += rng.Float64() * 5
+			apps[i] = AppLoad{
+				ID:         i,
+				Blocks:     1,
+				Resources:  netlist.Resources{LUTs: 1},
+				ServiceSec: 1 + rng.Float64()*10,
+				ArriveSec:  at,
+			}
+		}
+		res, err := RunCloud(&fifoAllocator{cap: 1 + rng.Intn(4), live: map[int]bool{}}, apps)
+		if err != nil {
+			return false
+		}
+		if res.Apps != n {
+			return false
+		}
+		if res.MeanResponseSec < res.MeanServiceSec-1e-9 {
+			return false
+		}
+		if res.MeanWaitSec < 0 {
+			return false
+		}
+		return res.UtilizationAvg >= 0 && res.UtilizationAvg <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+
+	"vital/internal/hls"
+)
+
+// Connection widths of generated accelerators. Intra-PU connections are
+// wide (full activation buses plus control); inter-PU streams are narrower,
+// so a min-cut partition naturally falls on PU boundaries — which is how
+// the paper's designs end up with one PU per virtual block (Table 2).
+const (
+	intraPUDataWidth   = 512
+	intraPUCtrlWidth   = 32
+	intraPUStatusWidth = 16
+	interPUWidth       = 256
+	ioWidth            = 128
+)
+
+// BuildDesign expands a Table 2 spec into an operator-graph design: an
+// array of identical processing units, each a pipeline of layer operators,
+// chained by inter-PU streams. The design's total budget equals the spec's
+// Table 2 resources exactly.
+func BuildDesign(s Spec) *hls.Design {
+	d := hls.NewDesign(s.Name())
+	in := d.AddOp(hls.OpInput, "in", "io", hls.Budget{})
+	out := d.AddOp(hls.OpOutput, "out", "io", hls.Budget{})
+
+	var prevPUExit hls.OpID = in
+	for pu := 0; pu < s.PUs(); pu++ {
+		entry, exit := buildPU(d, s, pu)
+		width := interPUWidth
+		if prevPUExit == in {
+			width = ioWidth
+		}
+		d.Connect(prevPUExit, entry, width)
+		prevPUExit = exit
+	}
+	d.Connect(prevPUExit, out, ioWidth)
+	return d
+}
+
+// buildPU emits one processing unit as a chain of layer operators and
+// returns its entry and exit ops.
+func buildPU(d *hls.Design, s Spec, pu int) (entry, exit hls.OpID) {
+	b := s.Benchmark
+	layers := b.Layers
+	luts := distribute(b.PerPU.LUTs, layers)
+	dffs := distribute(b.PerPU.DFFs, layers)
+	dsps := distribute(b.PerPU.DSPs, layers)
+	brams := distribute(b.PerPU.BRAMs, layers)
+
+	var prev hls.OpID = -1
+	for l := 0; l < layers; l++ {
+		kind := hls.OpConv
+		switch {
+		case l == layers-1:
+			kind = hls.OpFC
+		case l%3 == 2:
+			kind = hls.OpPool
+		}
+		loop := fmt.Sprintf("pu%d/layer%d", pu, l)
+		op := d.AddOp(kind, fmt.Sprintf("pu%d/l%d", pu, l), loop, hls.Budget{
+			LUTs: luts[l], DFFs: dffs[l], DSPs: dsps[l], BRAMs: brams[l],
+		})
+		if prev >= 0 {
+			// Three parallel nets per stage boundary (activations, control,
+			// status): cutting inside a PU consumes several channels, so
+			// the partitioner prefers PU boundaries.
+			d.Connect(prev, op, intraPUDataWidth)
+			d.Connect(prev, op, intraPUCtrlWidth)
+			d.Connect(prev, op, intraPUStatusWidth)
+		} else {
+			entry = op
+		}
+		prev = op
+	}
+	return entry, prev
+}
+
+// distribute splits total into n near-equal non-negative integers summing
+// exactly to total.
+func distribute(total, n int) []int {
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	base := total / n
+	rem := total - base*n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}

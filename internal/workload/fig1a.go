@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"vital/internal/fpga"
+	"vital/internal/netlist"
+)
+
+// RepresentativeApp is one entry of Fig. 1a: a published FPGA accelerator
+// whose resource usage, normalized to the VU13P capacity, motivates
+// fine-grained sharing (no single application fills a modern device).
+//
+// The paper plots these without a numeric table; the entries below use the
+// resource footprints reported in the cited accelerator papers (references
+// [18][28][43][57][62][70][72] of the paper), which is the same population
+// the figure draws from. What the experiment must reproduce is the *shape*:
+// every application uses well under half of a VU13P.
+type RepresentativeApp struct {
+	Name   string
+	Source string // citation in the paper's reference list
+	Usage  netlist.Resources
+}
+
+// Fig1aApps lists the representative applications.
+var Fig1aApps = []RepresentativeApp{
+	{Name: "FPGP (graph/BFS)", Source: "[18]", Usage: netlist.Resources{LUTs: 120000, DFFs: 150000, DSPs: 0, BRAMKb: 18432}},
+	{Name: "DeltaRNN", Source: "[28]", Usage: netlist.Resources{LUTs: 261000, DFFs: 226000, DSPs: 768, BRAMKb: 29081}},
+	{Name: "BinaryCNN", Source: "[43]", Usage: netlist.Resources{LUTs: 219000, DFFs: 261000, DSPs: 384, BRAMKb: 24192}},
+	{Name: "OpenCL-CNN", Source: "[57]", Usage: netlist.Resources{LUTs: 161000, DFFs: 210000, DSPs: 1518, BRAMKb: 21600}},
+	{Name: "C-LSTM", Source: "[62]", Usage: netlist.Resources{LUTs: 236000, DFFs: 265000, DSPs: 1792, BRAMKb: 16992}},
+	{Name: "CNN-Winograd", Source: "[70]", Usage: netlist.Resources{LUTs: 268000, DFFs: 302000, DSPs: 2520, BRAMKb: 33120}},
+	{Name: "BNN-SW", Source: "[72]", Usage: netlist.Resources{LUTs: 47000, DFFs: 52000, DSPs: 132, BRAMKb: 10080}},
+	{Name: "KVS (memcached)", Source: "[42]", Usage: netlist.Resources{LUTs: 95000, DFFs: 124000, DSPs: 0, BRAMKb: 14400}},
+}
+
+// Fig1aRow is one normalized bar of the figure.
+type Fig1aRow struct {
+	App RepresentativeApp
+	// Fractions of VU13P capacity per resource class.
+	LUT, DFF, DSP, BRAM float64
+	// Max is the binding fraction — the share of the device the app would
+	// monopolize under per-device allocation.
+	Max float64
+}
+
+// Fig1a normalizes each representative application to the VU13P capacity.
+func Fig1a() []Fig1aRow {
+	capTotal := fpga.VU13P().TotalResources()
+	rows := make([]Fig1aRow, 0, len(Fig1aApps))
+	frac := func(d, c int) float64 {
+		if c == 0 {
+			return 0
+		}
+		return float64(d) / float64(c)
+	}
+	for _, app := range Fig1aApps {
+		r := Fig1aRow{
+			App:  app,
+			LUT:  frac(app.Usage.LUTs, capTotal.LUTs),
+			DFF:  frac(app.Usage.DFFs, capTotal.DFFs),
+			DSP:  frac(app.Usage.DSPs, capTotal.DSPs),
+			BRAM: frac(app.Usage.BRAMKb, capTotal.BRAMKb),
+		}
+		r.Max = r.LUT
+		for _, v := range []float64{r.DFF, r.DSP, r.BRAM} {
+			if v > r.Max {
+				r.Max = v
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}

@@ -1,0 +1,146 @@
+// Package workload reproduces the paper's benchmark inputs: the Table 2
+// suite of DNN accelerators (DNNWeaver-generated in the paper; rebuilt here
+// as parameterized operator-graph designs), the Table 3 workload-set
+// compositions, the synthetic request traces of Section 5.1, and the
+// representative applications of Fig. 1a.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"vital/internal/hls"
+	"vital/internal/netlist"
+)
+
+// Variant is the accelerator design size of Table 2.
+type Variant uint8
+
+// Accelerator variants: the paper provides three designs per benchmark by
+// adjusting DNNWeaver input parameters (number of processing units).
+const (
+	Small Variant = iota
+	Medium
+	Large
+)
+
+// String returns the Table 2/3 shorthand (S/M/L).
+func (v Variant) String() string {
+	switch v {
+	case Small:
+		return "S"
+	case Medium:
+		return "M"
+	case Large:
+		return "L"
+	}
+	return fmt.Sprintf("Variant(%d)", uint8(v))
+}
+
+// Benchmark describes one DNN benchmark family. DNNWeaver-style
+// accelerators are arrays of identical processing units (PUs); the S/M/L
+// variants instantiate different PU counts, so per-PU resources are
+// constant within a family — visible in Table 2, where DSP count divided by
+// block count is constant per benchmark.
+type Benchmark struct {
+	Name string
+	// PerPU is the resource budget of one processing unit.
+	PerPU hls.Budget
+	// PUs gives the processing-unit count for [Small, Medium, Large].
+	PUs [3]int
+	// Layers is the number of pipeline stages each PU is built from.
+	Layers int
+	// ServiceSec is the nominal execution time in seconds of one request
+	// for [Small, Medium, Large] (model time; larger variants process
+	// larger models but also have more PUs — the paper does not publish
+	// durations, so these are representative cloud job lengths).
+	ServiceSec [3]float64
+}
+
+// Suite is the Table 2 benchmark suite. Per-PU budgets are calibrated so
+// that PU-count × per-PU reproduces every Table 2 row; BRAM is materialized
+// in whole BRAM36 primitives, so a few Mb values differ from the paper in
+// the last printed decimal (e.g. cifar10/M: 13.4 vs 13.3 Mb).
+//
+// Note: the paper's Table 2 lists 233.2k DFFs for the large svhn design;
+// every other row in the family has exactly PUs × per-PU resources, and
+// 9 × 23.7k = 213.3k — we take 233.2 to be a digit transposition of 213.3
+// and reproduce the consistent value.
+var Suite = []Benchmark{
+	{Name: "lenet", PerPU: hls.Budget{LUTs: 23500, DFFs: 23300, DSPs: 42, BRAMs: 74}, PUs: [3]int{1, 4, 7}, Layers: 4, ServiceSec: [3]float64{45, 110, 200}},
+	{Name: "alexnet", PerPU: hls.Budget{LUTs: 27600, DFFs: 26455, DSPs: 52, BRAMs: 87}, PUs: [3]int{2, 5, 8}, Layers: 8, ServiceSec: [3]float64{60, 140, 260}},
+	{Name: "svhn", PerPU: hls.Budget{LUTs: 23333, DFFs: 23700, DSPs: 48, BRAMs: 85}, PUs: [3]int{1, 3, 9}, Layers: 5, ServiceSec: [3]float64{50, 120, 280}},
+	{Name: "vgg16", PerPU: hls.Budget{LUTs: 26900, DFFs: 26870, DSPs: 52, BRAMs: 89}, PUs: [3]int{3, 7, 10}, Layers: 16, ServiceSec: [3]float64{90, 200, 320}},
+	{Name: "cifar10", PerPU: hls.Budget{LUTs: 23000, DFFs: 22660, DSPs: 42, BRAMs: 76}, PUs: [3]int{2, 5, 8}, Layers: 6, ServiceSec: [3]float64{55, 130, 240}},
+	{Name: "nin", PerPU: hls.Budget{LUTs: 24900, DFFs: 24900, DSPs: 50, BRAMs: 89}, PUs: [3]int{1, 3, 6}, Layers: 9, ServiceSec: [3]float64{50, 115, 210}},
+	{Name: "resnet18", PerPU: hls.Budget{LUTs: 25733, DFFs: 25000, DSPs: 48, BRAMs: 85}, PUs: [3]int{3, 5, 10}, Layers: 18, ServiceSec: [3]float64{85, 170, 330}},
+}
+
+// Spec identifies one accelerator design (a benchmark at a variant).
+type Spec struct {
+	Benchmark *Benchmark
+	Variant   Variant
+}
+
+// Find returns the benchmark with the given name.
+func Find(name string) (*Benchmark, error) {
+	for i := range Suite {
+		if Suite[i].Name == name {
+			return &Suite[i], nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Name returns e.g. "alexnet-M".
+func (s Spec) Name() string { return fmt.Sprintf("%s-%s", s.Benchmark.Name, s.Variant) }
+
+// PUs returns the processing-unit count of this design.
+func (s Spec) PUs() int { return s.Benchmark.PUs[s.Variant] }
+
+// Resources returns the total resource demand (the Table 2 row).
+func (s Spec) Resources() netlist.Resources {
+	return s.Benchmark.PerPU.Resources().Scale(s.PUs())
+}
+
+// PaperBlocks returns the virtual-block count Table 2 reports for this
+// design. In the paper's compilation each PU maps onto one virtual block.
+func (s Spec) PaperBlocks() int { return s.PUs() }
+
+// ServiceSec returns the nominal execution duration of one request.
+func (s Spec) ServiceSec() float64 { return s.Benchmark.ServiceSec[s.Variant] }
+
+// AllSpecs enumerates all 21 Table 2 designs in table order.
+func AllSpecs() []Spec {
+	specs := make([]Spec, 0, len(Suite)*3)
+	for i := range Suite {
+		for _, v := range []Variant{Small, Medium, Large} {
+			specs = append(specs, Spec{Benchmark: &Suite[i], Variant: v})
+		}
+	}
+	return specs
+}
+
+// ParseSpec parses a "<benchmark>-<S|M|L>" design name, e.g. "alexnet-M".
+func ParseSpec(name string) (Spec, error) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return Spec{}, fmt.Errorf("workload: design %q must be <benchmark>-<S|M|L>", name)
+	}
+	b, err := Find(name[:i])
+	if err != nil {
+		return Spec{}, err
+	}
+	var v Variant
+	switch name[i+1:] {
+	case "S":
+		v = Small
+	case "M":
+		v = Medium
+	case "L":
+		v = Large
+	default:
+		return Spec{}, fmt.Errorf("workload: unknown variant %q in %q", name[i+1:], name)
+	}
+	return Spec{Benchmark: b, Variant: v}, nil
+}

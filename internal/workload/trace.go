@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Composition is one Table 3 workload-set composition: the percentage of
+// small, medium and large accelerator designs in the request mix.
+type Composition struct {
+	Index   int
+	PctS    int
+	PctM    int
+	PctL    int
+	Caption string
+}
+
+// Table3 lists the ten compositions evaluated in the paper. Set 7 is
+// printed in the paper as "33% S + 33% L + 34% L"; the obvious intent
+// (matching the caption pattern) is 33/33/34 across S/M/L.
+var Table3 = []Composition{
+	{1, 100, 0, 0, "100% S"},
+	{2, 0, 100, 0, "100% M"},
+	{3, 0, 0, 100, "100% L"},
+	{4, 50, 50, 0, "50% S + 50% M"},
+	{5, 50, 0, 50, "50% S + 50% L"},
+	{6, 0, 50, 50, "50% M + 50% L"},
+	{7, 33, 33, 34, "33% S + 33% M + 34% L"},
+	{8, 20, 20, 60, "20% S + 20% M + 60% L"},
+	{9, 20, 60, 20, "20% S + 60% M + 20% L"},
+	{10, 60, 20, 20, "60% S + 20% M + 20% L"},
+}
+
+// Request is one application-deployment request in a workload set.
+type Request struct {
+	ID   int
+	Spec Spec
+	// ArriveSec is the arrival time in seconds from the start of the run.
+	ArriveSec float64
+}
+
+// TraceConfig controls synthetic workload-set generation (Section 5.1:
+// "requests ... issued with a random time interval to emulate the dynamic
+// cloud environment").
+type TraceConfig struct {
+	// NumRequests is the length of the request sequence.
+	NumRequests int
+	// MeanInterarrivalSec is the mean of the exponential inter-arrival
+	// distribution.
+	MeanInterarrivalSec float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// GenerateTrace synthesizes one workload set for the given composition.
+// Variants are drawn according to the composition percentages and the
+// benchmark family uniformly from the suite.
+func GenerateTrace(c Composition, cfg TraceConfig) ([]Request, error) {
+	if c.PctS+c.PctM+c.PctL != 100 {
+		return nil, fmt.Errorf("workload: composition %d percentages sum to %d", c.Index, c.PctS+c.PctM+c.PctL)
+	}
+	if cfg.NumRequests <= 0 {
+		return nil, fmt.Errorf("workload: NumRequests must be positive")
+	}
+	if cfg.MeanInterarrivalSec <= 0 {
+		return nil, fmt.Errorf("workload: MeanInterarrivalSec must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([]Request, 0, cfg.NumRequests)
+	now := 0.0
+	for i := 0; i < cfg.NumRequests; i++ {
+		v := drawVariant(rng, c)
+		b := &Suite[rng.Intn(len(Suite))]
+		now += expDraw(rng, cfg.MeanInterarrivalSec)
+		reqs = append(reqs, Request{
+			ID:        i,
+			Spec:      Spec{Benchmark: b, Variant: v},
+			ArriveSec: now,
+		})
+	}
+	return reqs, nil
+}
+
+func drawVariant(rng *rand.Rand, c Composition) Variant {
+	p := rng.Intn(100)
+	switch {
+	case p < c.PctS:
+		return Small
+	case p < c.PctS+c.PctM:
+		return Medium
+	default:
+		return Large
+	}
+}
+
+// expDraw samples an exponential inter-arrival time with the given mean.
+func expDraw(rng *rand.Rand, mean float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -mean * math.Log(u)
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"vital/internal/hls"
+	"vital/internal/netlist"
+)
+
+// table2Expected is the paper's Table 2, transcribed: LUT (k), DFF (k),
+// DSP, BRAM (Mb), #blocks, per benchmark and variant. The svhn/L DFF value
+// uses the transposition-corrected 213.3 (see Suite docs).
+var table2Expected = map[string][3]struct {
+	lutK, dffK float64
+	dsp        int
+	bramMb     float64
+	blocks     int
+}{
+	"lenet":    {{23.5, 23.3, 42, 2.6, 1}, {94.0, 93.2, 168, 10.4, 4}, {164.5, 163.1, 294, 18.2, 7}},
+	"alexnet":  {{55.2, 52.9, 104, 6.1, 2}, {138.0, 132.3, 260, 15.3, 5}, {220.8, 211.6, 416, 24.5, 8}},
+	"svhn":     {{23.3, 23.7, 48, 3.0, 1}, {70.0, 71.1, 144, 9.0, 3}, {210.0, 213.3, 432, 26.9, 9}},
+	"vgg16":    {{80.7, 80.6, 156, 9.4, 3}, {188.3, 188.1, 364, 21.9, 7}, {269.0, 268.7, 520, 31.3, 10}},
+	"cifar10":  {{46.0, 45.3, 84, 5.3, 2}, {115.0, 113.3, 210, 13.3, 5}, {184.0, 181.3, 336, 21.3, 8}},
+	"nin":      {{24.9, 24.9, 50, 3.1, 1}, {74.7, 74.7, 150, 9.4, 3}, {149.4, 149.4, 300, 18.8, 6}},
+	"resnet18": {{77.2, 75.0, 144, 9.0, 3}, {128.7, 125.0, 240, 14.9, 5}, {257.3, 250.0, 480, 29.9, 10}},
+}
+
+func TestSuiteMatchesTable2(t *testing.T) {
+	for _, b := range Suite {
+		want, ok := table2Expected[b.Name]
+		if !ok {
+			t.Fatalf("no expectation for %s", b.Name)
+		}
+		for v := Small; v <= Large; v++ {
+			s := Spec{Benchmark: findT(t, b.Name), Variant: v}
+			r := s.Resources()
+			e := want[v]
+			if got := math.Round(float64(r.LUTs)/100) / 10; got != e.lutK {
+				t.Errorf("%s: LUT = %.1fk, want %.1fk", s.Name(), got, e.lutK)
+			}
+			if got := math.Round(float64(r.DFFs)/100) / 10; got != e.dffK {
+				t.Errorf("%s: DFF = %.1fk, want %.1fk", s.Name(), got, e.dffK)
+			}
+			if r.DSPs != e.dsp {
+				t.Errorf("%s: DSP = %d, want %d", s.Name(), r.DSPs, e.dsp)
+			}
+			// BRAM is materialized in whole BRAM36s; allow the last printed
+			// decimal to differ by at most 0.1 Mb.
+			if got := r.BRAMMb(); math.Abs(math.Round(got*10)/10-e.bramMb) > 0.101 {
+				t.Errorf("%s: BRAM = %.2f Mb, want ≈%.1f", s.Name(), got, e.bramMb)
+			}
+			if s.PaperBlocks() != e.blocks {
+				t.Errorf("%s: blocks = %d, want %d", s.Name(), s.PaperBlocks(), e.blocks)
+			}
+		}
+	}
+}
+
+func findT(t *testing.T, name string) *Benchmark {
+	t.Helper()
+	b, err := Find(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFindUnknown(t *testing.T) {
+	if _, err := Find("nosuch"); err == nil {
+		t.Fatal("Find accepted unknown benchmark")
+	}
+}
+
+func TestAllSpecsCount(t *testing.T) {
+	specs := AllSpecs()
+	if len(specs) != 21 {
+		t.Fatalf("AllSpecs = %d, want 21", len(specs))
+	}
+}
+
+func TestDSPPerBlockConstantWithinFamily(t *testing.T) {
+	// The Table 2 signature: DSP ÷ blocks is constant per benchmark.
+	for _, b := range Suite {
+		per := -1
+		for v := Small; v <= Large; v++ {
+			s := Spec{Benchmark: findT(t, b.Name), Variant: v}
+			q := s.Resources().DSPs / s.PaperBlocks()
+			if per == -1 {
+				per = q
+			} else if per != q {
+				t.Fatalf("%s: DSP per block varies (%d vs %d)", b.Name, per, q)
+			}
+		}
+	}
+}
+
+func TestBuildDesignBudgetMatchesSpec(t *testing.T) {
+	for _, s := range AllSpecs() {
+		d := BuildDesign(s)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if got := d.TotalBudget().Resources(); got != s.Resources() {
+			t.Fatalf("%s: design budget %+v != spec %+v", s.Name(), got, s.Resources())
+		}
+	}
+}
+
+func TestBuildDesignSynthesizes(t *testing.T) {
+	s := Spec{Benchmark: findT(t, "lenet"), Variant: Small}
+	res, err := hls.Synthesize(BuildDesign(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Netlist.Resources(); got != s.Resources() {
+		t.Fatalf("netlist %+v != spec %+v", got, s.Resources())
+	}
+	if _, count := res.Netlist.ConnectedComponents(); count != 1 {
+		t.Fatalf("accelerator netlist has %d components", count)
+	}
+}
+
+func TestDesignFitsOnCluster(t *testing.T) {
+	// Every Table 2 design must fit within the 4-FPGA cluster's user
+	// resources (the paper deploys all of them).
+	perBlock := netlist.Resources{LUTs: 79200, DFFs: 158400, DSPs: 580, BRAMKb: 4320}
+	for _, s := range AllSpecs() {
+		if need := s.Resources().BlocksNeeded(perBlock); need > 15 {
+			t.Fatalf("%s needs %d blocks, exceeding one device", s.Name(), need)
+		}
+	}
+}
+
+func TestTable3CompositionsSumTo100(t *testing.T) {
+	if len(Table3) != 10 {
+		t.Fatalf("Table3 has %d sets, want 10", len(Table3))
+	}
+	for _, c := range Table3 {
+		if c.PctS+c.PctM+c.PctL != 100 {
+			t.Fatalf("set %d sums to %d", c.Index, c.PctS+c.PctM+c.PctL)
+		}
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	cfg := TraceConfig{NumRequests: 50, MeanInterarrivalSec: 30, Seed: 42}
+	a, err := GenerateTrace(Table3[6], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTrace(Table3[6], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Spec.Name() != b[i].Spec.Name() || a[i].ArriveSec != b[i].ArriveSec {
+			t.Fatalf("trace not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateTraceRespectsComposition(t *testing.T) {
+	cfg := TraceConfig{NumRequests: 4000, MeanInterarrivalSec: 10, Seed: 7}
+	for _, c := range []Composition{Table3[0], Table3[2], Table3[7]} {
+		reqs, err := GenerateTrace(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var counts [3]int
+		for _, r := range reqs {
+			counts[r.Spec.Variant]++
+		}
+		for v, pct := range []int{c.PctS, c.PctM, c.PctL} {
+			got := float64(counts[v]) / float64(len(reqs)) * 100
+			if math.Abs(got-float64(pct)) > 4 {
+				t.Fatalf("set %d: variant %d share %.1f%%, want ≈%d%%", c.Index, v, got, pct)
+			}
+		}
+	}
+}
+
+func TestGenerateTraceArrivalsMonotone(t *testing.T) {
+	reqs, err := GenerateTrace(Table3[0], TraceConfig{NumRequests: 100, MeanInterarrivalSec: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].ArriveSec <= reqs[i-1].ArriveSec {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestGenerateTraceValidation(t *testing.T) {
+	bad := Composition{Index: 99, PctS: 50, PctM: 50, PctL: 50}
+	if _, err := GenerateTrace(bad, TraceConfig{NumRequests: 1, MeanInterarrivalSec: 1}); err == nil {
+		t.Fatal("accepted composition summing to 150")
+	}
+	if _, err := GenerateTrace(Table3[0], TraceConfig{NumRequests: 0, MeanInterarrivalSec: 1}); err == nil {
+		t.Fatal("accepted zero requests")
+	}
+	if _, err := GenerateTrace(Table3[0], TraceConfig{NumRequests: 1, MeanInterarrivalSec: 0}); err == nil {
+		t.Fatal("accepted zero interarrival")
+	}
+}
+
+func TestFig1aAllAppsFitUnderHalfDevice(t *testing.T) {
+	rows := Fig1a()
+	if len(rows) != len(Fig1aApps) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Max <= 0 || r.Max >= 0.5 {
+			t.Fatalf("%s: binding fraction %.2f outside (0, 0.5) — Fig. 1a shows all apps well under half a VU13P", r.App.Name, r.Max)
+		}
+		for _, v := range []float64{r.LUT, r.DFF, r.DSP, r.BRAM} {
+			if v > r.Max+1e-12 {
+				t.Fatalf("%s: Max %.3f below component %.3f", r.App.Name, r.Max, v)
+			}
+		}
+	}
+}
+
+func ExampleSpec_Name() {
+	b, _ := Find("alexnet")
+	fmt.Println(Spec{Benchmark: b, Variant: Medium}.Name())
+	// Output: alexnet-M
+}
