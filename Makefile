@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race lint bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet plus the repo's own domain-aware analyzers (lockcheck,
+# mapdeterminism, errwrap, durationliteral). Fails on any finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/vitallint ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

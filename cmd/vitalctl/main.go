@@ -7,6 +7,7 @@
 //	vitalctl deploy lenet-M
 //	vitalctl undeploy lenet-M
 //	vitalctl apps
+//	vitalctl verify
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|deploy <app>|undeploy <app>")
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|verify|deploy <app>|undeploy <app>")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -34,6 +35,10 @@ func main() {
 		get(*addr + "/status")
 	case "apps":
 		get(*addr + "/apps")
+	case "verify":
+		// Exits 1 when the controller reports invariant violations (the
+		// endpoint answers 409 and dump() fails on status >= 400).
+		get(*addr + "/verify")
 	case "deploy":
 		requireArg(args, "deploy")
 		post(*addr+"/deploy", map[string]interface{}{"app": args[1], "mem_quota_bytes": *quota})

@@ -15,15 +15,17 @@ import (
 	"strings"
 
 	"vital/internal/core"
+	"vital/internal/sched"
 	"vital/internal/workload"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
 	compile := flag.String("compile", "lenet-S,lenet-M", "comma-separated benchmark designs (name-S/M/L) to pre-compile")
+	verifyOnDeploy := flag.Bool("verify-on-deploy", false, "re-check architectural invariants after every deployment and roll back violators")
 	flag.Parse()
 
-	stack := core.NewStack(nil)
+	stack := core.NewStackWithOptions(nil, sched.Options{VerifyOnDeploy: *verifyOnDeploy})
 	for _, name := range strings.Split(*compile, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"vital/internal/core"
 	"vital/internal/workload"
@@ -49,8 +50,13 @@ func main() {
 		boards[blk.Board]++
 	}
 	fmt.Printf("deployed across %d FPGAs:", len(boards))
-	for b, n := range boards {
-		fmt.Printf(" fpga%d×%d", b, n)
+	ids := make([]int, 0, len(boards))
+	for b := range boards {
+		ids = append(ids, b)
+	}
+	sort.Ints(ids)
+	for _, b := range ids {
+		fmt.Printf(" fpga%d×%d", b, boards[b])
 	}
 	fmt.Println()
 

@@ -35,13 +35,20 @@ type Stack struct {
 // NewStack builds a stack over the given cluster (nil selects the paper's
 // default four-board cluster).
 func NewStack(c *cluster.Cluster) *Stack {
+	return NewStackWithOptions(c, sched.Options{})
+}
+
+// NewStackWithOptions builds a stack with explicit controller options, e.g.
+// sched.Options{VerifyOnDeploy: true} to re-check the architectural
+// invariants after every deployment.
+func NewStackWithOptions(c *cluster.Cluster, opts sched.Options) *Stack {
 	if c == nil {
 		c = cluster.Default()
 	}
 	dev := c.Boards[0].Device
 	return &Stack{
 		Cluster:         c,
-		Controller:      sched.NewController(c),
+		Controller:      sched.NewControllerWithOptions(c, opts),
 		BlockCapacity:   dev.BlockResources(),
 		Grid:            fpga.NewGrid(dev.BlockShape()),
 		MaxBlocksPerApp: c.TotalBlocks(),

@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtures are small packages seeded with violations (pos) and clean
+// counterparts (neg). They live in one throwaway module so the loader and
+// both importer paths (module-internal + stdlib source) are exercised end
+// to end exactly as cmd/vitallint uses them.
+var fixtures = map[string]string{
+	"lockpos/lockpos.go": `package lockpos
+
+import "sync"
+
+type Counter struct {
+	name string // before mu: unguarded by convention
+	mu   sync.Mutex
+	n    int
+}
+
+// Bump touches the guarded field without locking: violation.
+func (c *Counter) Bump() { c.n++ }
+
+// Name reads only pre-mutex state: fine.
+func (c *Counter) Name() string { return c.name }
+`,
+	"lockneg/lockneg.go": `package lockneg
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump locks before touching the guarded field.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Value uses the locked-suffix contract helper.
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.valueLocked()
+}
+
+func (c *Counter) valueLocked() int { return c.n }
+
+type Embedded struct {
+	sync.Mutex
+	n int
+}
+
+// Inc acquires the embedded mutex.
+func (e *Embedded) Inc() {
+	e.Lock()
+	defer e.Unlock()
+	e.n++
+}
+`,
+	"mappos/mappos.go": `package mappos
+
+import "fmt"
+
+// Keys leaks map order into the returned slice: violation.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump prints in map order: violation.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+	"mapneg/mapneg.go": `package mapneg
+
+import "sort"
+
+// Keys sorts after collecting: fine.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum folds order-independently: fine.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Local appends to a slice scoped inside the loop body: fine.
+func Local(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+`,
+	"errpos/errpos.go": `package errpos
+
+import "fmt"
+
+// Open flattens the error with %v: violation.
+func Open(name string) error {
+	err := fmt.Errorf("inner")
+	return fmt.Errorf("opening %s: %v", name, err)
+}
+
+// Stringify flattens with %s: violation.
+func Stringify(err error) error {
+	return fmt.Errorf("wrapped: %s", err)
+}
+`,
+	"errneg/errneg.go": `package errneg
+
+import "fmt"
+
+// Open wraps with %w: fine.
+func Open(name string) error {
+	err := fmt.Errorf("inner")
+	return fmt.Errorf("opening %s: %w", name, err)
+}
+
+// Describe formats a non-error with %v: fine.
+func Describe(blocks []int) error {
+	return fmt.Errorf("blocks %v not free", blocks)
+}
+`,
+	"durpos/durpos.go": `package durpos
+
+import "time"
+
+// Sleepy passes bare nanoseconds: violation.
+func Sleepy() { time.Sleep(100) }
+
+// Budget adds a bare literal to a duration: violation.
+func Budget(d time.Duration) time.Duration { return d + 500 }
+`,
+	"durneg/durneg.go": `package durneg
+
+import "time"
+
+const setup = 2 * time.Millisecond
+
+// Sleepy scales by a unit: fine.
+func Sleepy() { time.Sleep(100 * time.Millisecond) }
+
+// Halve divides a duration: fine.
+func Halve(d time.Duration) time.Duration { return d / 2 }
+
+// Convert chooses the unit explicitly: fine.
+func Convert(n int) time.Duration { return time.Duration(n) * time.Second }
+
+// Zero is the valid "no duration": fine.
+func Zero() time.Duration { return 0 }
+`,
+	"ignored/ignored.go": `package ignored
+
+import "fmt"
+
+// Keys is suppressed explicitly; the directive stays grep-able.
+func Keys(m map[string]int) []string {
+	var out []string
+	//vitallint:ignore mapdeterminism
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Flatten is suppressed for a different analyzer, so it still fires.
+func Flatten(err error) error {
+	//vitallint:ignore lockcheck
+	return fmt.Errorf("outer: %v", err)
+}
+`,
+}
+
+var (
+	fixtureOnce sync.Once
+	fixturePkgs map[string]*Package
+	fixtureErr  error
+)
+
+// loadFixtures materializes the fixture module once per test binary.
+func loadFixtures(t *testing.T) map[string]*Package {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "vitallint-fixtures")
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+			fixtureErr = err
+			return
+		}
+		for rel, src := range fixtures {
+			path := filepath.Join(dir, filepath.FromSlash(rel))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				fixtureErr = err
+				return
+			}
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				fixtureErr = err
+				return
+			}
+		}
+		loader, err := NewLoader(dir)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		pkgs, err := loader.Load("./...")
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixturePkgs = map[string]*Package{}
+		for _, p := range pkgs {
+			fixturePkgs[filepath.Base(p.Dir)] = p
+		}
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixtures: %v", fixtureErr)
+	}
+	return fixturePkgs
+}
+
+// runOn applies one analyzer to one fixture package.
+func runOn(t *testing.T, analyzer *Analyzer, fixture string) []Diagnostic {
+	t.Helper()
+	pkg, ok := loadFixtures(t)[fixture]
+	if !ok {
+		t.Fatalf("no fixture package %q", fixture)
+	}
+	return Run([]*Package{pkg}, []*Analyzer{analyzer})
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, substrings ...string) {
+	t.Helper()
+	if len(diags) != len(substrings) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(substrings), renderAll(diags))
+	}
+	for i, want := range substrings {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+func renderAll(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestLockCheck(t *testing.T) {
+	wantFindings(t, runOn(t, LockCheck, "lockpos"), `accesses "n"`)
+	wantFindings(t, runOn(t, LockCheck, "lockneg"))
+}
+
+func TestMapDeterminism(t *testing.T) {
+	wantFindings(t, runOn(t, MapDeterminism, "mappos"),
+		`appends to "out" without sorting`,
+		`printing inside range over map`)
+	wantFindings(t, runOn(t, MapDeterminism, "mapneg"))
+}
+
+func TestErrWrap(t *testing.T) {
+	wantFindings(t, runOn(t, ErrWrap, "errpos"),
+		"error formatted with %v",
+		"error formatted with %s")
+	wantFindings(t, runOn(t, ErrWrap, "errneg"))
+}
+
+func TestDurationLiteral(t *testing.T) {
+	wantFindings(t, runOn(t, DurationLiteral, "durpos"),
+		"bare integer 100",
+		"bare integer 500")
+	wantFindings(t, runOn(t, DurationLiteral, "durneg"))
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	// The map finding is suppressed; the errwrap finding is not (the
+	// directive names a different analyzer).
+	diags := Run([]*Package{loadFixtures(t)["ignored"]}, All())
+	wantFindings(t, diags, "error formatted with %v")
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("lockcheck, errwrap")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName subset failed: %v", err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DurationLiteral reports bare integer literals used as time.Duration
+// values. A Duration is a nanosecond count, so `time.Sleep(100)` sleeps
+// 100ns and `d + 500` adds half a microsecond — never what the
+// reconfiguration and timing models mean. The idiomatic forms are exempt:
+// multiplying or dividing by a unit (`2 * time.Millisecond`, `d / 2`) and
+// explicit conversions (`time.Duration(n)`), where the author has
+// visibly chosen the unit.
+var DurationLiteral = &Analyzer{
+	Name: "durationliteral",
+	Doc:  "bare integer literal used as time.Duration (nanoseconds)",
+	Run:  runDurationLiteral,
+}
+
+func runDurationLiteral(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT || lit.Value == "0" {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || !isNamedType(tv.Type, "time", "Duration") {
+				return true
+			}
+			if durationContextExempt(pass, stack) {
+				return true
+			}
+			pass.Reportf(lit.Pos(), "bare integer %s used as time.Duration is %s nanoseconds; multiply by a time unit (e.g. %s * time.Millisecond)",
+				lit.Value, lit.Value, lit.Value)
+			return true
+		})
+	}
+}
+
+// durationContextExempt walks the expression ancestors of the literal (the
+// stack top is the literal itself) looking for a unit multiplication,
+// division, or an explicit conversion.
+func durationContextExempt(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.MUL || n.Op == token.QUO {
+				return true
+			}
+		case *ast.CallExpr:
+			// A conversion call: the "function" is a type.
+			if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true
+			}
+			return false // real call boundary: argument context decided
+		case *ast.ParenExpr, *ast.UnaryExpr:
+			// keep walking
+		default:
+			return false // statement/declaration boundary
+		}
+	}
+	return false
+}

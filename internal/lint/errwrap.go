@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// ErrWrap reports fmt.Errorf calls that format an error operand with %v or
+// %s instead of %w. %v flattens the error to text, so errors.Is/As cannot
+// see through the wrapper — in this codebase that breaks error inspection
+// up the Deploy path (sched → bitstream → fpga), where callers match
+// sentinel and typed errors to decide on rollback and retry.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf must wrap error operands with %w, not %v/%s",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := calleeOf(pass.Info, call)
+			if !ok || pkg != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs, ok := parseVerbs(format)
+			if !ok {
+				return true // explicit arg indexes: mapping not tracked
+			}
+			argIdx := 1
+			for _, v := range verbs {
+				argIdx += v.stars
+				if argIdx >= len(call.Args) {
+					break
+				}
+				arg := call.Args[argIdx]
+				if (v.letter == 'v' || v.letter == 's') && isErrorType(pass.Info.Types[arg].Type) {
+					pass.Reportf(arg.Pos(), "error formatted with %%%c; use %%w so errors.Is/As can unwrap it", v.letter)
+				}
+				argIdx++
+			}
+			return true
+		})
+	}
+}
+
+// verb is one formatting directive of a format string.
+type verb struct {
+	letter byte
+	stars  int // '*' width/precision operands consumed before the value
+}
+
+// parseVerbs extracts the argument-consuming verbs of a format string in
+// order. It reports ok=false on explicit argument indexes ("%[1]v"), which
+// would break positional mapping.
+func parseVerbs(format string) ([]verb, bool) {
+	var out []verb
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		v := verb{}
+		for i < len(format) {
+			c := format[i]
+			switch {
+			case c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				(c >= '1' && c <= '9') || c == '.':
+				i++
+			case c == '*':
+				v.stars++
+				i++
+			case c == '[':
+				return nil, false
+			default:
+				v.letter = c
+				out = append(out, v)
+				goto next
+			}
+		}
+	next:
+	}
+	return out, true
+}

@@ -1,0 +1,183 @@
+// Package lint is vitallint's zero-dependency static-analysis driver: a
+// small analyzer framework built only on the standard library's go/ast,
+// go/parser and go/types (no golang.org/x/tools import, so it builds
+// offline), plus the project-specific analyzers that guard ViTAL's
+// domain invariants.
+//
+// The analyzers encode properties the rest of the repo depends on but the
+// compiler cannot check:
+//
+//   - lockcheck: exported methods on mutex-bearing types must hold the
+//     mutex before touching guarded fields (fields declared after the
+//     mutex — the convention internal/sched and internal/memvirt follow).
+//   - mapdeterminism: iteration over a Go map is randomized; loops that
+//     feed ordered results (slices, printed output) from a map range must
+//     sort, or placement decisions and published figure outputs silently
+//     change between runs.
+//   - errwrap: fmt.Errorf must wrap error operands with %w, not %v/%s, or
+//     errors.Is/As stop working up the Deploy path.
+//   - durationliteral: bare integer literals must not be used as
+//     time.Duration values — 100 means 100 nanoseconds, which is never
+//     what the reconfiguration/timing models intend.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns every project analyzer.
+func All() []*Analyzer {
+	return []*Analyzer{LockCheck, MapDeterminism, ErrWrap, DurationLiteral}
+}
+
+// ByName resolves a comma-separated analyzer list; an empty list means all.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package and returns the findings
+// sorted by position. Findings on lines carrying (or directly following) a
+// "//vitallint:ignore <name>" comment are dropped — every such suppression
+// is grep-able, so "fix, don't suppress" stays reviewable.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if ignores.match(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// ignoreSet maps file:line to the analyzer names suppressed there.
+type ignoreSet map[string]map[string]bool
+
+func (s ignoreSet) match(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, line)
+		if names, ok := s[key]; ok && (names[d.Analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const ignoreDirective = "vitallint:ignore"
+
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if set[key] == nil {
+					set[key] = map[string]bool{}
+				}
+				if rest == "" {
+					set[key]["all"] = true
+					continue
+				}
+				for _, n := range strings.Fields(rest) {
+					set[key][strings.TrimSuffix(n, ",")] = true
+				}
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCheck reports exported methods on mutex-bearing structs that read or
+// write guarded fields without acquiring the mutex.
+//
+// The convention (followed by internal/sched and internal/memvirt, and
+// common across Go codebases) is positional: fields declared *after* a
+// sync.Mutex/sync.RWMutex field are guarded by it; fields declared before
+// it are immutable after construction or independently synchronized.
+// Methods whose name ends in "Locked" are callee-locked by contract and
+// exempt, as are unexported methods (their callers are in-package and
+// already checked at their exported entry points).
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "exported methods must hold mu before touching fields declared after it",
+	Run:  runLockCheck,
+}
+
+// mutexStruct describes one struct with a mutex field.
+type mutexStruct struct {
+	name    string          // struct type name
+	muField string          // mutex field name ("Mutex" when embedded)
+	guarded map[string]bool // fields declared after the mutex
+}
+
+func runLockCheck(pass *Pass) {
+	structs := map[string]*mutexStruct{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if ms := mutexStructOf(pass.Info, ts.Name.Name, st); ms != nil {
+				structs[ms.name] = ms
+			}
+			return true
+		})
+	}
+	if len(structs) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if !fn.Name.IsExported() || strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			ms := structs[receiverTypeName(fn)]
+			if ms == nil {
+				continue
+			}
+			checkMethod(pass, fn, ms)
+		}
+	}
+}
+
+// mutexStructOf returns the mutex profile of a struct, or nil when it has
+// no sync.Mutex/sync.RWMutex field.
+func mutexStructOf(info *types.Info, name string, st *ast.StructType) *mutexStruct {
+	ms := &mutexStruct{name: name, guarded: map[string]bool{}}
+	for _, field := range st.Fields.List {
+		tv, ok := info.Types[field.Type]
+		isMutex := ok && (isNamedType(tv.Type, "sync", "Mutex") || isNamedType(tv.Type, "sync", "RWMutex"))
+		if ms.muField == "" && isMutex {
+			if len(field.Names) == 0 {
+				ms.muField = "Mutex" // embedded
+			} else {
+				ms.muField = field.Names[0].Name
+			}
+			continue
+		}
+		if ms.muField == "" {
+			continue // declared before the mutex: unguarded by convention
+		}
+		for _, id := range field.Names {
+			ms.guarded[id.Name] = true
+		}
+	}
+	if ms.muField == "" || len(ms.guarded) == 0 {
+		return nil
+	}
+	return ms
+}
+
+func receiverTypeName(fn *ast.FuncDecl) string {
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func checkMethod(pass *Pass, fn *ast.FuncDecl, ms *mutexStruct) {
+	recv := receiverObj(pass.Info, fn)
+	if recv == nil {
+		return
+	}
+	locked := false
+	type access struct {
+		pos   ast.Node
+		field string
+	}
+	var accesses []access
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isLockAcquisition(pass.Info, n, recv, ms.muField) {
+				locked = true
+			}
+		case *ast.SelectorExpr:
+			if usesObject(pass.Info, n.X, recv) && ms.guarded[n.Sel.Name] {
+				accesses = append(accesses, access{n, n.Sel.Name})
+			}
+		}
+		return true
+	})
+	if locked || len(accesses) == 0 {
+		return
+	}
+	seen := map[string]bool{}
+	for _, a := range accesses {
+		if seen[a.field] {
+			continue
+		}
+		seen[a.field] = true
+		pass.Reportf(a.pos.Pos(), "%s.%s accesses %q (guarded by %s) without holding %s.%s",
+			ms.name, fn.Name.Name, a.field, ms.muField, fn.Recv.List[0].Names[0].Name, ms.muField)
+	}
+}
+
+// isLockAcquisition matches recv.mu.Lock(), recv.mu.RLock(), and — for an
+// embedded mutex — recv.Lock()/recv.RLock().
+func isLockAcquisition(info *types.Info, call *ast.CallExpr, recv types.Object, muField string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == muField && usesObject(info, x.X, recv)
+	case *ast.Ident:
+		return muField == "Mutex" && usesObject(info, x, recv)
+	}
+	return false
+}

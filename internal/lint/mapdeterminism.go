@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapDeterminism reports range-over-map loops that feed ordered results —
+// slice appends or printed output — without a subsequent sort. Go
+// randomizes map iteration order, so such loops make placement decisions
+// and rendered tables differ from run to run; in this codebase that
+// silently changes partitioner output (internal/partition), allocator
+// behavior (internal/sched) and published figure data
+// (internal/experiments).
+//
+// A loop is safe when its map-order-dependent result is sorted afterwards
+// in the same function, when it only updates order-insensitive state
+// (counters, map writes, max/min folds), or when it returns/panics on the
+// first hit alone without accumulating.
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "range over map feeding ordered results must sort",
+	Run:  runMapDeterminism,
+}
+
+func runMapDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncMaps(pass, fn.Body)
+		}
+	}
+}
+
+func checkFuncMaps(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rs)
+		return true
+	})
+}
+
+func checkMapRange(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	var appendDsts []types.Object
+	printed := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := calleeOf(pass.Info, n); ok && pkg == "fmt" {
+				switch name {
+				case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+					printed = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				dst := appendTarget(pass.Info, rhs)
+				if dst == nil || i >= len(n.Lhs) {
+					continue
+				}
+				// Only appends accumulating across iterations matter: the
+				// destination must be declared outside the loop.
+				if dst.Pos() < rs.Pos() || dst.Pos() > rs.End() {
+					appendDsts = append(appendDsts, dst)
+				}
+			}
+		}
+		return true
+	})
+	if printed {
+		pass.Reportf(rs.Pos(), "printing inside range over map: output order is randomized between runs")
+		return
+	}
+	for _, dst := range appendDsts {
+		if !sortedAfter(pass, funcBody, rs, dst) {
+			pass.Reportf(rs.Pos(), "range over map appends to %q without sorting it afterwards: element order is randomized between runs", dst.Name())
+		}
+	}
+}
+
+// appendTarget returns the destination object of an append(dst, ...) call.
+func appendTarget(info *types.Info, e ast.Expr) types.Object {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(dst)
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call mentioning dst
+// appears after the range statement in the enclosing function.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, dst types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		pkg, name, ok := calleeOf(pass.Info, call)
+		if !ok {
+			return true
+		}
+		isSort := pkg == "sort" || (pkg == "slices" && len(name) >= 4 && name[:4] == "Sort")
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.Info.ObjectOf(id) == dst {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

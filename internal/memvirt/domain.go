@@ -2,6 +2,7 @@ package memvirt
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -252,6 +253,9 @@ func (m *Manager) CheckIsolation() error {
 	for _, d := range m.domains {
 		domains = append(domains, d)
 	}
+	// Walk domains in name order so a given inconsistent state always
+	// reports the same first violation.
+	sort.Slice(domains, func(i, j int) bool { return domains[i].App < domains[j].App })
 	owner := make(map[uint64]string, len(m.owner))
 	for k, v := range m.owner {
 		owner[k] = v

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"sort"
 
 	"vital/internal/linalg"
 	"vital/internal/netlist"
@@ -40,20 +41,44 @@ func buildClusterGraph(n *netlist.Netlist, clusterOf []int, numClusters, maxFano
 			g.edges[[2]int{lo, hi}] += float64(t.Width)
 		}
 	}
-	for e, w := range g.edges {
-		g.deg[e[0]] += w
-		g.deg[e[1]] += w
+	for _, e := range g.sortedEdges() {
+		g.deg[e.lo] += e.w
+		g.deg[e.hi] += e.w
 	}
 	return g
+}
+
+// edge is one cluster-graph edge with a stable (lo, hi) identity.
+type edge struct {
+	lo, hi int
+	w      float64
+}
+
+// sortedEdges returns the edges in (lo, hi) order. The graph is stored as a
+// map, whose iteration order is randomized; every consumer that folds edge
+// weights into floating-point sums or emits matrix triplets must walk this
+// deterministic order, or placements drift between runs of the same input.
+func (g *clusterGraph) sortedEdges() []edge {
+	out := make([]edge, 0, len(g.edges))
+	for e, w := range g.edges {
+		out = append(out, edge{lo: e[0], hi: e[1], w: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].lo != out[j].lo {
+			return out[i].lo < out[j].lo
+		}
+		return out[i].hi < out[j].hi
+	})
+	return out
 }
 
 // wirelength evaluates Eq. 1: L = Σ w_ij [α (x_i−x_j)² + (y_i−y_j)²].
 func (g *clusterGraph) wirelength(x, y []float64, alpha float64) float64 {
 	L := 0.0
-	for e, w := range g.edges {
-		dx := x[e[0]] - x[e[1]]
-		dy := y[e[0]] - y[e[1]]
-		L += w * (alpha*dx*dx + dy*dy)
+	for _, e := range g.sortedEdges() {
+		dx := x[e.lo] - x[e.hi]
+		dy := y[e.lo] - y[e.hi]
+		L += e.w * (alpha*dx*dx + dy*dy)
 	}
 	return L
 }
@@ -68,8 +93,8 @@ func (g *clusterGraph) wirelength(x, y []float64, alpha float64) float64 {
 func quadraticSolve(g *clusterGraph, x, y, anchorX, anchorY, beta []float64, ioAnchorX map[int]float64, ioW float64) error {
 	n := g.n
 	ts := make([]linalg.Triplet, 0, len(g.edges)*4+n)
-	for e, w := range g.edges {
-		i, j := e[0], e[1]
+	for _, e := range g.sortedEdges() {
+		i, j, w := e.lo, e.hi, e.w
 		ts = append(ts,
 			linalg.Triplet{Row: i, Col: i, Val: w},
 			linalg.Triplet{Row: j, Col: j, Val: w},
@@ -86,9 +111,14 @@ func quadraticSolve(g *clusterGraph, x, y, anchorX, anchorY, beta []float64, ioA
 		bx[i] = beta[i]*anchorX[i] + eps*anchorX[i]
 		by[i] = beta[i]*anchorY[i] + eps*anchorY[i]
 	}
-	for i, ax := range ioAnchorX {
+	ioClusters := make([]int, 0, len(ioAnchorX))
+	for i := range ioAnchorX {
+		ioClusters = append(ioClusters, i)
+	}
+	sort.Ints(ioClusters)
+	for _, i := range ioClusters {
 		ts = append(ts, linalg.Triplet{Row: i, Col: i, Val: ioW})
-		bx[i] += ioW * ax
+		bx[i] += ioW * ioAnchorX[i]
 		// IO pads sit at mid-height.
 		by[i] += ioW * 0.5
 	}

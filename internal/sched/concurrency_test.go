@@ -49,6 +49,76 @@ func TestConcurrentDeployUndeploy(t *testing.T) {
 	}
 }
 
+// TestConcurrentDeployRelocateDefrag races tenant churn against the
+// defragmenter: deploy/undeploy cycles, explicit relocations, board drains
+// and app compactions all run at once. Under -race this catches unlocked
+// reads of Deployment state (Drain and CompactApp once read dep.Blocks
+// outside ct.mu while Relocate mutated them). Afterwards the final state
+// must verify clean against the architectural invariants.
+func TestConcurrentDeployRelocateDefrag(t *testing.T) {
+	ct := NewController(testCluster())
+	const tenants = 8
+	for i := 0; i < tenants; i++ {
+		storeSynthetic(t, ct, fmt.Sprintf("t%d", i), 2+i%3)
+	}
+	var wg sync.WaitGroup
+	// Tenant churn: deploy, inspect, relocate, undeploy.
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			app := fmt.Sprintf("t%d", i)
+			for round := 0; round < 4; round++ {
+				dep, err := ct.Deploy(app, 1<<28)
+				if err != nil {
+					continue
+				}
+				// The copy must stay internally consistent even while the
+				// defragmenter relocates our blocks underneath.
+				if len(dep.Blocks) != len(dep.Programmed) {
+					t.Errorf("%s: %d blocks vs %d bitstreams", app, len(dep.Blocks), len(dep.Programmed))
+				}
+				if free := ct.DB.FreeOnBoard(i % 4); len(free) > 0 {
+					_ = ct.Relocate(app, 0, free[0]) // may lose races: fine
+				}
+				if err := ct.Undeploy(app); err != nil {
+					t.Errorf("undeploy %s: %v", app, err)
+				}
+			}
+		}(i)
+	}
+	// Defragmenter: drains and compactions racing the churn above.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				_, _ = ct.Drain((w + round) % 4)
+				for i := 0; i < tenants; i++ {
+					_, _ = ct.CompactApp(fmt.Sprintf("t%d", i))
+				}
+			}
+		}(w)
+	}
+	// Auditor: the invariant verifier must be safe to run mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 10; round++ {
+			if rep := ct.Verify(); !rep.OK() {
+				t.Errorf("invariants violated mid-churn: %v", rep.Err())
+			}
+		}
+	}()
+	wg.Wait()
+	if st := ct.Status(); st.UsedBlocks != 0 || len(st.Apps) != 0 {
+		t.Fatalf("state leaked after churn: %+v", st)
+	}
+	if rep := ct.Verify(); !rep.OK() {
+		t.Fatalf("final state fails verification: %v", rep.Err())
+	}
+}
+
 // TestConcurrentClaims hammers the resource database directly.
 func TestConcurrentClaims(t *testing.T) {
 	db := NewResourceDB(testCluster())

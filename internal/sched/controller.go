@@ -2,12 +2,14 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"vital/internal/bitstream"
 	"vital/internal/cluster"
 	"vital/internal/memvirt"
+	"vital/internal/verify"
 )
 
 // Controller is the system controller of Fig. 6: it owns the resource
@@ -18,10 +20,23 @@ type Controller struct {
 	Cluster    *cluster.Cluster
 	DB         *ResourceDB
 	Bitstreams *bitstream.Database
+	// log and opts are set once at construction (log is internally
+	// synchronized), so they live above mu (fields below mu are guarded by
+	// it — see lockcheck).
+	log  *eventLog
+	opts Options
 
 	mu       sync.Mutex
 	deployed map[string]*Deployment
-	log      *eventLog
+}
+
+// Options tunes controller behavior.
+type Options struct {
+	// VerifyOnDeploy re-checks the architectural invariants (identical
+	// columns, clock alignment, die boundaries, region disjointness, tenant
+	// isolation) after every deployment and rolls the deployment back if any
+	// is violated — a belt-and-braces mode for multi-tenant operators.
+	VerifyOnDeploy bool
 }
 
 // Deployment records a running application.
@@ -36,19 +51,38 @@ type Deployment struct {
 	ReconfigTime time.Duration
 	// MultiFPGA reports whether the app spans multiple boards.
 	MultiFPGA bool
+	// Primary is the board holding the app's memory domain and virtual NIC.
+	// It is fixed at deploy time: relocations may later move every block off
+	// the board, so it cannot be re-derived from Blocks.
+	Primary int
 	// VNIC is the app's virtual NIC on its primary board.
 	VNIC *memvirt.VNIC
 }
 
-// NewController assembles a controller over a cluster.
+// NewController assembles a controller over a cluster with default options.
 func NewController(c *cluster.Cluster) *Controller {
+	return NewControllerWithOptions(c, Options{})
+}
+
+// NewControllerWithOptions assembles a controller with explicit options.
+func NewControllerWithOptions(c *cluster.Cluster, opts Options) *Controller {
 	return &Controller{
 		Cluster:    c,
 		DB:         NewResourceDB(c),
 		Bitstreams: bitstream.NewDatabase(),
 		deployed:   map[string]*Deployment{},
 		log:        newEventLog(),
+		opts:       opts,
 	}
+}
+
+// clone returns a defensive copy so callers can inspect a deployment without
+// racing against Relocate, which mutates Blocks/Programmed under ct.mu.
+func (d *Deployment) clone() *Deployment {
+	c := *d
+	c.Blocks = append([]cluster.GlobalBlockRef(nil), d.Blocks...)
+	c.Programmed = append([]*bitstream.Bitstream(nil), d.Programmed...)
+	return &c
 }
 
 // Deploy places a compiled application onto the cluster: it looks up the
@@ -109,11 +143,66 @@ func (ct *Controller) Deploy(app string, memQuota uint64) (*Deployment, error) {
 		Programmed:   programmed,
 		ReconfigTime: reconfig,
 		MultiFPGA:    len(boards) > 1,
+		Primary:      boards[0],
 		VNIC:         vnic,
 	}
 	ct.deployed[app] = dep
+	if ct.opts.VerifyOnDeploy {
+		if rep := ct.verifyLocked(); !rep.OK() {
+			// Roll the deployment back: the cluster must never be left in a
+			// state that violates the paper's invariants.
+			delete(ct.deployed, app)
+			primary.Net.DetachNIC(app)
+			_ = primary.Mem.DestroyDomain(app)
+			ct.DB.ReleaseApp(app)
+			return nil, fmt.Errorf("sched: deploying %q violates invariants: %w", app, rep.Err())
+		}
+	}
 	ct.log.add(EventDeploy, app, fmt.Sprintf("%d blocks on %v", len(refs), boards))
-	return dep, nil
+	return dep.clone(), nil
+}
+
+// Verify re-checks the architectural invariants of Section 3 against the
+// live cluster and deployment state: every board's floorplan (identical
+// block columns, clock-region alignment, no die crossing, Fig. 7 region
+// disjointness) and the resource database (tenant isolation, owner-table
+// consistency).
+func (ct *Controller) Verify() *verify.Report {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.verifyLocked()
+}
+
+func (ct *Controller) verifyLocked() *verify.Report {
+	rep := verify.Cluster(ct.Cluster)
+	owners, claims := ct.DB.Snapshot()
+	// Deployments must agree with the resource database: a deployed block
+	// the DB does not attribute to the app means the isolation bookkeeping
+	// has drifted. Apps are visited in sorted order so violation reports
+	// are deterministic.
+	apps := make([]string, 0, len(ct.deployed))
+	for app := range ct.deployed {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		dep := ct.deployed[app]
+		for _, ref := range dep.Blocks {
+			if owners[ref] != app {
+				rep.Violations = append(rep.Violations, verify.Violation{
+					Invariant: verify.InvariantIsolation,
+					Detail: fmt.Sprintf("deployment %q uses block %v but resource database records owner %q",
+						app, ref, owners[ref]),
+				})
+			}
+		}
+	}
+	rep.Merge(verify.Snapshot(&verify.DeploymentSnapshot{
+		Cluster: ct.Cluster,
+		Claims:  claims,
+		Owners:  owners,
+	}))
+	return rep
 }
 
 // Undeploy stops an application, releasing blocks, memory and network.
@@ -124,7 +213,10 @@ func (ct *Controller) Undeploy(app string) error {
 	if !ok {
 		return fmt.Errorf("sched: %q not deployed", app)
 	}
-	primary := ct.Cluster.Boards[BoardsOf(dep.Blocks)[0]]
+	// Use the primary board recorded at deploy time, not
+	// BoardsOf(dep.Blocks)[0]: relocations may have moved every block off
+	// the board that holds the app's memory domain and NIC.
+	primary := ct.Cluster.Boards[dep.Primary]
 	if err := primary.Mem.DestroyDomain(app); err != nil {
 		return err
 	}
@@ -135,12 +227,16 @@ func (ct *Controller) Undeploy(app string) error {
 	return nil
 }
 
-// Deployment returns the running deployment of an app.
+// Deployment returns a copy of the running deployment of an app. The copy
+// is stable: a later Relocate does not mutate it.
 func (ct *Controller) Deployment(app string) (*Deployment, bool) {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	d, ok := ct.deployed[app]
-	return d, ok
+	if !ok {
+		return nil, false
+	}
+	return d.clone(), true
 }
 
 // Relocate moves one virtual block of a running application to a specific
@@ -148,6 +244,10 @@ func (ct *Controller) Deployment(app string) (*Deployment, bool) {
 func (ct *Controller) Relocate(app string, vb int, target cluster.GlobalBlockRef) error {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
+	return ct.relocateLocked(app, vb, target)
+}
+
+func (ct *Controller) relocateLocked(app string, vb int, target cluster.GlobalBlockRef) error {
 	dep, ok := ct.deployed[app]
 	if !ok {
 		return fmt.Errorf("sched: %q not deployed", app)

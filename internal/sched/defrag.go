@@ -20,6 +20,13 @@ import (
 // moved; it fails without changes if the rest of the cluster lacks room.
 func (ct *Controller) Drain(board int) (int, error) {
 	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.drainLocked(board)
+}
+
+// drainLocked runs the whole drain under ct.mu so concurrent Deploys or
+// Relocates cannot interleave with the per-block moves.
+func (ct *Controller) drainLocked(board int) (int, error) {
 	// Collect (app, vb) pairs resident on the board.
 	type resident struct {
 		app string
@@ -33,7 +40,6 @@ func (ct *Controller) Drain(board int) (int, error) {
 			}
 		}
 	}
-	ct.mu.Unlock()
 	if len(residents) == 0 {
 		return 0, nil
 	}
@@ -55,11 +61,11 @@ func (ct *Controller) Drain(board int) (int, error) {
 	})
 	moved := 0
 	for _, r := range residents {
-		target, err := ct.drainTarget(r.app, board)
+		target, err := ct.drainTargetLocked(r.app, board)
 		if err != nil {
 			return moved, err
 		}
-		if err := ct.Relocate(r.app, r.vb, target); err != nil {
+		if err := ct.relocateLocked(r.app, r.vb, target); err != nil {
 			return moved, fmt.Errorf("sched: draining %s/vb%d: %w", r.app, r.vb, err)
 		}
 		moved++
@@ -68,11 +74,11 @@ func (ct *Controller) Drain(board int) (int, error) {
 	return moved, nil
 }
 
-// drainTarget picks a destination block off the given board for one of the
-// app's blocks: a board already hosting the app if possible, else the board
-// with the fewest free blocks (best fit).
-func (ct *Controller) drainTarget(app string, avoid int) (cluster.GlobalBlockRef, error) {
-	dep, ok := ct.Deployment(app)
+// drainTargetLocked picks a destination block off the given board for one
+// of the app's blocks: a board already hosting the app if possible, else the
+// board with the fewest free blocks (best fit). Caller holds ct.mu.
+func (ct *Controller) drainTargetLocked(app string, avoid int) (cluster.GlobalBlockRef, error) {
+	dep, ok := ct.deployed[app]
 	if !ok {
 		return cluster.GlobalBlockRef{}, fmt.Errorf("sched: %q not deployed", app)
 	}
@@ -109,7 +115,9 @@ func (ct *Controller) drainTarget(app string, avoid int) (cluster.GlobalBlockRef
 // its inter-FPGA communication entirely. It returns whether compaction
 // happened.
 func (ct *Controller) CompactApp(app string) (bool, error) {
-	dep, ok := ct.Deployment(app)
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	dep, ok := ct.deployed[app]
 	if !ok {
 		return false, fmt.Errorf("sched: %q not deployed", app)
 	}
@@ -141,7 +149,7 @@ func (ct *Controller) CompactApp(app string) (bool, error) {
 		if blk.Board == best {
 			continue
 		}
-		if err := ct.Relocate(app, vb, free[fi]); err != nil {
+		if err := ct.relocateLocked(app, vb, free[fi]); err != nil {
 			return false, fmt.Errorf("sched: compacting %s/vb%d: %w", app, vb, err)
 		}
 		fi++

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 )
 
 // NewHandler exposes the system controller over HTTP — the API surface a
@@ -14,6 +15,7 @@ import (
 //	GET  /metrics           → occupancy + event counters
 //	GET  /events            → recent audit log
 //	GET  /apps              → deployed applications
+//	GET  /verify            → architectural invariant check (409 on violation)
 //	POST /deploy   {app, mem_quota_bytes} → deployment summary
 //	POST /undeploy {app}
 func NewHandler(ct *Controller) http.Handler {
@@ -37,7 +39,20 @@ func NewHandler(ct *Controller) http.Handler {
 		for a := range st.Apps {
 			apps = append(apps, a)
 		}
+		sort.Strings(apps)
 		writeJSON(w, http.StatusOK, map[string]interface{}{"apps": apps})
+	})
+
+	mux.HandleFunc("GET /verify", func(w http.ResponseWriter, r *http.Request) {
+		rep := ct.Verify()
+		code := http.StatusOK
+		if !rep.OK() {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, map[string]interface{}{
+			"ok":         rep.OK(),
+			"violations": rep.Violations,
+		})
 	})
 
 	type deployReq struct {

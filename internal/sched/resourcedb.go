@@ -16,8 +16,11 @@ import (
 // ResourceDB tracks the status of every physical block in the cluster: the
 // resource database of Fig. 6.
 type ResourceDB struct {
-	mu      sync.Mutex
+	// cluster is set once at construction and never mutated, so it lives
+	// above mu (fields below mu are guarded by it — see lockcheck).
 	cluster *cluster.Cluster
+
+	mu sync.Mutex
 	// owner maps a block to the application holding it ("" = free).
 	owner map[cluster.GlobalBlockRef]string
 	// byApp indexes the blocks held by each application.
@@ -131,6 +134,25 @@ func (db *ResourceDB) Owner(ref cluster.GlobalBlockRef) string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.owner[ref]
+}
+
+// Snapshot copies the owner table and per-application claims, for
+// verification against the isolation invariant without holding the lock
+// while the (potentially slow) checks run.
+func (db *ResourceDB) Snapshot() (owners map[cluster.GlobalBlockRef]string, claims map[string][]cluster.GlobalBlockRef) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	owners = make(map[cluster.GlobalBlockRef]string)
+	for ref, app := range db.owner {
+		if app != "" {
+			owners[ref] = app
+		}
+	}
+	claims = make(map[string][]cluster.GlobalBlockRef, len(db.byApp))
+	for app, refs := range db.byApp {
+		claims[app] = append([]cluster.GlobalBlockRef(nil), refs...)
+	}
+	return owners, claims
 }
 
 // Apps lists applications currently holding blocks.

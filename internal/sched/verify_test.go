@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"vital/internal/verify"
+)
+
+func TestControllerVerifyClean(t *testing.T) {
+	ct := NewController(testCluster())
+	storeSynthetic(t, ct, "a", 3)
+	if _, err := ct.Deploy("a", 1<<28); err != nil {
+		t.Fatal(err)
+	}
+	if rep := ct.Verify(); !rep.OK() {
+		t.Fatalf("healthy controller fails verification: %v", rep.Err())
+	}
+}
+
+func TestControllerVerifyDetectsDrift(t *testing.T) {
+	ct := NewController(testCluster())
+	storeSynthetic(t, ct, "a", 3)
+	if _, err := ct.Deploy("a", 1<<28); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate bookkeeping drift: the resource database forgets the app's
+	// claim while the deployment still runs — its blocks are now free to be
+	// double-booked.
+	ct.DB.ReleaseApp("a")
+	rep := ct.Verify()
+	if rep.OK() || !rep.Has(verify.InvariantIsolation) {
+		t.Fatalf("drifted owner table not detected: %v", rep.Err())
+	}
+}
+
+func TestVerifyOnDeployRollsBack(t *testing.T) {
+	ct := NewControllerWithOptions(testCluster(), Options{VerifyOnDeploy: true})
+	storeSynthetic(t, ct, "a", 3)
+	storeSynthetic(t, ct, "b", 2)
+	if _, err := ct.Deploy("a", 1<<28); err != nil {
+		t.Fatalf("clean deploy rejected under VerifyOnDeploy: %v", err)
+	}
+	// Drift the database: app a's blocks look free, so deploying b would
+	// double-book them. The post-deploy check must catch it and roll b back.
+	ct.DB.ReleaseApp("a")
+	if _, err := ct.Deploy("b", 1<<28); err == nil {
+		t.Fatal("deploy succeeded despite invariant violation")
+	} else if !strings.Contains(err.Error(), "violates invariants") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, ok := ct.Deployment("b"); ok {
+		t.Fatal("violating deployment not rolled back")
+	}
+	_, claims := ct.DB.Snapshot()
+	if len(claims["b"]) != 0 {
+		t.Fatalf("rolled-back app still holds %d blocks", len(claims["b"]))
+	}
+}
+
+func TestDeploymentReturnsStableCopy(t *testing.T) {
+	ct := NewController(testCluster())
+	storeSynthetic(t, ct, "a", 2)
+	if _, err := ct.Deploy("a", 1<<28); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := ct.Deployment("a")
+	target := ct.DB.FreeOnBoard(1)[0]
+	if err := ct.Relocate("a", 0, target); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := ct.Deployment("a")
+	if after.Blocks[0] != target {
+		t.Fatalf("relocation not visible in fresh copy: %v", after.Blocks[0])
+	}
+	if before.Blocks[0] == target {
+		t.Fatal("earlier Deployment copy mutated by Relocate")
+	}
+	// Writes through a returned copy must not reach the controller.
+	after.Blocks[1] = target
+	fresh, _ := ct.Deployment("a")
+	if fresh.Blocks[1] == target {
+		t.Fatal("caller mutation leaked into controller state")
+	}
+}
+
+func TestHTTPVerify(t *testing.T) {
+	ct, srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean cluster: status %d", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	ct.DB.ReleaseApp("app1") // inject bookkeeping drift
+	resp, err = http.Get(srv.URL + "/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("violations not surfaced: status %d", resp.StatusCode)
+	}
+}

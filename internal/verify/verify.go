@@ -1,0 +1,377 @@
+// Package verify is ViTAL's architectural invariant verifier: a static
+// checker for the properties the paper's correctness argument rests on.
+// Bitstream relocation without recompilation (Section 3.3) is only sound
+// because every physical block has an identical column composition, every
+// block is aligned to clock-region boundaries, and no block crosses a die
+// boundary (Section 3.2, "key learning"); the runtime's security story
+// additionally requires the Fig. 7 floorplan regions to be disjoint and no
+// two tenants to ever share a user-region block (Section 3.4).
+//
+// The rest of the repo *assumes* these invariants (see the
+// internal/bitstream package comment); this package checks them — over a
+// device model, a Fig. 7 floorplan, a compiled artifact's bitstreams, and
+// a live deployment snapshot — and reports every violation found. The
+// scheduler runs these checks on demand (Controller.Verify, the /verify
+// API, `vitalctl verify`) and optionally after every placement
+// (Options.VerifyOnDeploy).
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vital/internal/bitstream"
+	"vital/internal/cluster"
+	"vital/internal/fpga"
+)
+
+// Invariant names one checkable architectural property.
+type Invariant string
+
+// The five invariant dimensions, plus artifact integrity.
+const (
+	// InvariantColumns: all physical blocks of a device have the identical
+	// column composition (Section 3.2) — the precondition for bitstream
+	// relocation by frame re-addressing.
+	InvariantColumns Invariant = "identical-columns"
+	// InvariantClockAlign: block height is an integer multiple of the
+	// clock-region height, so every block sees the same skew profile
+	// (Section 3.2).
+	InvariantClockAlign Invariant = "clock-alignment"
+	// InvariantDieBoundary: no physical block crosses a die boundary
+	// (Section 3.2, "key learning").
+	InvariantDieBoundary Invariant = "die-boundary"
+	// InvariantRegions: the Fig. 7 floorplan regions are disjoint and
+	// complete — user blocks plus regions 2–6 partition each die without
+	// overlap.
+	InvariantRegions Invariant = "region-disjointness"
+	// InvariantIsolation: no two tenants share a physical block, and the
+	// resource database's owner table agrees with the deployments
+	// (Section 3.4).
+	InvariantIsolation Invariant = "tenant-isolation"
+	// InvariantArtifact: a compiled bitstream is internally consistent —
+	// frame CRCs verify, addresses match the base block, and the frame
+	// set covers exactly the block's column composition (Section 3.3).
+	InvariantArtifact Invariant = "artifact-integrity"
+)
+
+// Violation is one broken invariant instance.
+type Violation struct {
+	Invariant Invariant `json:"invariant"`
+	Detail    string    `json:"detail"`
+}
+
+// String renders the violation.
+func (v Violation) String() string { return fmt.Sprintf("[%s] %s", v.Invariant, v.Detail) }
+
+// Report aggregates the violations of one verification run.
+type Report struct {
+	Violations []Violation `json:"violations"`
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the report is clean, or one error naming every
+// violation.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	msgs := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		msgs[i] = v.String()
+	}
+	return fmt.Errorf("verify: %d invariant violation(s): %s", len(r.Violations), strings.Join(msgs, "; "))
+}
+
+// Has reports whether any violation of the given invariant was recorded.
+func (r *Report) Has(inv Invariant) bool {
+	for _, v := range r.Violations {
+		if v.Invariant == inv {
+			return true
+		}
+	}
+	return false
+}
+
+// Merge appends another report's violations.
+func (r *Report) Merge(other *Report) {
+	r.Violations = append(r.Violations, other.Violations...)
+}
+
+func (r *Report) addf(inv Invariant, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+// ceilDiv rounds the quotient up — the height a block would need if the
+// partitioning doesn't divide evenly (and therefore spills past the die).
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Device checks the relocation invariants of a device model: identical
+// column composition across every physical block (within and across dies),
+// clock-region alignment, and no block crossing a die boundary.
+func Device(d *fpga.Device) *Report {
+	r := &Report{}
+	if len(d.Dies) == 0 {
+		r.addf(InvariantColumns, "device %s has no dies", d.Name)
+		return r
+	}
+	if d.BlocksPerDie < 1 {
+		r.addf(InvariantColumns, "device %s: blocks per die must be >= 1, got %d", d.Name, d.BlocksPerDie)
+		return r
+	}
+	ref := &d.Dies[0]
+	for i := range d.Dies {
+		die := &d.Dies[i]
+		// Cross-die identity: blocks on different dies are interchangeable
+		// only if the dies agree on geometry.
+		if die.UserRows != ref.UserRows {
+			r.addf(InvariantColumns, "device %s: die %d user rows %d != die 0 user rows %d — blocks differ across dies",
+				d.Name, i, die.UserRows, ref.UserRows)
+		}
+		if die.ClockRegionRows != ref.ClockRegionRows {
+			r.addf(InvariantClockAlign, "device %s: die %d clock region height %d != die 0 height %d",
+				d.Name, i, die.ClockRegionRows, ref.ClockRegionRows)
+		}
+		if len(die.UserColumns) != len(ref.UserColumns) {
+			r.addf(InvariantColumns, "device %s: die %d has %d columns, die 0 has %d",
+				d.Name, i, len(die.UserColumns), len(ref.UserColumns))
+		} else {
+			for ci, c := range die.UserColumns {
+				if c != ref.UserColumns[ci] {
+					r.addf(InvariantColumns, "device %s: die %d column %d (%s×%d) differs from die 0 (%s×%d)",
+						d.Name, i, ci, c.Kind, c.SitesPerDie, ref.UserColumns[ci].Kind, ref.UserColumns[ci].SitesPerDie)
+				}
+			}
+		}
+		// Die-boundary: the row partitioning must divide evenly or the top
+		// block spills past the die edge.
+		if die.UserRows%d.BlocksPerDie != 0 {
+			h := ceilDiv(die.UserRows, d.BlocksPerDie)
+			top := d.BlocksPerDie - 1
+			r.addf(InvariantDieBoundary,
+				"device %s: die %d user rows %d not divisible by %d blocks — block SLR%d/PB%d would span rows %d..%d, crossing the die boundary at row %d",
+				d.Name, i, die.UserRows, d.BlocksPerDie, i, top, top*h, (top+1)*h, die.UserRows)
+		} else if die.ClockRegionRows > 0 && (die.UserRows/d.BlocksPerDie)%die.ClockRegionRows != 0 {
+			r.addf(InvariantClockAlign,
+				"device %s: die %d block height %d rows not a multiple of clock region height %d — blocks see different skew profiles",
+				d.Name, i, die.UserRows/d.BlocksPerDie, die.ClockRegionRows)
+		}
+		// Identical columns per block: each column's sites must split evenly.
+		for ci, c := range die.UserColumns {
+			if c.SitesPerDie%d.BlocksPerDie != 0 {
+				r.addf(InvariantColumns,
+					"device %s: die %d %s column %d with %d sites not divisible by %d blocks — blocks would not be identical",
+					d.Name, i, c.Kind, ci, c.SitesPerDie, d.BlocksPerDie)
+			}
+		}
+	}
+	return r
+}
+
+// Floorplan checks a Fig. 7 floorplan: all Device invariants, plus region
+// completeness and disjointness per die, and identical user-region
+// provisioning across blocks.
+func Floorplan(fp *fpga.Floorplan) *Report {
+	r := Device(fp.Device)
+	d := fp.Device
+	numDies := len(d.Dies)
+	type dieAcc struct {
+		userRegions int
+		count       map[int]int // Fig. 7 region number → occurrences
+		sum         map[string]int
+	}
+	accs := make([]dieAcc, numDies)
+	for i := range accs {
+		accs[i] = dieAcc{count: map[int]int{}, sum: map[string]int{}}
+	}
+	var userCaps []fpga.Region
+	for _, reg := range fp.Regions {
+		if reg.Die < 0 || reg.Die >= numDies {
+			r.addf(InvariantRegions, "region %d (%s) on nonexistent die %d", reg.Number, reg.Class, reg.Die)
+			continue
+		}
+		acc := &accs[reg.Die]
+		acc.count[reg.Number]++
+		acc.sum["LUTs"] += reg.Capacity.LUTs
+		acc.sum["DFFs"] += reg.Capacity.DFFs
+		acc.sum["DSPs"] += reg.Capacity.DSPs
+		acc.sum["BRAMKb"] += reg.Capacity.BRAMKb
+		if reg.Number == 1 {
+			acc.userRegions++
+			userCaps = append(userCaps, reg)
+		}
+	}
+	for die := range accs {
+		acc := &accs[die]
+		if acc.userRegions != d.BlocksPerDie {
+			r.addf(InvariantRegions, "die %d has %d user regions, expected %d physical blocks",
+				die, acc.userRegions, d.BlocksPerDie)
+		}
+		for num := 2; num <= 6; num++ {
+			if acc.count[num] != 1 {
+				r.addf(InvariantRegions, "die %d has %d region-%d instances, expected exactly 1", die, acc.count[num], num)
+			}
+		}
+		// Disjointness: the regions partition the die, so their combined
+		// capacity cannot exceed what the die physically provides.
+		total := d.Dies[die].UserResources().Add(d.Dies[die].Reserved)
+		if acc.sum["LUTs"] > total.LUTs || acc.sum["DFFs"] > total.DFFs ||
+			acc.sum["DSPs"] > total.DSPs || acc.sum["BRAMKb"] > total.BRAMKb {
+			r.addf(InvariantRegions,
+				"die %d regions overlap: provisioned %d LUT/%d DFF/%d DSP/%d BRAMKb exceeds die resources %d/%d/%d/%d",
+				die, acc.sum["LUTs"], acc.sum["DFFs"], acc.sum["DSPs"], acc.sum["BRAMKb"],
+				total.LUTs, total.DFFs, total.DSPs, total.BRAMKb)
+		}
+	}
+	// Identical provisioning: every user region carries the same capacity.
+	for i := 1; i < len(userCaps); i++ {
+		if userCaps[i].Capacity != userCaps[0].Capacity {
+			r.addf(InvariantColumns, "user region on die %d provisioned %s, first user region has %s — blocks not identical",
+				userCaps[i].Die, userCaps[i].Capacity, userCaps[0].Capacity)
+		}
+	}
+	return r
+}
+
+// Artifact checks a compiled application's bitstreams against the device
+// they target: frame integrity, base-block validity, and coverage of the
+// block's column composition.
+func Artifact(d *fpga.Device, images []*bitstream.Bitstream) *Report {
+	r := Device(d)
+	legal := r.OK() // BlockShape panics on an illegal partition
+	for _, b := range images {
+		if err := b.Verify(); err != nil {
+			r.addf(InvariantArtifact, "%s/vb%d: %v", b.App, b.VirtualBlock, err)
+		}
+		if b.Base.Die < 0 || b.Base.Die >= len(d.Dies) {
+			r.addf(InvariantDieBoundary, "%s/vb%d addressed to nonexistent die %d", b.App, b.VirtualBlock, b.Base.Die)
+			continue
+		}
+		if b.Base.Index < 0 || b.Base.Index >= d.BlocksPerDie {
+			r.addf(InvariantDieBoundary, "%s/vb%d addressed to block %d beyond the die partition (%d blocks per die)",
+				b.App, b.VirtualBlock, b.Base.Index, d.BlocksPerDie)
+			continue
+		}
+		if !legal {
+			continue
+		}
+		shape := d.BlockShape()
+		if want := len(shape.Columns) * bitstream.MinorsPerColumn; len(b.Frames) != want {
+			r.addf(InvariantArtifact, "%s/vb%d has %d frames, block shape requires %d (%d columns × %d minors)",
+				b.App, b.VirtualBlock, len(b.Frames), want, len(shape.Columns), bitstream.MinorsPerColumn)
+		}
+		for i, f := range b.Frames {
+			if f.Addr.Col < 0 || f.Addr.Col >= len(shape.Columns) || f.Addr.Minor < 0 || f.Addr.Minor >= bitstream.MinorsPerColumn {
+				r.addf(InvariantArtifact, "%s/vb%d frame %d addresses column %d minor %d outside the block shape",
+					b.App, b.VirtualBlock, i, f.Addr.Col, f.Addr.Minor)
+				break
+			}
+		}
+	}
+	return r
+}
+
+// DeploymentSnapshot is a point-in-time view of who holds what, extracted
+// from a running controller under its lock.
+type DeploymentSnapshot struct {
+	Cluster *cluster.Cluster
+	// Claims maps each application to the physical blocks its deployment
+	// holds.
+	Claims map[string][]cluster.GlobalBlockRef
+	// Owners is the resource database's owner table (free blocks omitted
+	// or mapped to "").
+	Owners map[cluster.GlobalBlockRef]string
+}
+
+// Snapshot checks tenant isolation over a deployment snapshot: every block
+// reference is real, no block is claimed twice (within or across
+// applications), and the owner table agrees with the claims.
+func Snapshot(s *DeploymentSnapshot) *Report {
+	r := &Report{}
+	apps := make([]string, 0, len(s.Claims))
+	for app := range s.Claims {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	holder := map[cluster.GlobalBlockRef]string{}
+	for _, app := range apps {
+		for _, ref := range s.Claims[app] {
+			if ref.Board < 0 || ref.Board >= len(s.Cluster.Boards) {
+				r.addf(InvariantIsolation, "%q claims block on nonexistent board %d", app, ref.Board)
+				continue
+			}
+			dev := s.Cluster.Boards[ref.Board].Device
+			if ref.Die < 0 || ref.Die >= len(dev.Dies) {
+				r.addf(InvariantDieBoundary, "%q claims block on nonexistent die %v", app, ref)
+				continue
+			}
+			if ref.Index < 0 || ref.Index >= dev.BlocksPerDie {
+				r.addf(InvariantDieBoundary, "%q claims block %v beyond the die partition (%d blocks per die)",
+					app, ref, dev.BlocksPerDie)
+				continue
+			}
+			if prev, taken := holder[ref]; taken {
+				if prev == app {
+					r.addf(InvariantIsolation, "%q claims block %v twice", app, ref)
+				} else {
+					r.addf(InvariantIsolation, "block %v shared by tenants %q and %q", ref, prev, app)
+				}
+				continue
+			}
+			holder[ref] = app
+			if owner, ok := s.Owners[ref]; ok && owner != app {
+				r.addf(InvariantIsolation, "owner table says %q for block %v, deployment belongs to %q", owner, ref, app)
+			}
+		}
+	}
+	// Owner entries with no matching claim are leaked blocks: a tenant
+	// could be charged for (or denied) capacity nobody holds.
+	ownerRefs := make([]cluster.GlobalBlockRef, 0, len(s.Owners))
+	for ref := range s.Owners {
+		ownerRefs = append(ownerRefs, ref)
+	}
+	sort.Slice(ownerRefs, func(i, j int) bool { return lessRef(ownerRefs[i], ownerRefs[j]) })
+	for _, ref := range ownerRefs {
+		owner := s.Owners[ref]
+		if owner == "" {
+			continue
+		}
+		if holder[ref] != owner {
+			if _, known := s.Claims[owner]; !known {
+				r.addf(InvariantIsolation, "owner table says %q holds %v but no such deployment exists", owner, ref)
+			}
+		}
+	}
+	return r
+}
+
+func lessRef(a, b cluster.GlobalBlockRef) bool {
+	if a.Board != b.Board {
+		return a.Board < b.Board
+	}
+	if a.Die != b.Die {
+		return a.Die < b.Die
+	}
+	return a.Index < b.Index
+}
+
+// Cluster checks every board's device and floorplan. Floorplan
+// construction requires a legal partition (fpga.Build derives the block
+// shape), so boards whose device checks fail report those violations only.
+func Cluster(c *cluster.Cluster) *Report {
+	r := &Report{}
+	for _, b := range c.Boards {
+		br := Device(b.Device)
+		if br.OK() {
+			br = Floorplan(fpga.Build(b.Device))
+		}
+		for _, v := range br.Violations {
+			v.Detail = fmt.Sprintf("fpga%d: %s", b.ID, v.Detail)
+			r.Violations = append(r.Violations, v)
+		}
+	}
+	return r
+}

@@ -1,0 +1,280 @@
+package verify
+
+import (
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"vital/internal/bitstream"
+	"vital/internal/cluster"
+	"vital/internal/fpga"
+	"vital/internal/netlist"
+)
+
+// testDevice builds a small two-die device with a legal partition: 30 user
+// rows split into 2 blocks of 15 rows, clock regions 5 rows tall (15 = 3
+// regions per block), and column site counts divisible by the block count.
+func testDevice() *fpga.Device {
+	die := func(i int) fpga.Die {
+		return fpga.Die{
+			Index: i,
+			UserColumns: []fpga.Column{
+				{Kind: fpga.ColCLB, SitesPerDie: 24},
+				{Kind: fpga.ColDSP, SitesPerDie: 6},
+				{Kind: fpga.ColBRAM, SitesPerDie: 4},
+			},
+			UserRows:        30,
+			ClockRegionRows: 5,
+			Reserved:        netlist.Resources{LUTs: 9000, DFFs: 18000, DSPs: 120, BRAMKb: 15 * netlist.BRAMKb},
+		}
+	}
+	return &fpga.Device{Name: "testdev", Dies: []fpga.Die{die(0), die(1)}, BlocksPerDie: 2}
+}
+
+// wantOnly asserts the report is rejected with violations of exactly the
+// injected invariant dimension and no other.
+func wantOnly(t *testing.T, r *Report, want Invariant) {
+	t.Helper()
+	if r.OK() {
+		t.Fatalf("report unexpectedly clean, want %s violation", want)
+	}
+	for _, v := range r.Violations {
+		if v.Invariant != want {
+			t.Errorf("unexpected %s violation alongside injected %s: %s", v.Invariant, want, v.Detail)
+		}
+	}
+}
+
+func TestDeviceValid(t *testing.T) {
+	if r := Device(testDevice()); !r.OK() {
+		t.Fatalf("legal device rejected: %v", r.Err())
+	}
+	if r := Device(fpga.XCVU37P()); !r.OK() {
+		t.Fatalf("paper's XCVU37P rejected: %v", r.Err())
+	}
+}
+
+func TestDeviceInvariantMutations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*fpga.Device)
+		want   Invariant
+	}{
+		{
+			// Dimension 1: identical column composition. Die 1 grows an
+			// extra pair of CLB sites, so its blocks differ from die 0's
+			// (and the column no longer splits evenly).
+			name:   "column composition differs across dies",
+			mutate: func(d *fpga.Device) { d.Dies[1].UserColumns[0].SitesPerDie = 26 },
+			want:   InvariantColumns,
+		},
+		{
+			// Dimension 1b: a column's sites don't divide into the blocks.
+			name: "column sites not divisible by block count",
+			mutate: func(d *fpga.Device) {
+				for i := range d.Dies {
+					d.Dies[i].UserColumns[1].SitesPerDie = 7
+				}
+			},
+			want: InvariantColumns,
+		},
+		{
+			// Dimension 2: clock-region alignment. 15-row blocks against
+			// 4-row clock regions — blocks straddle region boundaries.
+			name: "block height not aligned to clock regions",
+			mutate: func(d *fpga.Device) {
+				for i := range d.Dies {
+					d.Dies[i].ClockRegionRows = 4
+				}
+			},
+			want: InvariantClockAlign,
+		},
+		{
+			// Dimension 3: die crossing. 30 rows into 4 blocks needs 8-row
+			// blocks; block PB3 would span rows 24..32, past the die edge
+			// at row 30. (Column sites 24/6/4 still divide... 6%4 != 0 is
+			// avoided by adjusting the DSP column.)
+			name: "partition crosses the die boundary",
+			mutate: func(d *fpga.Device) {
+				for i := range d.Dies {
+					d.Dies[i].UserColumns[1].SitesPerDie = 8
+				}
+				d.BlocksPerDie = 4
+			},
+			want: InvariantDieBoundary,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := testDevice()
+			tc.mutate(d)
+			wantOnly(t, Device(d), tc.want)
+		})
+	}
+}
+
+func TestFloorplanValidAndRegionMutations(t *testing.T) {
+	if r := Floorplan(fpga.Build(fpga.XCVU37P())); !r.OK() {
+		t.Fatalf("paper floorplan rejected: %v", r.Err())
+	}
+	// Dimension 4: Fig. 7 region disjointness/completeness.
+	t.Run("missing service region", func(t *testing.T) {
+		fp := fpga.Build(fpga.XCVU37P())
+		kept := fp.Regions[:0]
+		for _, reg := range fp.Regions {
+			if !(reg.Number == 4 && reg.Die == 0) {
+				kept = append(kept, reg)
+			}
+		}
+		fp.Regions = kept
+		wantOnly(t, Floorplan(fp), InvariantRegions)
+	})
+	t.Run("overlapping regions exceed die resources", func(t *testing.T) {
+		fp := fpga.Build(fpga.XCVU37P())
+		for i := range fp.Regions {
+			if fp.Regions[i].Number == 2 && fp.Regions[i].Die == 1 {
+				// Inflate the inter-FPGA comm region past the whole die.
+				fp.Regions[i].Capacity.LUTs += fp.Device.Dies[1].UserResources().LUTs
+				break
+			}
+		}
+		wantOnly(t, Floorplan(fp), InvariantRegions)
+	})
+	t.Run("region on nonexistent die", func(t *testing.T) {
+		fp := fpga.Build(fpga.XCVU37P())
+		fp.Regions[len(fp.Regions)-1].Die = 9
+		// Moving the region off its die also leaves its home die
+		// incomplete; both findings are region violations.
+		wantOnly(t, Floorplan(fp), InvariantRegions)
+	})
+}
+
+// testImage builds a self-consistent bitstream for one block of d.
+func testImage(d *fpga.Device, app string, vb int, base fpga.BlockRef) *bitstream.Bitstream {
+	shape := d.BlockShape()
+	bs := &bitstream.Bitstream{App: app, VirtualBlock: vb, Base: base}
+	for c := range shape.Columns {
+		for m := 0; m < bitstream.MinorsPerColumn; m++ {
+			payload := make([]byte, bitstream.FrameBytes)
+			payload[0], payload[1] = byte(c), byte(m)
+			bs.Frames = append(bs.Frames, bitstream.Frame{
+				Addr:    bitstream.FrameAddr{Die: base.Die, Block: base.Index, Col: c, Minor: m},
+				Payload: payload,
+				CRC:     crc32.ChecksumIEEE(payload),
+			})
+		}
+	}
+	return bs
+}
+
+func TestArtifact(t *testing.T) {
+	d := testDevice()
+	good := testImage(d, "app", 0, fpga.BlockRef{Die: 1, Index: 1})
+	if r := Artifact(d, []*bitstream.Bitstream{good}); !r.OK() {
+		t.Fatalf("valid artifact rejected: %v", r.Err())
+	}
+	t.Run("corrupt frame", func(t *testing.T) {
+		bad := testImage(d, "app", 0, fpga.BlockRef{Die: 0, Index: 0})
+		bad.Frames[2].Payload[7] ^= 0xFF
+		wantOnly(t, Artifact(d, []*bitstream.Bitstream{bad}), InvariantArtifact)
+	})
+	t.Run("missing frames", func(t *testing.T) {
+		bad := testImage(d, "app", 0, fpga.BlockRef{Die: 0, Index: 0})
+		bad.Frames = bad.Frames[:len(bad.Frames)-2]
+		wantOnly(t, Artifact(d, []*bitstream.Bitstream{bad}), InvariantArtifact)
+	})
+	t.Run("base beyond die partition", func(t *testing.T) {
+		bad := testImage(d, "app", 0, fpga.BlockRef{Die: 0, Index: 0})
+		bad.Base.Index = 7
+		for i := range bad.Frames {
+			bad.Frames[i].Addr.Block = 7
+		}
+		wantOnly(t, Artifact(d, []*bitstream.Bitstream{bad}), InvariantDieBoundary)
+	})
+}
+
+func testSnapshot(c *cluster.Cluster) *DeploymentSnapshot {
+	return &DeploymentSnapshot{
+		Cluster: c,
+		Claims:  map[string][]cluster.GlobalBlockRef{},
+		Owners:  map[cluster.GlobalBlockRef]string{},
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := cluster.Default()
+	blocks := c.AllBlocks()
+
+	t.Run("valid disjoint deployments", func(t *testing.T) {
+		s := testSnapshot(c)
+		s.Claims["a"] = blocks[0:3]
+		s.Claims["b"] = blocks[3:5]
+		for _, ref := range s.Claims["a"] {
+			s.Owners[ref] = "a"
+		}
+		for _, ref := range s.Claims["b"] {
+			s.Owners[ref] = "b"
+		}
+		if r := Snapshot(s); !r.OK() {
+			t.Fatalf("valid snapshot rejected: %v", r.Err())
+		}
+	})
+
+	// Dimension 5: tenant isolation.
+	t.Run("double-booked block across tenants", func(t *testing.T) {
+		s := testSnapshot(c)
+		s.Claims["a"] = blocks[0:3]
+		s.Claims["b"] = blocks[2:4] // blocks[2] shared
+		r := Snapshot(s)
+		wantOnly(t, r, InvariantIsolation)
+		found := false
+		for _, v := range r.Violations {
+			if strings.Contains(v.Detail, "shared by tenants") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sharing not reported: %v", r.Err())
+		}
+	})
+	t.Run("duplicate claim within one tenant", func(t *testing.T) {
+		s := testSnapshot(c)
+		s.Claims["a"] = []cluster.GlobalBlockRef{blocks[0], blocks[0]}
+		wantOnly(t, Snapshot(s), InvariantIsolation)
+	})
+	t.Run("owner table disagrees with deployment", func(t *testing.T) {
+		s := testSnapshot(c)
+		s.Claims["a"] = blocks[0:1]
+		s.Owners[blocks[0]] = "b"
+		wantOnly(t, Snapshot(s), InvariantIsolation)
+	})
+	t.Run("owner entry without deployment", func(t *testing.T) {
+		s := testSnapshot(c)
+		s.Owners[blocks[9]] = "ghost"
+		wantOnly(t, Snapshot(s), InvariantIsolation)
+	})
+	t.Run("claim beyond die partition", func(t *testing.T) {
+		s := testSnapshot(c)
+		bad := blocks[0]
+		bad.Index = 99
+		s.Claims["a"] = []cluster.GlobalBlockRef{bad}
+		wantOnly(t, Snapshot(s), InvariantDieBoundary)
+	})
+}
+
+func TestClusterVerify(t *testing.T) {
+	if r := Cluster(cluster.Default()); !r.OK() {
+		t.Fatalf("default cluster rejected: %v", r.Err())
+	}
+	c := cluster.Default()
+	c.Boards[2].Device.Dies[0].UserColumns[0].SitesPerDie = 26
+	r := Cluster(c)
+	if r.OK() || !r.Has(InvariantColumns) {
+		t.Fatalf("mutated board not rejected: %v", r.Err())
+	}
+	for _, v := range r.Violations {
+		if !strings.Contains(v.Detail, "fpga2") {
+			t.Fatalf("violation not attributed to board: %s", v.Detail)
+		}
+	}
+}
