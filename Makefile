@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench clean
+.PHONY: all build test race faultstress lint bench clean
 
 all: build lint test
 
@@ -12,6 +12,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Hammer the fault-injection path: concurrent deploys, board failures and
+# recoveries, and invariant audits, twice, under the race detector.
+faultstress:
+	$(GO) test -race -count=2 -run 'TestFaultStress' ./internal/sched
 
 # vet plus the repo's own domain-aware analyzers (lockcheck,
 # mapdeterminism, errwrap, durationliteral). Fails on any finding.

@@ -7,7 +7,14 @@
 //	vitalctl deploy lenet-M
 //	vitalctl undeploy lenet-M
 //	vitalctl apps
+//	vitalctl health
+//	vitalctl fault 2 fail
 //	vitalctl verify
+//
+// Transient failures retry with exponential backoff: connection errors
+// always, 502/503/504 responses only for idempotent (GET) requests — a 503
+// from /deploy means "no capacity right now", which is the caller's call
+// to make, not the client's.
 package main
 
 import (
@@ -19,6 +26,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"time"
+)
+
+var (
+	retries      = flag.Int("retries", 3, "retry attempts for transient failures")
+	retryBackoff = flag.Duration("retry-backoff", 200*time.Millisecond, "initial retry backoff, doubled per attempt")
 )
 
 func main() {
@@ -27,7 +41,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|verify|deploy <app>|undeploy <app>")
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|verify|deploy <app>|undeploy <app>|fault <board> <degrade|fail|recover>")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -35,6 +49,8 @@ func main() {
 		get(*addr + "/status")
 	case "apps":
 		get(*addr + "/apps")
+	case "health":
+		get(*addr + "/health")
 	case "verify":
 		// Exits 1 when the controller reports invariant violations (the
 		// endpoint answers 409 and dump() fails on status >= 400).
@@ -45,6 +61,15 @@ func main() {
 	case "undeploy":
 		requireArg(args, "undeploy")
 		post(*addr+"/undeploy", map[string]string{"app": args[1]})
+	case "fault":
+		if len(args) < 3 {
+			log.Fatalf("vitalctl: fault needs a board number and a kind (degrade|fail|recover)")
+		}
+		board, err := strconv.Atoi(args[1])
+		if err != nil {
+			log.Fatalf("vitalctl: bad board number %q", args[1])
+		}
+		post(*addr+"/fault", map[string]interface{}{"board": board, "kind": args[2]})
 	default:
 		log.Fatalf("vitalctl: unknown command %q", args[0])
 	}
@@ -56,11 +81,39 @@ func requireArg(args []string, cmd string) {
 	}
 }
 
-func get(url string) {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatalf("vitalctl: %v", err)
+// doRetry runs one request with retry-with-backoff. attempt must build a
+// fresh request each call (response bodies are single-use).
+func doRetry(idempotent bool, attempt func() (*http.Response, error)) *http.Response {
+	wait := *retryBackoff
+	for try := 0; ; try++ {
+		resp, err := attempt()
+		retryable := err != nil || (idempotent && transientStatus(resp.StatusCode))
+		if !retryable {
+			return resp
+		}
+		if try >= *retries {
+			if err != nil {
+				log.Fatalf("vitalctl: %v (after %d attempts)", err, try+1)
+			}
+			return resp
+		}
+		if err == nil {
+			resp.Body.Close()
+			log.Printf("vitalctl: server answered %d, retrying in %v", resp.StatusCode, wait)
+		} else {
+			log.Printf("vitalctl: %v, retrying in %v", err, wait)
+		}
+		time.Sleep(wait)
+		wait = wait * 2
 	}
+}
+
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+func get(url string) {
+	resp := doRetry(true, func() (*http.Response, error) { return http.Get(url) })
 	defer resp.Body.Close()
 	dump(resp)
 }
@@ -70,10 +123,9 @@ func post(url string, body interface{}) {
 	if err != nil {
 		log.Fatalf("vitalctl: %v", err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		log.Fatalf("vitalctl: %v", err)
-	}
+	resp := doRetry(false, func() (*http.Response, error) {
+		return http.Post(url, "application/json", bytes.NewReader(raw))
+	})
 	defer resp.Body.Close()
 	dump(resp)
 }

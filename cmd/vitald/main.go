@@ -6,6 +6,7 @@
 // Usage:
 //
 //	vitald -listen :8080 -compile lenet-S,lenet-M,nin-M
+//	vitald -fault 2:degrade          # start with board 2 degraded
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
 	compile := flag.String("compile", "lenet-S,lenet-M", "comma-separated benchmark designs (name-S/M/L) to pre-compile")
 	verifyOnDeploy := flag.Bool("verify-on-deploy", false, "re-check architectural invariants after every deployment and roll back violators")
+	fault := flag.String("fault", "", "initial fault plan, comma-separated board:kind pairs (e.g. 2:fail,3:degrade)")
 	flag.Parse()
 
 	stack := core.NewStackWithOptions(nil, sched.Options{VerifyOnDeploy: *verifyOnDeploy})
@@ -42,6 +44,19 @@ func main() {
 		}
 		log.Printf("compiled %s: %d virtual blocks, Fmax %.0f MHz, %v",
 			name, app.Blocks(), app.FminMHz, app.Times.Total().Round(1e6))
+	}
+	if *fault != "" {
+		plan, err := sched.ParseFaultPlan(*fault)
+		if err != nil {
+			log.Fatalf("vitald: %v", err)
+		}
+		evs, err := stack.Controller.ApplyFaultPlan(plan)
+		if err != nil {
+			log.Fatalf("vitald: applying fault plan: %v", err)
+		}
+		for _, ev := range evs {
+			log.Printf("fault injected: board %d → %s (%d apps affected)", ev.Board, ev.Health, len(ev.Apps))
+		}
 	}
 	log.Printf("system controller listening on %s", *listen)
 	log.Fatal(http.ListenAndServe(*listen, core.NewStackHandler(stack)))

@@ -1,0 +1,114 @@
+// Failover: board fault tolerance on top of the virtual-block abstraction.
+// Because every virtual block relocates to any free physical block without
+// recompilation (Section 3.3, step 5), surviving a board failure is a pure
+// controller decision: mark the board failed, re-place the stranded blocks
+// on healthy boards, and move the tenant's memory domain and virtual NIC
+// if its primary board died. When the healthy remainder lacks capacity the
+// controller falls back to undeploying the tenant and reporting the loss.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vital/internal/core"
+	"vital/internal/sched"
+	"vital/internal/workload"
+)
+
+func main() {
+	stack := core.NewStack(nil)
+	ct := stack.Controller
+
+	compile := func(bench string, v workload.Variant) *core.CompiledApp {
+		b, err := workload.Find(bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err := stack.Compile(workload.BuildDesign(workload.Spec{Benchmark: b, Variant: v}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return app
+	}
+
+	appA := compile("lenet", workload.Medium) // 4 blocks
+	appB := compile("nin", workload.Medium)   // 3 blocks
+	for _, app := range []*core.CompiledApp{appA, appB} {
+		dep, err := stack.Deploy(app, 1<<30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s deployed on %v (primary fpga%d)\n", app.Name, dep.Blocks, dep.Primary)
+	}
+
+	// A board dies. The controller evacuates every affected tenant:
+	// stranded virtual blocks relocate to healthy boards — same
+	// bitstreams, re-addressed frames only — and the memory domain and
+	// vNIC follow if the primary failed.
+	depA, _ := ct.Deployment(appA.Name)
+	victim := depA.Primary
+	fmt.Printf("\n=== injecting fault: board %d fails ===\n", victim)
+	ev, err := ct.InjectFault(victim, sched.FaultFail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ae := range ev.Apps {
+		fmt.Printf("evacuated %s: %s\n", ae.App, ae.Detail)
+	}
+	for _, name := range []string{appA.Name, appB.Name} {
+		if dep, ok := ct.Deployment(name); ok {
+			fmt.Printf("%s now on %v (primary fpga%d)\n", name, dep.Blocks, dep.Primary)
+		}
+	}
+	if rep := ct.Verify(); rep.OK() {
+		fmt.Println("invariants verified: no deployment references the failed board")
+	} else {
+		log.Fatalf("verification failed: %v", rep.Err())
+	}
+
+	health := ct.Health()
+	fmt.Println("\nper-board health:")
+	for _, b := range health.Boards {
+		fmt.Printf("  fpga%d: %-8s free=%2d used=%2d apps=%v\n",
+			b.Board, b.Health, b.FreeBlocks, b.UsedBlocks, b.Apps)
+	}
+
+	// Capacity-insufficient fallback: with the remaining healthy boards
+	// filled up, a second failure leaves the stranded tenant nowhere to
+	// go — the controller undeploys it and reports the loss instead of
+	// leaving it pinned to dead hardware.
+	fmt.Println("\n=== second failure with a full cluster ===")
+	depB, _ := ct.Deployment(appB.Name)
+	for b := range ct.Cluster.Boards {
+		if b == depB.Blocks[0].Board {
+			continue // leave the soon-to-fail board alone
+		}
+		if free := ct.DB.FreeOnBoard(b); len(free) > 0 {
+			if err := ct.DB.Claim("ballast", free); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	ev, err = ct.InjectFault(depB.Blocks[0].Board, sched.FaultFail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ae := range ev.Apps {
+		fmt.Printf("evacuation outcome for %s: undeployed=%v\n  %s\n", ae.App, ae.Undeployed, ae.Detail)
+	}
+	if rep := ct.Verify(); rep.OK() {
+		fmt.Println("invariants still hold after the lossy fallback")
+	} else {
+		log.Fatalf("verification failed: %v", rep.Err())
+	}
+
+	fmt.Println("\naudit trail (fault/evacuate events):")
+	for _, e := range ct.Events(0) {
+		if e.Kind == sched.EventFault || e.Kind == sched.EventEvacuate {
+			fmt.Printf("  [%-8s] %-8s %s\n", e.Kind, e.App, e.Detail)
+		}
+	}
+}

@@ -57,6 +57,9 @@ type Deployment struct {
 	Primary int
 	// VNIC is the app's virtual NIC on its primary board.
 	VNIC *memvirt.VNIC
+	// MemQuota is the DRAM quota of the app's memory domain, retained so
+	// evacuation can re-provision the domain when the primary board fails.
+	MemQuota uint64
 }
 
 // NewController assembles a controller over a cluster with default options.
@@ -94,7 +97,7 @@ func (ct *Controller) Deploy(app string, memQuota uint64) (*Deployment, error) {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	if _, exists := ct.deployed[app]; exists {
-		return nil, fmt.Errorf("sched: %q already deployed", app)
+		return nil, fmt.Errorf("sched: %q: %w", app, ErrAlreadyDeployed)
 	}
 	images, ok := ct.Bitstreams.Lookup(app)
 	if !ok {
@@ -145,6 +148,7 @@ func (ct *Controller) Deploy(app string, memQuota uint64) (*Deployment, error) {
 		MultiFPGA:    len(boards) > 1,
 		Primary:      boards[0],
 		VNIC:         vnic,
+		MemQuota:     memQuota,
 	}
 	ct.deployed[app] = dep
 	if ct.opts.VerifyOnDeploy {
@@ -197,10 +201,17 @@ func (ct *Controller) verifyLocked() *verify.Report {
 			}
 		}
 	}
+	failed := map[int]bool{}
+	for b, h := range ct.DB.HealthSnapshot() {
+		if h == Failed {
+			failed[b] = true
+		}
+	}
 	rep.Merge(verify.Snapshot(&verify.DeploymentSnapshot{
-		Cluster: ct.Cluster,
-		Claims:  claims,
-		Owners:  owners,
+		Cluster:      ct.Cluster,
+		Claims:       claims,
+		Owners:       owners,
+		FailedBoards: failed,
 	}))
 	return rep
 }
@@ -209,6 +220,10 @@ func (ct *Controller) verifyLocked() *verify.Report {
 func (ct *Controller) Undeploy(app string) error {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
+	return ct.undeployLocked(app)
+}
+
+func (ct *Controller) undeployLocked(app string) error {
 	dep, ok := ct.deployed[app]
 	if !ok {
 		return fmt.Errorf("sched: %q not deployed", app)
@@ -258,6 +273,9 @@ func (ct *Controller) relocateLocked(app string, vb int, target cluster.GlobalBl
 	if owner := ct.DB.Owner(target); owner != "" {
 		return fmt.Errorf("sched: target %v owned by %q", target, owner)
 	}
+	if h := ct.DB.Health(target.Board); h != Healthy {
+		return fmt.Errorf("sched: target %v: board %d is %s: %w", target, target.Board, h, ErrBoardUnhealthy)
+	}
 	moved, err := dep.Programmed[vb].Relocate(target.BlockRef, ct.Cluster.Boards[target.Board].Device)
 	if err != nil {
 		return err
@@ -286,11 +304,14 @@ func (ct *Controller) relocateLocked(app string, vb int, target cluster.GlobalBl
 
 // Status summarizes the controller state for the API.
 type Status struct {
-	Boards      int            `json:"boards"`
-	TotalBlocks int            `json:"total_blocks"`
-	UsedBlocks  int            `json:"used_blocks"`
-	FreePerFPGA []int          `json:"free_per_fpga"`
-	Apps        map[string]int `json:"apps"` // app → blocks held
+	Boards      int   `json:"boards"`
+	TotalBlocks int   `json:"total_blocks"`
+	UsedBlocks  int   `json:"used_blocks"`
+	FreePerFPGA []int `json:"free_per_fpga"`
+	// Health is the per-board health state; FreePerFPGA reads 0 on
+	// non-healthy boards (their capacity is not allocatable).
+	Health []BoardHealth  `json:"health"`
+	Apps   map[string]int `json:"apps"` // app → blocks held
 }
 
 // Status reports the cluster occupancy.
@@ -302,6 +323,7 @@ func (ct *Controller) Status() Status {
 		TotalBlocks: ct.Cluster.TotalBlocks(),
 		UsedBlocks:  ct.DB.UsedBlocks(),
 		FreePerFPGA: ct.DB.FreeCount(),
+		Health:      ct.DB.HealthSnapshot(),
 		Apps:        map[string]int{},
 	}
 	for app, dep := range ct.deployed {

@@ -182,8 +182,13 @@ func (ct *Controller) DeploySingleBoard(app string, memQuota uint64) (*Deploymen
 		// capacity covers the request, and drain it.
 		candidate := -1
 		for b := range ct.Cluster.Boards {
+			// Only healthy boards qualify: the deployment must land on the
+			// drained board, and FreeOnBoard offers nothing elsewhere.
+			if ct.DB.Health(b) != Healthy {
+				continue
+			}
 			total := ct.Cluster.Boards[b].Device.NumBlocks()
-			used := total - len(ct.DB.FreeOnBoard(b))
+			used := ct.DB.UsedOnBoard(b)
 			if used == 0 || total < n {
 				continue
 			}
@@ -199,14 +204,14 @@ func (ct *Controller) DeploySingleBoard(app string, memQuota uint64) (*Deploymen
 			}
 		}
 		if candidate == -1 {
-			return nil, fmt.Errorf("sched: no single board can host %d blocks for %q, even after defragmentation", n, app)
+			return nil, fmt.Errorf("sched: no single board can host %d blocks for %q, even after defragmentation: %w", n, app, ErrNoCapacity)
 		}
 		if _, err := ct.Drain(candidate); err != nil {
 			return nil, fmt.Errorf("sched: defragmenting for %q: %w", app, err)
 		}
 	}
 	if fits() == -1 {
-		return nil, fmt.Errorf("sched: no single board can host %d blocks for %q", n, app)
+		return nil, fmt.Errorf("sched: no single board can host %d blocks for %q: %w", n, app, ErrNoCapacity)
 	}
 	dep, err := ct.Deploy(app, memQuota)
 	if err != nil {

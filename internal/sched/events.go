@@ -14,6 +14,12 @@ const (
 	EventUndeploy EventKind = "undeploy"
 	EventRelocate EventKind = "relocate"
 	EventDrain    EventKind = "drain"
+	// EventFault records a board health transition (InjectFault).
+	EventFault EventKind = "fault"
+	// EventEvacuate records the outcome of moving one application off a
+	// failed board — either a successful re-placement or the
+	// capacity-insufficient undeploy fallback.
+	EventEvacuate EventKind = "evacuate"
 )
 
 // Event is one entry of the controller's audit log: cloud operators need
@@ -25,41 +31,64 @@ type Event struct {
 	Detail string    `json:"detail"`
 }
 
-// eventLog is a bounded in-memory audit log.
+// eventLog is a bounded in-memory audit log backed by a ring buffer: the
+// slice grows by append until it reaches limit, after which next points at
+// the oldest entry and new events overwrite it in place. (A re-slice trim
+// of the form events = events[len-limit:] would pin the old backing array
+// and regrow a fresh tail forever; the ring reuses one allocation.)
 type eventLog struct {
-	mu     sync.Mutex
-	events []Event
-	limit  int
-	// Counters for the metrics endpoint.
+	mu sync.Mutex
+	// ring holds the events; once len(ring) == limit it is circular.
+	ring []Event
+	// next is the index of the oldest entry (== the next overwrite slot)
+	// once the ring is full; zero while still growing.
+	next  int
+	limit int
+	// counts holds per-kind totals for the metrics endpoint.
 	counts map[EventKind]uint64
 }
 
 const defaultEventLimit = 4096
 
-func newEventLog() *eventLog {
-	return &eventLog{limit: defaultEventLimit, counts: map[EventKind]uint64{}}
+func newEventLog() *eventLog { return newEventLogWithLimit(defaultEventLimit) }
+
+func newEventLogWithLimit(limit int) *eventLog {
+	return &eventLog{limit: limit, counts: map[EventKind]uint64{}}
 }
 
 func (l *eventLog) add(kind EventKind, app, detail string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.counts[kind]++
-	l.events = append(l.events, Event{At: time.Now(), Kind: kind, App: app, Detail: detail})
-	if len(l.events) > l.limit {
-		l.events = l.events[len(l.events)-l.limit:]
+	e := Event{At: time.Now(), Kind: kind, App: app, Detail: detail}
+	if len(l.ring) < l.limit {
+		l.ring = append(l.ring, e)
+		return
 	}
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % l.limit
 }
 
-// Snapshot returns the most recent events, newest last.
+// Limit returns the maximum number of retained events.
+func (l *eventLog) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// Snapshot returns the most recent events in chronological order (newest
+// last), at most max (max <= 0 returns the whole log).
 func (l *eventLog) Snapshot(max int) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := len(l.events)
+	n := len(l.ring)
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([]Event, n)
-	copy(out, l.events[len(l.events)-n:])
+	out := make([]Event, 0, n)
+	for i := len(l.ring) - n; i < len(l.ring); i++ {
+		out = append(out, l.ring[(l.next+i)%len(l.ring)])
+	}
 	return out
 }
 
@@ -77,6 +106,12 @@ func (l *eventLog) Counts() map[EventKind]uint64 {
 // Events returns the controller's recent audit log (newest last).
 func (ct *Controller) Events(max int) []Event {
 	return ct.log.Snapshot(max)
+}
+
+// EventLimit returns the audit log's retention capacity — the clamp the
+// HTTP API applies to /events?max= queries.
+func (ct *Controller) EventLimit() int {
+	return ct.log.Limit()
 }
 
 // Metrics summarizes controller activity for monitoring.

@@ -2,22 +2,37 @@ package sched
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 )
+
+// defaultMemQuota is applied when a deploy request carries no (or a zero)
+// mem_quota_bytes; the response echoes the value actually used.
+const defaultMemQuota uint64 = 1 << 30
 
 // NewHandler exposes the system controller over HTTP — the API surface a
 // higher-level system (hypervisor, cloud control plane) integrates with
 // (Fig. 6: "exposes APIs for an easy system integration").
 //
-//	GET  /status            → cluster occupancy
+//	GET  /status            → cluster occupancy + per-board health
 //	GET  /metrics           → occupancy + event counters
-//	GET  /events            → recent audit log
+//	GET  /events?max=N      → recent audit log (N clamped to the log limit;
+//	                          negative or non-numeric N is a 400)
 //	GET  /apps              → deployed applications
+//	GET  /health            → per-board health report
 //	GET  /verify            → architectural invariant check (409 on violation)
-//	POST /deploy   {app, mem_quota_bytes} → deployment summary
+//	POST /deploy   {app, mem_quota_bytes} → deployment summary; a zero or
+//	                          absent quota gets the 1 GiB default, echoed
+//	                          back as mem_quota_bytes with
+//	                          mem_quota_defaulted=true. Errors: 409 for a
+//	                          name conflict, 503 when the healthy cluster
+//	                          lacks capacity, 400 for bad input.
 //	POST /undeploy {app}
+//	POST /fault    {board, kind} → inject degrade|fail|recover; failing a
+//	                          board returns its evacuation report
 func NewHandler(ct *Controller) http.Handler {
 	mux := http.NewServeMux()
 
@@ -30,7 +45,21 @@ func NewHandler(ct *Controller) http.Handler {
 	})
 
 	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]interface{}{"events": ct.Events(256)})
+		max := 256
+		if s := r.URL.Query().Get("max"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q: want a non-negative integer", s))
+				return
+			}
+			max = v
+		}
+		// max=0 means "everything"; either way the log's own retention
+		// limit is the ceiling, so Snapshot never over-allocates.
+		if limit := ct.EventLimit(); max == 0 || max > limit {
+			max = limit
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"events": ct.Events(max), "max": max})
 	})
 
 	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
@@ -41,6 +70,10 @@ func NewHandler(ct *Controller) http.Handler {
 		}
 		sort.Strings(apps)
 		writeJSON(w, http.StatusOK, map[string]interface{}{"apps": apps})
+	})
+
+	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ct.Health())
 	})
 
 	mux.HandleFunc("GET /verify", func(w http.ResponseWriter, r *http.Request) {
@@ -69,12 +102,19 @@ func NewHandler(ct *Controller) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("missing app name"))
 			return
 		}
-		if req.MemQuotaBytes == 0 {
-			req.MemQuotaBytes = 1 << 30
+		defaulted := req.MemQuotaBytes == 0
+		if defaulted {
+			req.MemQuotaBytes = defaultMemQuota
 		}
 		dep, err := ct.Deploy(req.App, req.MemQuotaBytes)
 		if err != nil {
-			writeError(w, http.StatusConflict, err)
+			// Capacity exhaustion is retryable-later (503); name conflicts
+			// and every other rejection are the caller's state (409).
+			code := http.StatusConflict
+			if errors.Is(err, ErrNoCapacity) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
 			return
 		}
 		blocks := make([]string, len(dep.Blocks))
@@ -82,11 +122,13 @@ func NewHandler(ct *Controller) http.Handler {
 			blocks[i] = b.String()
 		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"app":              dep.App,
-			"blocks":           blocks,
-			"multi_fpga":       dep.MultiFPGA,
-			"reconfig_time_ms": float64(dep.ReconfigTime.Microseconds()) / 1000,
-			"vnic_mac":         dep.VNIC.MAC.String(),
+			"app":                 dep.App,
+			"blocks":              blocks,
+			"multi_fpga":          dep.MultiFPGA,
+			"reconfig_time_ms":    float64(dep.ReconfigTime.Microseconds()) / 1000,
+			"vnic_mac":            dep.VNIC.MAC.String(),
+			"mem_quota_bytes":     req.MemQuotaBytes,
+			"mem_quota_defaulted": defaulted,
 		})
 	})
 
@@ -104,6 +146,33 @@ func NewHandler(ct *Controller) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"undeployed": req.App})
+	})
+
+	type faultReq struct {
+		Board *int   `json:"board"`
+		Kind  string `json:"kind"`
+	}
+	mux.HandleFunc("POST /fault", func(w http.ResponseWriter, r *http.Request) {
+		var req faultReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+			return
+		}
+		if req.Board == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("missing board number"))
+			return
+		}
+		kind, err := ParseFaultKind(req.Kind)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ev, err := ct.InjectFault(*req.Board, kind)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ev)
 	})
 
 	return mux

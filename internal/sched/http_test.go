@@ -95,6 +95,208 @@ func TestHTTPValidation(t *testing.T) {
 	}
 }
 
+// TestHTTPDeployQuotaEcho: a zero/absent quota is defaulted to 1 GiB and
+// the applied value is echoed so callers can see the silent default.
+func TestHTTPDeployQuotaEcho(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+	var dep struct {
+		MemQuotaBytes     uint64 `json:"mem_quota_bytes"`
+		MemQuotaDefaulted bool   `json:"mem_quota_defaulted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dep); err != nil {
+		t.Fatal(err)
+	}
+	if !dep.MemQuotaDefaulted || dep.MemQuotaBytes != 1<<30 {
+		t.Fatalf("defaulted deploy echo = %+v", dep)
+	}
+	postJSON(t, srv.URL+"/undeploy", map[string]string{"app": "app1"})
+	resp = postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1", "mem_quota_bytes": 1 << 20})
+	if err := json.NewDecoder(resp.Body).Decode(&dep); err != nil {
+		t.Fatal(err)
+	}
+	if dep.MemQuotaDefaulted || dep.MemQuotaBytes != 1<<20 {
+		t.Fatalf("explicit deploy echo = %+v", dep)
+	}
+}
+
+// TestHTTPDeployErrorCodes: 409 for name conflicts, 503 once the healthy
+// cluster has no capacity left.
+func TestHTTPDeployErrorCodes(t *testing.T) {
+	_, srv := newTestServer(t)
+	if resp := postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("name conflict status = %d, want 409", resp.StatusCode)
+	}
+	// Fail every board: app1 is evacuated away (no healthy capacity), and
+	// a re-deploy must answer 503, not 409.
+	for b := 0; b < 4; b++ {
+		if resp := postJSON(t, srv.URL+"/fault", map[string]interface{}{"board": b, "kind": "fail"}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("fault status = %d", resp.StatusCode)
+		}
+	}
+	if resp := postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-capacity status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPHealthAndFault covers the /health and /fault endpoints end to
+// end: injection, report shape, evacuation, and input validation.
+func TestHTTPHealthAndFault(t *testing.T) {
+	ct, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+
+	getHealth := func() (int, struct {
+		AllHealthy bool              `json:"all_healthy"`
+		Boards     []BoardHealthInfo `json:"boards"`
+	}) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			AllHealthy bool              `json:"all_healthy"`
+			Boards     []BoardHealthInfo `json:"boards"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, health := getHealth()
+	if code != http.StatusOK || !health.AllHealthy || len(health.Boards) != 4 {
+		t.Fatalf("initial health = %d %+v", code, health)
+	}
+
+	dep, _ := ct.Deployment("app1")
+	board := dep.Blocks[0].Board
+	resp := postJSON(t, srv.URL+"/fault", map[string]interface{}{"board": board, "kind": "fail"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault status = %d", resp.StatusCode)
+	}
+	var ev Evacuation
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Board != board || ev.Health != Failed || len(ev.Apps) != 1 || ev.Apps[0].App != "app1" {
+		t.Fatalf("evacuation = %+v", ev)
+	}
+	_, health = getHealth()
+	if health.AllHealthy || health.Boards[board].Health != Failed {
+		t.Fatalf("health after fault = %+v", health)
+	}
+	// The app survived on a healthy board.
+	dep, ok := ct.Deployment("app1")
+	if !ok || dep.Blocks[0].Board == board {
+		t.Fatalf("app1 not evacuated: %+v", dep)
+	}
+
+	// Validation: bad kind, missing board, nonexistent board.
+	if resp := postJSON(t, srv.URL+"/fault", map[string]interface{}{"board": 0, "kind": "explode"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad kind status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/fault", map[string]interface{}{"kind": "fail"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing board status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/fault", map[string]interface{}{"board": 99, "kind": "fail"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("nonexistent board status = %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPEventsMax: the ?max= parameter is honored, clamped to the log
+// limit, and rejected when negative or non-numeric.
+func TestHTTPEventsMax(t *testing.T) {
+	ct, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+	postJSON(t, srv.URL+"/undeploy", map[string]string{"app": "app1"})
+
+	fetch := func(q string) (int, int, int) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/events" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Events []Event `json:"events"`
+			Max    int     `json:"max"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, len(out.Events), out.Max
+	}
+
+	if code, n, _ := fetch(""); code != http.StatusOK || n != 2 {
+		t.Fatalf("default fetch = %d, %d events", code, n)
+	}
+	if code, n, _ := fetch("?max=1"); code != http.StatusOK || n != 1 {
+		t.Fatalf("max=1 fetch = %d, %d events", code, n)
+	}
+	limit := ct.EventLimit()
+	if code, _, max := fetch("?max=999999"); code != http.StatusOK || max != limit {
+		t.Fatalf("oversized max: code %d, clamped to %d, want %d", code, max, limit)
+	}
+	if code, _, max := fetch("?max=0"); code != http.StatusOK || max != limit {
+		t.Fatalf("max=0: code %d, clamped to %d, want %d", code, max, limit)
+	}
+	if code, _, _ := fetch("?max=-1"); code != http.StatusBadRequest {
+		t.Fatalf("negative max status = %d, want 400", code)
+	}
+	if code, _, _ := fetch("?max=abc"); code != http.StatusBadRequest {
+		t.Fatalf("non-numeric max status = %d, want 400", code)
+	}
+}
+
+// TestHTTPMetricsAndVerify rounds out handler coverage: metrics counters
+// and the verify endpoint in both clean and violated states.
+func TestHTTPMetricsAndVerify(t *testing.T) {
+	ct, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Deployed != 1 || m.Events[EventDeploy] != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	vr, err := http.Get(srv.URL + "/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr.Body.Close()
+	if vr.StatusCode != http.StatusOK {
+		t.Fatalf("clean verify status = %d", vr.StatusCode)
+	}
+	// Break the availability invariant behind the controller's back.
+	dep, _ := ct.Deployment("app1")
+	if err := ct.DB.SetHealth(dep.Blocks[0].Board, Failed); err != nil {
+		t.Fatal(err)
+	}
+	vr, err = http.Get(srv.URL + "/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr.Body.Close()
+	if vr.StatusCode != http.StatusConflict {
+		t.Fatalf("violated verify status = %d, want 409", vr.StatusCode)
+	}
+}
+
 func TestHTTPApps(t *testing.T) {
 	_, srv := newTestServer(t)
 	postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})

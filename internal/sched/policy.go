@@ -73,7 +73,11 @@ func Allocate(db *ResourceDB, n int) ([]cluster.GlobalBlockRef, error) {
 		}
 		return refs, nil
 	}
-	return nil, fmt.Errorf("sched: %d blocks not available (%v free)", n, free)
+	err := fmt.Errorf("sched: %d blocks not available (%v free on healthy boards): %w", n, free, ErrNoCapacity)
+	if stranded := db.UnhealthyFree(); stranded > 0 {
+		err = fmt.Errorf("%w (%d free blocks stranded on unhealthy boards: %w)", err, stranded, ErrBoardUnhealthy)
+	}
+	return nil, err
 }
 
 // BoardsOf returns the distinct boards of an allocation, in first-seen

@@ -25,6 +25,9 @@ type ResourceDB struct {
 	owner map[cluster.GlobalBlockRef]string
 	// byApp indexes the blocks held by each application.
 	byApp map[string][]cluster.GlobalBlockRef
+	// health tracks per-board hardware state; non-healthy boards offer no
+	// free blocks, which makes every placement path health-aware.
+	health []BoardHealth
 }
 
 // NewResourceDB builds the database with every block free.
@@ -33,6 +36,10 @@ func NewResourceDB(c *cluster.Cluster) *ResourceDB {
 		cluster: c,
 		owner:   make(map[cluster.GlobalBlockRef]string, c.TotalBlocks()),
 		byApp:   map[string][]cluster.GlobalBlockRef{},
+		health:  make([]BoardHealth, len(c.Boards)),
+	}
+	for b := range db.health {
+		db.health[b] = Healthy
 	}
 	for _, ref := range c.AllBlocks() {
 		db.owner[ref] = ""
@@ -51,6 +58,12 @@ func (db *ResourceDB) FreeOnBoard(board int) []cluster.GlobalBlockRef {
 }
 
 func (db *ResourceDB) freeOnBoardLocked(board int) []cluster.GlobalBlockRef {
+	// Non-healthy boards offer nothing: with free lists empty there, the
+	// allocator, the defragmenter and the evacuator all skip them without
+	// any of those policies knowing about health states.
+	if db.health[board] != Healthy {
+		return nil
+	}
 	var free []cluster.GlobalBlockRef
 	for _, ref := range db.cluster.Boards[board].Device.Blocks() {
 		g := cluster.GlobalBlockRef{Board: board, BlockRef: ref}
@@ -127,6 +140,73 @@ func (db *ResourceDB) ReleaseApp(app string) []cluster.GlobalBlockRef {
 	}
 	delete(db.byApp, app)
 	return refs
+}
+
+// SetHealth sets a board's health state. Prefer Controller.InjectFault,
+// which additionally evacuates failed boards; SetHealth alone can leave
+// live deployments referencing a failed board (Controller.Verify flags
+// that as a board-availability violation).
+func (db *ResourceDB) SetHealth(board int, h BoardHealth) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if board < 0 || board >= len(db.health) {
+		return fmt.Errorf("sched: no board %d (cluster has %d)", board, len(db.health))
+	}
+	switch h {
+	case Healthy, Degraded, Failed:
+	default:
+		return fmt.Errorf("sched: unknown health state %q", h)
+	}
+	db.health[board] = h
+	return nil
+}
+
+// Health returns a board's health state. Out-of-range boards report
+// Failed, so callers can never place onto a board that does not exist.
+func (db *ResourceDB) Health(board int) BoardHealth {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if board < 0 || board >= len(db.health) {
+		return Failed
+	}
+	return db.health[board]
+}
+
+// HealthSnapshot copies the per-board health states.
+func (db *ResourceDB) HealthSnapshot() []BoardHealth {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]BoardHealth(nil), db.health...)
+}
+
+// UsedOnBoard returns the number of occupied blocks on one board,
+// regardless of the board's health.
+func (db *ResourceDB) UsedOnBoard(board int) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	used := 0
+	for ref, app := range db.owner {
+		if app != "" && ref.Board == board {
+			used++
+		}
+	}
+	return used
+}
+
+// UnhealthyFree counts free blocks stranded on non-healthy boards —
+// capacity that physically exists but is not allocatable. Allocation
+// failures report it so operators can tell "cluster full" from "cluster
+// sick".
+func (db *ResourceDB) UnhealthyFree() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stranded := 0
+	for ref, app := range db.owner {
+		if app == "" && db.health[ref.Board] != Healthy {
+			stranded++
+		}
+	}
+	return stranded
 }
 
 // Owner returns the application holding a block ("" when free).

@@ -54,6 +54,10 @@ const (
 	// frame CRCs verify, addresses match the base block, and the frame
 	// set covers exactly the block's column composition (Section 3.3).
 	InvariantArtifact Invariant = "artifact-integrity"
+	// InvariantAvailability: no live deployment references a block on a
+	// failed board — the controller must have evacuated (or terminated)
+	// every tenant a board failure stranded.
+	InvariantAvailability Invariant = "board-availability"
 )
 
 // Violation is one broken invariant instance.
@@ -284,6 +288,9 @@ type DeploymentSnapshot struct {
 	// Owners is the resource database's owner table (free blocks omitted
 	// or mapped to "").
 	Owners map[cluster.GlobalBlockRef]string
+	// FailedBoards marks boards whose hardware has failed; any claim
+	// referencing one violates InvariantAvailability.
+	FailedBoards map[int]bool
 }
 
 // Snapshot checks tenant isolation over a deployment snapshot: every block
@@ -312,6 +319,10 @@ func Snapshot(s *DeploymentSnapshot) *Report {
 				r.addf(InvariantDieBoundary, "%q claims block %v beyond the die partition (%d blocks per die)",
 					app, ref, dev.BlocksPerDie)
 				continue
+			}
+			if s.FailedBoards[ref.Board] {
+				r.addf(InvariantAvailability, "%q still holds block %v on failed board %d — not evacuated",
+					app, ref, ref.Board)
 			}
 			if prev, taken := holder[ref]; taken {
 				if prev == app {

@@ -260,6 +260,31 @@ func TestSnapshotIsolation(t *testing.T) {
 		s.Claims["a"] = []cluster.GlobalBlockRef{bad}
 		wantOnly(t, Snapshot(s), InvariantDieBoundary)
 	})
+	// Dimension 7: board availability after a failure.
+	t.Run("claim on failed board", func(t *testing.T) {
+		s := testSnapshot(c)
+		s.Claims["a"] = blocks[0:2]
+		for _, ref := range s.Claims["a"] {
+			s.Owners[ref] = "a"
+		}
+		s.FailedBoards = map[int]bool{blocks[0].Board: true}
+		r := Snapshot(s)
+		wantOnly(t, r, InvariantAvailability)
+		if len(r.Violations) != 2 {
+			t.Fatalf("want one violation per stranded block, got %v", r.Err())
+		}
+	})
+	t.Run("failed board without claims is fine", func(t *testing.T) {
+		s := testSnapshot(c)
+		s.Claims["a"] = blocks[0:2]
+		for _, ref := range s.Claims["a"] {
+			s.Owners[ref] = "a"
+		}
+		s.FailedBoards = map[int]bool{len(c.Boards) - 1: true}
+		if r := Snapshot(s); !r.OK() {
+			t.Fatalf("claims on healthy boards rejected: %v", r.Err())
+		}
+	})
 }
 
 func TestClusterVerify(t *testing.T) {
