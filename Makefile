@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race faultstress lint bench clean
+.PHONY: all build test race faultstress lint bench benchsmoke clean
 
 all: build lint test
 
@@ -24,8 +24,16 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/vitallint ./...
 
+# Run the full benchmark suite and record a dated perf trajectory
+# (benchmark → ns/op, B/op, allocs/op, reported metrics) so future PRs
+# can diff against this baseline.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y%m%d).json
+
+# One-iteration compile benchmark: cheap CI guard that the benchmark
+# harness still builds and runs.
+benchsmoke:
+	$(GO) test -run=NONE -bench='BenchmarkTable2Compile$$|BenchmarkCompileCacheHit' -benchtime=1x .
 
 clean:
 	$(GO) clean ./...

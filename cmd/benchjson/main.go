@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// trajectory file: benchmark name → ns/op, B/op, allocs/op, and any
+// b.ReportMetric extras. `make bench` pipes through it to write a dated
+// BENCH_<date>.json snapshot, so successive PRs have a perf baseline to
+// diff against:
+//
+//	go test -bench=. -benchmem -run '^$' . | benchjson -out BENCH_20260806.json
+//
+// Input lines are echoed to stdout unchanged, so the human-readable
+// benchmark table is not lost by the pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Trajectory is the file layout: enough provenance to compare runs.
+type Trajectory struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "JSON file to write (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	traj := Trajectory{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]Result{},
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if name, r, ok := parseLine(line); ok {
+			traj.Benchmarks[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(traj.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	raw, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(traj.Benchmarks))
+	for n := range traj.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%s)\n", len(names), *out, strings.Join(names, ", "))
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkTable2Compile-8  1  123456 ns/op  10 B/op  4 allocs/op  1.000 blocks-match-paper
+//
+// The -8 GOMAXPROCS suffix is stripped from the name. Value/unit pairs
+// follow the iteration count; unknown units land in Metrics.
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return name, r, r.NsPerOp > 0
+}

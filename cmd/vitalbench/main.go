@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"vital/internal/experiments"
@@ -26,7 +28,38 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiments to run")
 	limit := flag.Int("limit", 0, "limit table2/partition to the first N designs (0 = all)")
 	requests := flag.Int("requests", 0, "fig9 requests per workload set (0 = calibrated default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vitalbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vitalbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vitalbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "vitalbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	names := map[string]bool{}
 	if *all || *run == "" {

@@ -8,6 +8,7 @@
 //	vitalctl undeploy lenet-M
 //	vitalctl apps
 //	vitalctl health
+//	vitalctl cache
 //	vitalctl fault 2 fail
 //	vitalctl verify
 //
@@ -41,7 +42,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|verify|deploy <app>|undeploy <app>|fault <board> <degrade|fail|recover>")
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|deploy <app>|undeploy <app>|fault <board> <degrade|fail|recover>")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -51,6 +52,8 @@ func main() {
 		get(*addr + "/apps")
 	case "health":
 		get(*addr + "/health")
+	case "cache":
+		get(*addr + "/cache")
 	case "verify":
 		// Exits 1 when the controller reports invariant violations (the
 		// endpoint answers 409 and dump() fails on status >= 400).

@@ -131,6 +131,18 @@ func (b *Bitstream) Relocate(target fpga.BlockRef, d *fpga.Device) (*Bitstream, 
 	return out, nil
 }
 
+// Rebrand returns the same image under a different application name: the
+// frames are shared, not copied, because the payload is a function of the
+// placement only — the app name never reaches the configuration bits.
+// This is how the compile cache serves one compiled design to many
+// tenants deploying it under different names.
+func (b *Bitstream) Rebrand(app string) *Bitstream {
+	if app == b.App {
+		return b
+	}
+	return &Bitstream{App: app, VirtualBlock: b.VirtualBlock, Base: b.Base, Frames: b.Frames}
+}
+
 // Partial-reconfiguration timing model: ICAP-class bandwidth plus fixed
 // setup. Reconfiguring one block is tens of milliseconds — fast enough to
 // not disturb co-running applications (Section 3.4).

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"vital/internal/bitstream"
+	"vital/internal/hls"
+)
+
+// designKey hashes a Programming Layer design plus the stack's compile
+// parameters into a cache key usable *before* synthesis. Synthesis is
+// deterministic in the design's structure, so two designs with the same
+// design key synthesize to structurally identical netlists and therefore
+// share a compile key (bitstream.CompileKey) — the design key is
+// registered as an alias for it, letting a repeat compile skip synthesis
+// entirely. Like the compile key, every name is excluded: the design
+// name and operator names only decorate net names, and loop-nest labels
+// are canonicalized to first-occurrence indices so only the *grouping*
+// of operators into CDFG blocks is hashed, not the label text.
+func (s *Stack) designKey(d *hls.Design) bitstream.CacheKey {
+	h := sha256.New()
+	loopIdx := make(map[string]int)
+	fmt.Fprintf(h, "ops %d\n", len(d.Ops))
+	for i := range d.Ops {
+		op := &d.Ops[i]
+		li, ok := loopIdx[op.Loop]
+		if !ok {
+			li = len(loopIdx)
+			loopIdx[op.Loop] = li
+		}
+		fmt.Fprintf(h, "o %d %d %d %d %d %d\n",
+			op.Kind, li, op.Budget.LUTs, op.Budget.DFFs, op.Budget.DSPs, op.Budget.BRAMs)
+	}
+	fmt.Fprintf(h, "conns %d\n", len(d.Conns))
+	for _, c := range d.Conns {
+		fmt.Fprintf(h, "c %d %d %d\n", c.From, c.To, c.Width)
+	}
+	fmt.Fprintf(h, "capacity %d %d %d %d\n",
+		s.BlockCapacity.LUTs, s.BlockCapacity.DFFs, s.BlockCapacity.DSPs, s.BlockCapacity.BRAMKb)
+	fmt.Fprintf(h, "seed %d maxblocks %d\n", partitionSeed, s.MaxBlocksPerApp)
+	fmt.Fprintf(h, "shape rows %d\n", s.Grid.Shape.Rows)
+	for _, c := range s.Grid.Shape.Columns {
+		fmt.Fprintf(h, "col %d %d\n", c.Kind, c.SitesPerDie)
+	}
+	var k bitstream.CacheKey
+	h.Sum(k[:0])
+	return k
+}

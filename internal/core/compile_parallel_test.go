@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"vital/internal/workload"
+)
+
+// crcSignature flattens an app's bitstreams into a comparable string:
+// per-frame CRCs in (block, frame) order, plus block count and Fmin.
+func crcSignature(t *testing.T, app *CompiledApp) string {
+	t.Helper()
+	sig := fmt.Sprintf("blocks=%d fmin=%.6f", app.Blocks(), app.FminMHz)
+	for _, bs := range app.Bitstreams {
+		for _, f := range bs.Frames {
+			sig += fmt.Sprintf(" %08x", f.CRC)
+		}
+	}
+	return sig
+}
+
+func buildSpec(t *testing.T, bench string, v workload.Variant) workload.Spec {
+	t.Helper()
+	b, err := workload.Find(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Spec{Benchmark: b, Variant: v}
+}
+
+// TestCompileParallelMatchesSerial asserts the acceptance criterion of the
+// parallel pipeline: whatever the worker count, the compiled artifacts are
+// byte-identical to the serial flow — same block count, same Fmin, same
+// frame payloads (compared via CRC; payload bytes are checked below).
+func TestCompileParallelMatchesSerial(t *testing.T) {
+	spec := buildSpec(t, "lenet", workload.Medium)
+
+	serialStack := NewStack(nil)
+	serial, err := serialStack.CompileWithOptions(context.Background(), workload.BuildDesign(spec),
+		CompileOptions{Workers: 1, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelStack := NewStack(nil)
+	parallel, err := parallelStack.CompileWithOptions(context.Background(), workload.BuildDesign(spec),
+		CompileOptions{Workers: 8, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := crcSignature(t, parallel), crcSignature(t, serial); got != want {
+		t.Fatalf("parallel compile diverged from serial:\n  parallel: %.120s…\n  serial:   %.120s…", got, want)
+	}
+	// CRCs could in principle collide; spot-check the raw payload bytes too.
+	for i, bs := range parallel.Bitstreams {
+		for j, f := range bs.Frames {
+			ref := serial.Bitstreams[i].Frames[j]
+			if string(f.Payload) != string(ref.Payload) {
+				t.Fatalf("vb%d frame %d payload differs between parallel and serial", i, j)
+			}
+			if f.Addr != ref.Addr {
+				t.Fatalf("vb%d frame %d address differs: %v vs %v", i, j, f.Addr, ref.Addr)
+			}
+		}
+	}
+	// The Fig. 8 breakdown sums per-block tool time, so P&R must still
+	// dominate in the parallel flow exactly as it does serially.
+	if parallel.Times.PNRFraction() < 0.5 {
+		t.Fatalf("parallel P&R fraction = %.2f, expected dominant", parallel.Times.PNRFraction())
+	}
+}
+
+// TestCompileConcurrentSharedStack drives several distinct designs through
+// one shared Stack/controller at once — the multi-tenant compile path the
+// cache and the worker pool both sit on. Run under -race in CI.
+func TestCompileConcurrentSharedStack(t *testing.T) {
+	s := NewStack(nil)
+	specs := []workload.Spec{
+		buildSpec(t, "lenet", workload.Small),
+		buildSpec(t, "lenet", workload.Medium),
+		buildSpec(t, "alexnet", workload.Small),
+		buildSpec(t, "nin", workload.Small),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	apps := make([]*CompiledApp, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec workload.Spec) {
+			defer wg.Done()
+			apps[i], errs[i] = s.Compile(workload.BuildDesign(spec))
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", specs[i].Name(), err)
+		}
+		if apps[i].Blocks() != specs[i].PaperBlocks() {
+			t.Errorf("%s: blocks = %d, want %d", specs[i].Name(), apps[i].Blocks(), specs[i].PaperBlocks())
+		}
+		if _, ok := s.Controller.Bitstreams.Lookup(specs[i].Name()); !ok {
+			t.Errorf("%s: bitstreams not stored", specs[i].Name())
+		}
+	}
+}
+
+// TestCompileCacheHit compiles the same design twice against one stack:
+// the second compile must be served from the cache with identical
+// artifacts, and the hit/miss counters must say so.
+func TestCompileCacheHit(t *testing.T) {
+	s := NewStack(nil)
+	spec := buildSpec(t, "lenet", workload.Small)
+
+	cold, err := s.Compile(workload.BuildDesign(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first compile reported a cache hit")
+	}
+	warm, err := s.Compile(workload.BuildDesign(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second compile of an identical design missed the cache")
+	}
+	if got, want := crcSignature(t, warm), crcSignature(t, cold); got != want {
+		t.Fatalf("cache hit returned different artifacts:\n  warm: %.120s…\n  cold: %.120s…", got, want)
+	}
+	st := s.Controller.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+
+	// A hit still registers the bitstreams, so the runtime path works.
+	if _, err := s.Deploy(warm, 1<<30); err != nil {
+		t.Fatalf("deploying a cache-hit app: %v", err)
+	}
+	if err := s.Undeploy(warm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileCacheMultiTenantRebrand models the paper's common case: two
+// tenants deploy the same accelerator under different application names.
+// The second tenant's compile hits the cache and the artifacts come back
+// rebranded, so both apps can be deployed side by side.
+func TestCompileCacheMultiTenantRebrand(t *testing.T) {
+	s := NewStack(nil)
+	spec := buildSpec(t, "lenet", workload.Small)
+
+	d1 := workload.BuildDesign(spec)
+	if _, err := s.Compile(d1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := workload.BuildDesign(spec)
+	d2.Name = "tenant2-" + d2.Name
+	app2, err := s.Compile(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !app2.CacheHit {
+		t.Fatal("structurally identical design under a new name missed the cache")
+	}
+	if app2.Name != d2.Name {
+		t.Fatalf("hit returned name %q, want %q", app2.Name, d2.Name)
+	}
+	for i, bs := range app2.Bitstreams {
+		if bs.App != d2.Name {
+			t.Fatalf("bitstream %d still branded %q", i, bs.App)
+		}
+		if bs.VirtualBlock != i {
+			t.Fatalf("bitstream %d has virtual block %d", i, bs.VirtualBlock)
+		}
+	}
+	// Both tenants deployable at once.
+	if _, err := s.Deploy(app2, 1<<30); err != nil {
+		t.Fatalf("deploying tenant 2: %v", err)
+	}
+	dep1, err := s.Controller.Deploy(d1.Name, 1<<30)
+	if err != nil {
+		t.Fatalf("deploying tenant 1: %v", err)
+	}
+	if len(dep1.Blocks) == 0 {
+		t.Fatal("tenant 1 got no blocks")
+	}
+}
+
+// TestCompileNoCacheOption asserts NoCache bypasses both lookup and store.
+func TestCompileNoCacheOption(t *testing.T) {
+	s := NewStack(nil)
+	spec := buildSpec(t, "lenet", workload.Small)
+	for i := 0; i < 2; i++ {
+		app, err := s.CompileWithOptions(context.Background(), workload.BuildDesign(spec), CompileOptions{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.CacheHit {
+			t.Fatal("NoCache compile reported a cache hit")
+		}
+	}
+	if st := s.Controller.CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("cache touched despite NoCache: %+v", st)
+	}
+}
+
+// TestCompileCacheDistinctDesigns asserts distinct designs do not collide.
+func TestCompileCacheDistinctDesigns(t *testing.T) {
+	s := NewStack(nil)
+	a, err := s.Compile(workload.BuildDesign(buildSpec(t, "lenet", workload.Small)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Compile(workload.BuildDesign(buildSpec(t, "lenet", workload.Medium)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit || b.CacheHit {
+		t.Fatal("distinct designs must both miss")
+	}
+	if st := s.Controller.CacheStats(); st.Misses != 2 || st.Hits != 0 || st.Entries != 2 {
+		t.Fatalf("cache stats = %+v, want 2 misses / 0 hits / 2 entries", st)
+	}
+}

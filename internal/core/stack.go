@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -55,8 +56,23 @@ func NewStackWithOptions(c *cluster.Cluster, opts sched.Options) *Stack {
 	}
 }
 
-// StageTimes is the Fig. 8 compile-time breakdown: wall time per stage of
-// the Fig. 5 flow.
+// CompileOptions tunes the compilation flow.
+type CompileOptions struct {
+	// Workers bounds the per-virtual-block parallelism of steps 4 and 5
+	// (local P&R and relocation validation): 0 means GOMAXPROCS, 1 forces
+	// the serial flow. The compiled artifacts are bit-identical across
+	// worker counts.
+	Workers int
+	// NoCache bypasses the controller's compile cache for this compile:
+	// the full flow runs and its result is not stored.
+	NoCache bool
+}
+
+// StageTimes is the Fig. 8 compile-time breakdown: tool time per stage of
+// the Fig. 5 flow. For the per-block stages (LocalPNR, Relocation) this is
+// the sum of per-block times, not wall clock — the breakdown measures how
+// much work each tool does, so it is invariant under the worker count.
+// CompiledApp.Wall carries the elapsed wall clock.
 type StageTimes struct {
 	Synthesis    time.Duration
 	Partition    time.Duration
@@ -117,16 +133,63 @@ type CompiledApp struct {
 	// Times is the Fig. 8 stage breakdown; FminMHz the worst block Fmax.
 	Times   StageTimes
 	FminMHz float64
+	// Wall is the compile's elapsed wall clock (≤ Times.Total() when the
+	// per-block stages ran in parallel); CacheHit reports that steps 2–6
+	// were served from the controller's compile cache.
+	Wall     time.Duration
+	CacheHit bool
 }
 
 // Blocks returns the number of virtual blocks.
 func (a *CompiledApp) Blocks() int { return a.Partition.NumBlocks }
 
+// partitionSeed drives the partitioner's stochastic stages; it is fixed so
+// compiles are reproducible, and it is part of the compile cache key.
+const partitionSeed = 11
+
 // Compile runs the full Fig. 5 flow on a design written against the
 // Programming Layer and registers the result with the system controller's
-// bitstream database.
+// bitstream database. Per-block work runs across GOMAXPROCS workers and
+// repeat compiles are served from the controller's compile cache; use
+// CompileWithOptions to tune either.
 func (s *Stack) Compile(d *hls.Design) (*CompiledApp, error) {
+	return s.CompileWithOptions(context.Background(), d, CompileOptions{})
+}
+
+// CompileWithOptions is Compile with explicit cancellation and options.
+//
+// Steps 4 (local P&R) and 5 (relocation validation) are embarrassingly
+// parallel across virtual blocks — the blocks are identical and position
+// independent (Section 3.2) — and run on a bounded worker pool; the first
+// error cancels the rest. The flow is deterministic, so the artifacts are
+// bit-identical whatever the worker count.
+//
+// Before doing any work the controller's compile cache is consulted, at
+// two levels. The authoritative key is content-addressed over the
+// synthesized netlist's structure plus the compile parameters (block
+// capacity, partition seed, block search bound, grid shape — never a
+// name). A cheaper pre-synthesis key over the design's operator-graph
+// structure is registered as an alias for it, so recompiling a design the
+// cluster has seen — many tenants deploying the same accelerator under
+// different names — skips the whole flow, synthesis included: a hash, a
+// lookup, and a rebranding clone of the cached artifacts.
+func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts CompileOptions) (*CompiledApp, error) {
+	wallStart := time.Now()
 	app := &CompiledApp{Name: d.Name}
+
+	cache := s.Controller.Cache
+	useCache := cache != nil && !opts.NoCache
+	var dkey bitstream.CacheKey
+	if useCache {
+		// Fast path: a design structurally identical to one already
+		// compiled resolves to its compile key before synthesis runs.
+		dkey = s.designKey(d)
+		if key, ok := cache.Resolve(dkey); ok {
+			if v, ok := cache.Get(key); ok {
+				return s.serveCacheHit(v.(*CompiledApp), d.Name, wallStart)
+			}
+		}
+	}
 
 	// Step 1 — synthesis (reused commercial front end).
 	t0 := time.Now()
@@ -137,11 +200,28 @@ func (s *Stack) Compile(d *hls.Design) (*CompiledApp, error) {
 	app.Netlist = synth.Netlist
 	app.Times.Synthesis = time.Since(t0)
 
+	var key bitstream.CacheKey
+	if useCache {
+		key = bitstream.CompileKey(app.Netlist, s.BlockCapacity, partitionSeed, s.MaxBlocksPerApp, s.Grid.Shape)
+		if v, ok := cache.Get(key); ok {
+			// Different design structure, same netlist: remember the new
+			// alias so the next compile of this design skips synthesis.
+			cache.AddAlias(dkey, key)
+			hit, err := s.serveCacheHit(v.(*CompiledApp), d.Name, wallStart)
+			if err != nil {
+				return nil, err
+			}
+			hit.Netlist = app.Netlist
+			hit.Times.Synthesis = app.Times.Synthesis
+			return hit, nil
+		}
+	}
+
 	// Step 2 — partition (custom tool, Section 4).
 	t0 = time.Now()
 	part, err := partition.Auto(app.Netlist, partition.Config{
 		BlockCapacity: s.BlockCapacity,
-		Seed:          11,
+		Seed:          partitionSeed,
 	}, s.MaxBlocksPerApp)
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning %s: %w", d.Name, err)
@@ -154,16 +234,19 @@ func (s *Stack) Compile(d *hls.Design) (*CompiledApp, error) {
 	app.Channels = generateInterface(app.Netlist, part)
 	app.Times.InterfaceGen = time.Since(t0)
 
-	// Step 4 — local place-and-route (reused commercial back end).
-	t0 = time.Now()
-	blocks, err := pnr.LocalPlaceAndRoute(app.Netlist, part.CellBlock, part.NumBlocks, s.Grid)
+	// Step 4 — local place-and-route (reused commercial back end), in
+	// parallel across virtual blocks. The stage time is the summed
+	// per-block tool time, so the Fig. 8 breakdown does not depend on the
+	// worker count.
+	blocks, err := pnr.LocalPlaceAndRouteOpts(ctx, app.Netlist, part.CellBlock, part.NumBlocks, s.Grid,
+		pnr.LocalPNROptions{Workers: opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("core: local P&R of %s: %w", d.Name, err)
 	}
 	app.BlockResults = blocks
-	app.Times.LocalPNR = time.Since(t0)
 	app.FminMHz = blocks[0].Timing.FmaxMHz
 	for _, b := range blocks {
+		app.Times.LocalPNR += b.Elapsed
 		if b.Timing.FmaxMHz < app.FminMHz {
 			app.FminMHz = b.Timing.FmaxMHz
 		}
@@ -171,25 +254,34 @@ func (s *Stack) Compile(d *hls.Design) (*CompiledApp, error) {
 
 	// Step 5 — relocation (custom tool, RapidWright-style): emit each
 	// virtual block's image at the canonical base; relocatability to every
-	// physical block is what the runtime exploits.
-	t0 = time.Now()
+	// physical block is what the runtime exploits. Independent per block,
+	// so it shares the step-4 worker pool shape.
 	device := s.Cluster.Boards[0].Device
+	probe := device.Blocks()[device.NumBlocks()-1]
 	app.Bitstreams = make([]*bitstream.Bitstream, len(blocks))
-	for i, br := range blocks {
-		img := bitstream.FromPlacement(d.Name, i, br.Placement, fpga.BlockRef{})
+	relocElapsed := make([]time.Duration, len(blocks))
+	err = pnr.ParallelBlocks(ctx, len(blocks), opts.Workers, func(_ context.Context, i int) error {
+		start := time.Now()
+		img := bitstream.FromPlacement(d.Name, i, blocks[i].Placement, fpga.BlockRef{})
 		// Exercise a relocation round trip, as the flow does to validate
 		// position independence.
-		probe := device.Blocks()[device.NumBlocks()-1]
 		moved, err := img.Relocate(probe, device)
 		if err != nil {
-			return nil, fmt.Errorf("core: relocating %s/vb%d: %w", d.Name, i, err)
+			return fmt.Errorf("core: relocating %s/vb%d: %w", d.Name, i, err)
 		}
 		if img, err = moved.Relocate(fpga.BlockRef{}, device); err != nil {
-			return nil, fmt.Errorf("core: relocating %s/vb%d back: %w", d.Name, i, err)
+			return fmt.Errorf("core: relocating %s/vb%d back: %w", d.Name, i, err)
 		}
 		app.Bitstreams[i] = img
+		relocElapsed[i] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	app.Times.Relocation = time.Since(t0)
+	for _, e := range relocElapsed {
+		app.Times.Relocation += e
+	}
 
 	// Step 6 — global place-and-route (reused commercial back end).
 	t0 = time.Now()
@@ -199,7 +291,46 @@ func (s *Stack) Compile(d *hls.Design) (*CompiledApp, error) {
 	if err := s.Controller.Bitstreams.Store(d.Name, app.Bitstreams); err != nil {
 		return nil, fmt.Errorf("core: storing bitstreams of %s: %w", d.Name, err)
 	}
+	if useCache {
+		// Cache a private clone: entries are shared across tenants and
+		// treated as immutable, so the caller's app must not alias them.
+		cache.Put(key, app.cloneFor(app.Name))
+		cache.AddAlias(dkey, key)
+	}
+	app.Wall = time.Since(wallStart)
 	return app, nil
+}
+
+// serveCacheHit turns a cache entry into this tenant's compiled app: a
+// rebranding clone (frames shared, never copied) registered with the
+// bitstream database. The entry's netlist is shared read-only — its net
+// names carry the original tenant's design name, which is cosmetic.
+// Times is zeroed: no tool ran; Wall records what the hit actually cost.
+func (s *Stack) serveCacheHit(entry *CompiledApp, name string, wallStart time.Time) (*CompiledApp, error) {
+	hit := entry.cloneFor(name)
+	hit.Times = StageTimes{}
+	hit.CacheHit = true
+	if err := s.Controller.Bitstreams.Store(name, hit.Bitstreams); err != nil {
+		return nil, fmt.Errorf("core: storing bitstreams of %s: %w", name, err)
+	}
+	hit.Wall = time.Since(wallStart)
+	return hit, nil
+}
+
+// cloneFor copies the compiled artifacts under a new application name:
+// top-level slices are fresh, bitstreams are rebranded (frames shared —
+// the payload never encodes the name), and the deep structures
+// (partition, block results, global result) are shared read-only.
+func (a *CompiledApp) cloneFor(name string) *CompiledApp {
+	c := *a
+	c.Name = name
+	c.BlockResults = append([]*pnr.BlockResult(nil), a.BlockResults...)
+	c.Channels = append([]ChannelSpec(nil), a.Channels...)
+	c.Bitstreams = make([]*bitstream.Bitstream, len(a.Bitstreams))
+	for i, b := range a.Bitstreams {
+		c.Bitstreams[i] = b.Rebrand(name)
+	}
+	return &c
 }
 
 // generateInterface derives the latency-insensitive channel set from the

@@ -1,5 +1,7 @@
 package netlist
 
+import "sort"
+
 // This file provides graph views and algorithms over a Netlist that the
 // packing and partitioning stages rely on: weighted cell adjacency,
 // connected components, and a sequential-aware topological ordering.
@@ -53,6 +55,13 @@ func (n *Netlist) AdjacencyCapped(maxFanout, maxWidth int) [][]Edge {
 	for k, w := range weights {
 		adj[k.a] = append(adj[k.a], Edge{To: k.b, Weight: w})
 		adj[k.b] = append(adj[k.b], Edge{To: k.a, Weight: w})
+	}
+	// The map range above emits edges in random order; every consumer that
+	// walks an edge list (packing BFS, partition clustering) would inherit
+	// that randomness, making placements — and bitstream payloads — vary
+	// run to run. Sorting by neighbour restores determinism.
+	for c := range adj {
+		sort.Slice(adj[c], func(i, j int) bool { return adj[c][i].To < adj[c][j].To })
 	}
 	return adj
 }

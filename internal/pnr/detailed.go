@@ -51,11 +51,21 @@ func (p *Placement) refineDetailed(edges []entityEdge) float64 {
 		return wl
 	}
 
+	// Kinds are visited in a fixed order: swaps of one kind shift the
+	// neighbour positions later kinds evaluate, so ranging over the map
+	// would make the refinement — and the bitstream payload derived from
+	// it — vary run to run.
+	kinds := make([]fpga.ColumnKind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(a, b int) bool { return kinds[a] < kinds[b] })
+
 	improved := 0.0
 	for pass := 0; pass < detailedPasses; pass++ {
 		passGain := 0.0
-		for kind, members := range byKind {
-			_ = kind
+		for _, kind := range kinds {
+			members := byKind[kind]
 			// Re-sort members by current site each pass.
 			sort.Slice(members, func(a, b int) bool {
 				return siteIndex(p.Sites[members[a]]) < siteIndex(p.Sites[members[b]])

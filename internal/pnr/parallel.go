@@ -1,0 +1,79 @@
+package pnr
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ParallelBlocks runs fn(b) for b in [0, numBlocks) on a bounded worker
+// pool. The paper's key structural property — identical, position-
+// independent virtual blocks (Section 3.2) — makes every block's local
+// P&R, timing analysis and relocation round trip independent, so the
+// Fig. 5 flow's per-block steps are embarrassingly parallel.
+//
+// workers <= 0 selects GOMAXPROCS; workers == 1 degenerates to a serial
+// loop with no goroutines. The first error cancels the remaining work via
+// the derived context and is returned; fn implementations that loop
+// internally may also watch ctx themselves. Block indices are handed out
+// in order, so with one worker the execution order matches the serial
+// flow exactly.
+func ParallelBlocks(ctx context.Context, numBlocks, workers int, fn func(ctx context.Context, b int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers <= 1 {
+		for b := 0; b < numBlocks; b++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, b); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for b := 0; b < numBlocks; b++ {
+		select {
+		case next <- b:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,79 @@
+package pnr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelBlocksCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		err := ParallelBlocks(context.Background(), 20, workers, func(ctx context.Context, b int) error {
+			mu.Lock()
+			seen[b]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != 20 {
+			t.Fatalf("workers=%d: covered %d of 20 blocks", workers, len(seen))
+		}
+		for b, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: block %d ran %d times", workers, b, n)
+			}
+		}
+	}
+}
+
+func TestParallelBlocksFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		err := ParallelBlocks(context.Background(), 1000, workers, func(ctx context.Context, b int) error {
+			calls.Add(1)
+			if b == 2 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		// Cancellation must stop the feeder well before all 1000 blocks run.
+		if n := calls.Load(); n == 1000 {
+			t.Fatalf("workers=%d: error did not cancel remaining work", workers)
+		}
+	}
+}
+
+func TestParallelBlocksRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ParallelBlocks(ctx, 5, 1, func(ctx context.Context, b int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite pre-cancelled context")
+	}
+}
+
+func TestParallelBlocksZeroBlocks(t *testing.T) {
+	if err := ParallelBlocks(context.Background(), 0, 4, func(ctx context.Context, b int) error {
+		t.Fatal("fn called for zero blocks")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

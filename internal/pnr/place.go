@@ -33,11 +33,23 @@ func (p *Placement) SiteOf(c netlist.CellID) (fpga.Site, bool) {
 	return p.Sites[e], true
 }
 
+// packMaxFanout is the fanout cap of the packing/placement adjacency view
+// (clock and reset trees carry no locality information).
+const packMaxFanout = 64
+
 // PlaceBlock packs and places the given cells (the contents of one virtual
 // block) onto the block grid. It returns an error if the cells exceed the
 // grid's site capacity.
 func PlaceBlock(n *netlist.Netlist, cells []netlist.CellID, grid *fpga.Grid) (*Placement, error) {
-	adj := n.Adjacency(64)
+	return PlaceBlockAdj(n, cells, grid, n.Adjacency(packMaxFanout))
+}
+
+// PlaceBlockAdj is PlaceBlock with a caller-provided adjacency view
+// (n.Adjacency(64)). The adjacency is the same for every virtual block of
+// a design, so compiling many blocks should build it once and share it —
+// it is only read here, never mutated, which also makes it safe to share
+// across concurrent PlaceBlockAdj calls.
+func PlaceBlockAdj(n *netlist.Netlist, cells []netlist.CellID, grid *fpga.Grid, adj [][]netlist.Edge) (*Placement, error) {
 	entities := packCLBs(n, cells, adj)
 
 	// Capacity check per kind.

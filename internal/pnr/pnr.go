@@ -1,6 +1,7 @@
 package pnr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,10 +22,31 @@ type BlockResult struct {
 	Elapsed time.Duration
 }
 
+// LocalPNROptions tunes LocalPlaceAndRouteOpts.
+type LocalPNROptions struct {
+	// Workers bounds the per-block P&R concurrency: 0 means GOMAXPROCS,
+	// 1 forces the serial flow. Per-block results are deterministic and
+	// identical across worker counts — blocks share only read-only inputs
+	// (netlist, adjacency, grid).
+	Workers int
+}
+
 // LocalPlaceAndRoute runs P&R for every virtual block of a partitioned
 // netlist: cellBlock[c] gives the block of cell c, numBlocks the block
-// count, and grid the (identical) physical block geometry.
+// count, and grid the (identical) physical block geometry. Blocks are
+// processed in parallel across GOMAXPROCS workers; use
+// LocalPlaceAndRouteOpts to bound or serialize.
 func LocalPlaceAndRoute(n *netlist.Netlist, cellBlock []int, numBlocks int, grid *fpga.Grid) ([]*BlockResult, error) {
+	return LocalPlaceAndRouteOpts(context.Background(), n, cellBlock, numBlocks, grid, LocalPNROptions{})
+}
+
+// LocalPlaceAndRouteOpts is LocalPlaceAndRoute with explicit context and
+// concurrency options. The first block error cancels the remaining blocks.
+// Results are ordered by block index regardless of completion order, and
+// each BlockResult.Elapsed is that block's own P&R wall time, so the
+// Fig. 8 compile-time breakdown (which sums per-block tool time) is
+// unchanged by parallelism.
+func LocalPlaceAndRouteOpts(ctx context.Context, n *netlist.Netlist, cellBlock []int, numBlocks int, grid *fpga.Grid, opts LocalPNROptions) ([]*BlockResult, error) {
 	if len(cellBlock) != n.NumCells() {
 		return nil, fmt.Errorf("pnr: cellBlock length %d != %d cells", len(cellBlock), n.NumCells())
 	}
@@ -35,12 +57,16 @@ func LocalPlaceAndRoute(n *netlist.Netlist, cellBlock []int, numBlocks int, grid
 		}
 		perBlock[b] = append(perBlock[b], netlist.CellID(c))
 	}
+	// The adjacency view is identical for every block: build it once per
+	// compile instead of once per block (it is a read-only input shared by
+	// all workers).
+	adj := n.Adjacency(packMaxFanout)
 	results := make([]*BlockResult, numBlocks)
-	for b := 0; b < numBlocks; b++ {
+	err := ParallelBlocks(ctx, numBlocks, opts.Workers, func(_ context.Context, b int) error {
 		start := time.Now()
-		placement, err := PlaceBlock(n, perBlock[b], grid)
+		placement, err := PlaceBlockAdj(n, perBlock[b], grid, adj)
 		if err != nil {
-			return nil, fmt.Errorf("pnr: block %d: %w", b, err)
+			return fmt.Errorf("pnr: block %d: %w", b, err)
 		}
 		routing := RouteBlock(n, placement)
 		results[b] = &BlockResult{
@@ -50,6 +76,10 @@ func LocalPlaceAndRoute(n *netlist.Netlist, cellBlock []int, numBlocks int, grid
 			Timing:    AnalyzeTiming(n, placement, routing),
 			Elapsed:   time.Since(start),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

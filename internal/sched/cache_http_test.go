@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"vital/internal/cluster"
+)
+
+// TestHTTPCacheStats exercises the GET /cache surface: counters start at
+// zero and move when the compile cache is used.
+func TestHTTPCacheStats(t *testing.T) {
+	ct, srv := newTestServer(t)
+
+	fetch := func() map[string]interface{} {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/cache")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /cache status = %d", resp.StatusCode)
+		}
+		var body map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	body := fetch()
+	for _, k := range []string{"hits", "misses", "entries", "hit_rate"} {
+		if _, ok := body[k]; !ok {
+			t.Fatalf("GET /cache missing %q: %v", k, body)
+		}
+	}
+	if body["hits"].(float64) != 0 || body["misses"].(float64) != 0 {
+		t.Fatalf("fresh controller cache not empty: %v", body)
+	}
+
+	// Drive the cache directly (the core stack does this during Compile).
+	key := [32]byte{1}
+	if _, ok := ct.Cache.Get(key); ok {
+		t.Fatal("unexpected hit")
+	}
+	ct.Cache.Put(key, "artifact")
+	if _, ok := ct.Cache.Get(key); !ok {
+		t.Fatal("expected hit")
+	}
+
+	body = fetch()
+	if body["hits"].(float64) != 1 || body["misses"].(float64) != 1 || body["entries"].(float64) != 1 {
+		t.Fatalf("GET /cache after 1 hit + 1 miss: %v", body)
+	}
+	if body["hit_rate"].(float64) != 0.5 {
+		t.Fatalf("hit_rate = %v, want 0.5", body["hit_rate"])
+	}
+}
+
+// TestAllocateReturnsCopy is the aliasing regression test: the slice
+// Allocate hands back must be detached from the resource database, so a
+// caller appending to it (or writing through it) cannot corrupt the free
+// list used by the next allocation.
+func TestAllocateReturnsCopy(t *testing.T) {
+	db := NewResourceDB(testCluster())
+
+	refs, err := Allocate(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	want := refs[0]
+
+	// A full-capacity append must reallocate, never write into spare
+	// capacity backed by someone else's array.
+	if cap(refs) != len(refs) {
+		t.Fatalf("Allocate returned len %d cap %d: spare capacity aliases another slice", len(refs), cap(refs))
+	}
+	// Scribble over the returned slice; the database must be unaffected.
+	refs[0] = cluster.GlobalBlockRef{Board: 99}
+	_ = append(refs, cluster.GlobalBlockRef{Board: 98})
+
+	again, err := Allocate(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != want {
+		t.Fatalf("free list changed after caller mutation: %v, want %v", again[0], want)
+	}
+}

@@ -20,6 +20,10 @@ type Controller struct {
 	Cluster    *cluster.Cluster
 	DB         *ResourceDB
 	Bitstreams *bitstream.Database
+	// Cache is the compilation layer's content-addressed artifact store:
+	// the core stack consults it before running the expensive compile
+	// steps, so many tenants deploying the same design compile once.
+	Cache *bitstream.CompileCache
 	// log and opts are set once at construction (log is internally
 	// synchronized), so they live above mu (fields below mu are guarded by
 	// it — see lockcheck).
@@ -73,10 +77,16 @@ func NewControllerWithOptions(c *cluster.Cluster, opts Options) *Controller {
 		Cluster:    c,
 		DB:         NewResourceDB(c),
 		Bitstreams: bitstream.NewDatabase(),
+		Cache:      bitstream.NewCompileCache(),
 		deployed:   map[string]*Deployment{},
 		log:        newEventLog(),
 		opts:       opts,
 	}
+}
+
+// CacheStats snapshots the compile cache's hit/miss counters.
+func (ct *Controller) CacheStats() bitstream.CacheStats {
+	return ct.Cache.Stats()
 }
 
 // clone returns a defensive copy so callers can inspect a deployment without

@@ -23,6 +23,7 @@ const defaultMemQuota uint64 = 1 << 30
 //	                          negative or non-numeric N is a 400)
 //	GET  /apps              → deployed applications
 //	GET  /health            → per-board health report
+//	GET  /cache             → compile-cache hit/miss counters
 //	GET  /verify            → architectural invariant check (409 on violation)
 //	POST /deploy   {app, mem_quota_bytes} → deployment summary; a zero or
 //	                          absent quota gets the 1 GiB default, echoed
@@ -74,6 +75,16 @@ func NewHandler(ct *Controller) http.Handler {
 
 	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ct.Health())
+	})
+
+	mux.HandleFunc("GET /cache", func(w http.ResponseWriter, r *http.Request) {
+		st := ct.CacheStats()
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"hits":     st.Hits,
+			"misses":   st.Misses,
+			"entries":  st.Entries,
+			"hit_rate": st.HitRate(),
+		})
 	})
 
 	mux.HandleFunc("GET /verify", func(w http.ResponseWriter, r *http.Request) {

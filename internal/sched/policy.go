@@ -31,7 +31,10 @@ func Allocate(db *ResourceDB, n int) ([]cluster.GlobalBlockRef, error) {
 		}
 	}
 	if best != -1 {
-		return db.FreeOnBoard(best)[:n], nil
+		// Copy, never alias: handing callers a sub-slice of the free list
+		// leaves spare capacity backed by it, so a later append on the
+		// caller's side would overwrite free-list entries.
+		return append([]cluster.GlobalBlockRef(nil), db.FreeOnBoard(best)[:n]...), nil
 	}
 
 	// Rounds 2..numBoards: contiguous ring windows of increasing size.
