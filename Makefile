@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race faultstress lint bench benchsmoke clean
+.PHONY: all build test race faultstress lint bench benchsmoke obssmoke clean
 
 all: build lint test
 
@@ -34,6 +34,12 @@ bench:
 # harness still builds and runs.
 benchsmoke:
 	$(GO) test -run=NONE -bench='BenchmarkTable2Compile$$|BenchmarkCompileCacheHit' -benchtime=1x .
+
+# Observability smoke: boot an in-process vitald, deploy over HTTP, scrape
+# the Prometheus exposition through the strict validator, and fetch the
+# deploy trace. Exits non-zero on the first broken surface.
+obssmoke:
+	$(GO) run ./cmd/obssmoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,149 @@
+// Command obssmoke is the observability smoke test wired into CI (`make
+// obssmoke`): it boots a complete in-process vitald — stack, pre-compiled
+// benchmark, access-logged HTTP handler on an ephemeral port — drives a
+// deploy through the HTTP API, then verifies the three observability
+// surfaces end to end:
+//
+//  1. GET /metrics?format=prometheus parses under the strict exposition
+//     validator and contains the deploy-latency histogram;
+//  2. GET /traces lists the compile and deploy traces;
+//  3. GET /trace/{id} returns the deploy trace with its span tree intact.
+//
+// It exits non-zero on the first failure, so CI fails loudly.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"vital/internal/core"
+	"vital/internal/telemetry"
+	"vital/internal/workload"
+)
+
+func main() {
+	log.SetPrefix("obssmoke: ")
+	log.SetFlags(0)
+
+	stack := core.NewStack(nil)
+	spec, err := workload.ParseSpec("lenet-S")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := stack.Compile(workload.BuildDesign(spec))
+	if err != nil {
+		log.Fatalf("compiling lenet-S: %v", err)
+	}
+	log.Printf("compiled lenet-S: %d blocks in %v", app.Blocks(), app.Wall)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: telemetry.AccessLog(log.Printf, core.NewStackHandler(stack))}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	log.Printf("controller listening on %s", base)
+
+	// Deploy through the HTTP API so the access log, the route histograms
+	// and the deploy trace all fire on a real request path.
+	resp, err := http.Post(base+"/deploy", "application/json",
+		strings.NewReader(`{"app":"lenet-S"}`))
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	body := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("deploy: status %d: %s", resp.StatusCode, body)
+	}
+	log.Printf("deployed lenet-S")
+
+	// Surface 1: the Prometheus exposition must parse under the strict
+	// validator and carry the deploy-latency histogram.
+	resp, err = http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	expo := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		log.Fatalf("metrics: content type %q, want %q", ct, telemetry.ContentType)
+	}
+	if err := telemetry.ValidateExposition(expo); err != nil {
+		log.Fatalf("metrics exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"vital_deploy_seconds_bucket",
+		"vital_compile_seconds_bucket",
+		"vital_http_request_seconds_bucket",
+		"vital_board_health",
+	} {
+		if !bytes.Contains(expo, []byte(want)) {
+			log.Fatalf("metrics exposition missing %s", want)
+		}
+	}
+	log.Printf("prometheus exposition OK (%d bytes)", len(expo))
+
+	// Surface 2: the deploy must have left a retrievable trace.
+	var list struct {
+		Traces []telemetry.TraceSummary `json:"traces"`
+	}
+	getJSON(base+"/traces?app=lenet-S", &list)
+	var deployID string
+	for _, ts := range list.Traces {
+		if ts.Name == "deploy" {
+			deployID = ts.ID
+			break
+		}
+	}
+	if deployID == "" {
+		log.Fatalf("no deploy trace for lenet-S in %d traces", len(list.Traces))
+	}
+
+	// Surface 3: the full trace comes back with its span tree.
+	var td telemetry.TraceData
+	getJSON(base+"/trace/"+deployID, &td)
+	if len(td.AllSpans) < 2 {
+		log.Fatalf("deploy trace %s has %d spans, want at least root+child", deployID, len(td.AllSpans))
+	}
+	tree := td.Tree()
+	for _, want := range []string{"deploy", "allocate", "provision"} {
+		if !strings.Contains(tree, want) {
+			log.Fatalf("deploy trace tree missing %q span:\n%s", want, tree)
+		}
+	}
+	log.Printf("deploy trace %s OK (%d spans)", deployID, len(td.AllSpans))
+	fmt.Println("obssmoke: PASS")
+}
+
+func readAll(resp *http.Response) []byte {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return raw
+}
+
+func getJSON(url string, v interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		log.Fatalf("%s: %v", url, err)
+	}
+}

@@ -11,6 +11,8 @@
 //	vitalctl cache
 //	vitalctl fault 2 fail
 //	vitalctl verify
+//	vitalctl top                 # formatted cluster dashboard (-watch 2s to repeat)
+//	vitalctl trace lenet-M       # latest compile/deploy trace tree for an app
 //
 // Transient failures retry with exponential backoff: connection errors
 // always, 502/503/504 responses only for idempotent (GET) requests — a 503
@@ -26,9 +28,14 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"time"
+
+	"vital/internal/sched"
+	"vital/internal/telemetry"
 )
 
 var (
@@ -39,10 +46,11 @@ var (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "vitald address")
 	quota := flag.Uint64("mem", 1<<30, "DRAM quota in bytes for deploy")
+	watch := flag.Duration("watch", 0, "for top: refresh interval (0 prints once)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|deploy <app>|undeploy <app>|fault <board> <degrade|fail|recover>")
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|trace <app>|deploy <app>|undeploy <app>|fault <board> <degrade|fail|recover>")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -58,6 +66,16 @@ func main() {
 		// Exits 1 when the controller reports invariant violations (the
 		// endpoint answers 409 and dump() fails on status >= 400).
 		get(*addr + "/verify")
+	case "top":
+		top(*addr)
+		for *watch > 0 {
+			time.Sleep(*watch)
+			fmt.Println()
+			top(*addr)
+		}
+	case "trace":
+		requireArg(args, "trace")
+		printTrace(*addr, args[1])
 	case "deploy":
 		requireArg(args, "deploy")
 		post(*addr+"/deploy", map[string]interface{}{"app": args[1], "mem_quota_bytes": *quota})
@@ -131,6 +149,91 @@ func post(url string, body interface{}) {
 	})
 	defer resp.Body.Close()
 	dump(resp)
+}
+
+// getJSON fetches a URL (with GET retry semantics) and decodes the JSON
+// response into v, exiting on HTTP or decode errors.
+func getJSON(rawURL string, v interface{}) {
+	resp := doRetry(true, func() (*http.Response, error) { return http.Get(rawURL) })
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("vitalctl: %v", err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("vitalctl: server answered %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		log.Fatalf("vitalctl: decoding %s: %v", rawURL, err)
+	}
+}
+
+// top renders the /metrics snapshot as a one-screen dashboard: occupancy,
+// per-board health, cache effectiveness, operation latency quantiles and
+// event totals.
+func top(addr string) {
+	var m sched.Metrics
+	getJSON(addr+"/metrics", &m)
+
+	fmt.Printf("cluster   %d/%d blocks used, %d apps deployed\n",
+		m.UsedBlocks, m.TotalBlocks, m.Deployed)
+	fmt.Printf("cache     %d hits / %d misses (%.1f%% hit rate), %d entries\n",
+		m.Cache.Hits, m.Cache.Misses, 100*m.Cache.HitRate, m.Cache.Entries)
+
+	fmt.Println("boards:")
+	for _, b := range m.Boards {
+		line := fmt.Sprintf("  board %-2d %-9s %2d used / %2d free", b.Board, b.Health, b.UsedBlocks, b.FreeBlocks)
+		if len(b.Apps) > 0 {
+			line += "  apps: "
+			for i, a := range b.Apps {
+				if i > 0 {
+					line += ","
+				}
+				line += a
+			}
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Println("latency (count, p50/p90/p99 ms):")
+	ops := make([]string, 0, len(m.Latency))
+	for op := range m.Latency {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		s := m.Latency[op]
+		if s.Count == 0 {
+			fmt.Printf("  %-9s -\n", op)
+			continue
+		}
+		fmt.Printf("  %-9s %4d  %.3f / %.3f / %.3f\n", op, s.Count, 1000*s.P50, 1000*s.P90, 1000*s.P99)
+	}
+
+	fmt.Println("events:")
+	kinds := make([]string, 0, len(m.Events))
+	for k := range m.Events {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-9s %d\n", k, m.Events[sched.EventKind(k)])
+	}
+}
+
+// printTrace fetches the app's most recent trace and prints its span tree
+// (indentation shows parent/child, durations show the Fig. 8 breakdown).
+func printTrace(addr, app string) {
+	var list struct {
+		Traces []telemetry.TraceSummary `json:"traces"`
+	}
+	getJSON(addr+"/traces?max=1&app="+url.QueryEscape(app), &list)
+	if len(list.Traces) == 0 {
+		log.Fatalf("vitalctl: no recent trace for %q (retention is the %d most recent traces)", app, telemetry.DefaultTraceLimit)
+	}
+	var td telemetry.TraceData
+	getJSON(addr+"/trace/"+url.PathEscape(list.Traces[0].ID), &td)
+	fmt.Print(td.Tree())
 }
 
 func dump(resp *http.Response) {

@@ -17,6 +17,7 @@ import (
 
 	"vital/internal/core"
 	"vital/internal/sched"
+	"vital/internal/telemetry"
 	"vital/internal/workload"
 )
 
@@ -59,5 +60,9 @@ func main() {
 		}
 	}
 	log.Printf("system controller listening on %s", *listen)
-	log.Fatal(http.ListenAndServe(*listen, core.NewStackHandler(stack)))
+	// Access-logged handler: every request logs method, path, status, bytes
+	// and latency; per-route latency histograms land in the registry and
+	// are scraped via GET /metrics?format=prometheus.
+	handler := telemetry.AccessLog(log.Printf, core.NewStackHandler(stack))
+	log.Fatal(http.ListenAndServe(*listen, handler))
 }

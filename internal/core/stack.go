@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"vital/internal/bitstream"
@@ -19,6 +20,7 @@ import (
 	"vital/internal/partition"
 	"vital/internal/pnr"
 	"vital/internal/sched"
+	"vital/internal/telemetry"
 )
 
 // Stack is one ViTAL installation over an FPGA cluster.
@@ -173,8 +175,31 @@ func (s *Stack) Compile(d *hls.Design) (*CompiledApp, error) {
 // cluster has seen — many tenants deploying the same accelerator under
 // different names — skips the whole flow, synthesis included: a hash, a
 // lookup, and a rebranding clone of the cached artifacts.
-func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts CompileOptions) (*CompiledApp, error) {
+// Every compile runs under a root "compile" span in the controller's
+// tracer, with one child span per Fig. 5 stage and one per block inside
+// the parallel stages, so a retrieved trace reproduces the Fig. 8
+// breakdown and shows the fan-out shape of steps 4 and 5. Wall time lands
+// in the vital_compile_seconds{cache=hit|miss} histogram and per-stage
+// wall time in vital_compile_stage_seconds{stage=...}.
+func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts CompileOptions) (out *CompiledApp, err error) {
 	wallStart := time.Now()
+	sp := s.Controller.Tracer.Start("compile",
+		telemetry.String("app", d.Name),
+		telemetry.Int("workers", opts.Workers))
+	defer func() {
+		result := "miss"
+		if out != nil && out.CacheHit {
+			result = "hit"
+		}
+		sp.SetAttr("cache", result)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		s.Controller.Reg.Histogram("vital_compile_seconds",
+			"End-to-end compile wall time by cache outcome.", nil,
+			telemetry.L("cache", result)).ObserveSince(wallStart)
+	}()
 	app := &CompiledApp{Name: d.Name}
 
 	cache := s.Controller.Cache
@@ -183,17 +208,26 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 	if useCache {
 		// Fast path: a design structurally identical to one already
 		// compiled resolves to its compile key before synthesis runs.
+		csp := sp.Child("cache.lookup", telemetry.String("key", "design"))
 		dkey = s.designKey(d)
-		if key, ok := cache.Resolve(dkey); ok {
-			if v, ok := cache.Get(key); ok {
-				return s.serveCacheHit(v.(*CompiledApp), d.Name, wallStart)
-			}
+		key, ok := cache.Resolve(dkey)
+		var v interface{}
+		if ok {
+			v, ok = cache.Get(key)
+		}
+		csp.SetAttr("hit", strconv.FormatBool(ok))
+		csp.End()
+		if ok {
+			return s.serveCacheHit(v.(*CompiledApp), d.Name, wallStart)
 		}
 	}
 
 	// Step 1 — synthesis (reused commercial front end).
 	t0 := time.Now()
+	ssp := sp.Child("synthesis")
 	synth, err := hls.Synthesize(d)
+	ssp.End()
+	s.stageHist("synthesis").ObserveSince(t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: synthesis of %s: %w", d.Name, err)
 	}
@@ -203,7 +237,11 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 	var key bitstream.CacheKey
 	if useCache {
 		key = bitstream.CompileKey(app.Netlist, s.BlockCapacity, partitionSeed, s.MaxBlocksPerApp, s.Grid.Shape)
-		if v, ok := cache.Get(key); ok {
+		csp := sp.Child("cache.lookup", telemetry.String("key", "netlist"))
+		v, ok := cache.Get(key)
+		csp.SetAttr("hit", strconv.FormatBool(ok))
+		csp.End()
+		if ok {
 			// Different design structure, same netlist: remember the new
 			// alias so the next compile of this design skips synthesis.
 			cache.AddAlias(dkey, key)
@@ -219,10 +257,13 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 
 	// Step 2 — partition (custom tool, Section 4).
 	t0 = time.Now()
+	ssp = sp.Child("partition")
 	part, err := partition.Auto(app.Netlist, partition.Config{
 		BlockCapacity: s.BlockCapacity,
 		Seed:          partitionSeed,
 	}, s.MaxBlocksPerApp)
+	ssp.End()
+	s.stageHist("partition").ObserveSince(t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning %s: %w", d.Name, err)
 	}
@@ -231,15 +272,24 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 
 	// Step 3 — latency-insensitive interface generation (custom tool).
 	t0 = time.Now()
+	ssp = sp.Child("interface_gen")
 	app.Channels = generateInterface(app.Netlist, part)
+	ssp.End()
+	s.stageHist("interface_gen").ObserveSince(t0)
 	app.Times.InterfaceGen = time.Since(t0)
 
 	// Step 4 — local place-and-route (reused commercial back end), in
 	// parallel across virtual blocks. The stage time is the summed
 	// per-block tool time, so the Fig. 8 breakdown does not depend on the
-	// worker count.
-	blocks, err := pnr.LocalPlaceAndRouteOpts(ctx, app.Netlist, part.CellBlock, part.NumBlocks, s.Grid,
+	// worker count. The stage span carries one pnr.block child per virtual
+	// block (opened by the workers via the span-carrying context).
+	t0 = time.Now()
+	ssp = sp.Child("local_pnr", telemetry.Int("blocks", part.NumBlocks))
+	blocks, err := pnr.LocalPlaceAndRouteOpts(telemetry.ContextWithSpan(ctx, ssp),
+		app.Netlist, part.CellBlock, part.NumBlocks, s.Grid,
 		pnr.LocalPNROptions{Workers: opts.Workers})
+	ssp.End()
+	s.stageHist("local_pnr").ObserveSince(t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: local P&R of %s: %w", d.Name, err)
 	}
@@ -260,7 +310,11 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 	probe := device.Blocks()[device.NumBlocks()-1]
 	app.Bitstreams = make([]*bitstream.Bitstream, len(blocks))
 	relocElapsed := make([]time.Duration, len(blocks))
-	err = pnr.ParallelBlocks(ctx, len(blocks), opts.Workers, func(_ context.Context, i int) error {
+	t0 = time.Now()
+	ssp = sp.Child("relocation", telemetry.Int("blocks", len(blocks)))
+	err = pnr.ParallelBlocks(telemetry.ContextWithSpan(ctx, ssp), len(blocks), opts.Workers, func(ctx context.Context, i int) error {
+		bsp := telemetry.StartChild(ctx, "relocate.block", telemetry.Int("block", i))
+		defer bsp.End()
 		start := time.Now()
 		img := bitstream.FromPlacement(d.Name, i, blocks[i].Placement, fpga.BlockRef{})
 		// Exercise a relocation round trip, as the flow does to validate
@@ -276,6 +330,8 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 		relocElapsed[i] = time.Since(start)
 		return nil
 	})
+	ssp.End()
+	s.stageHist("relocation").ObserveSince(t0)
 	if err != nil {
 		return nil, err
 	}
@@ -285,10 +341,15 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 
 	// Step 6 — global place-and-route (reused commercial back end).
 	t0 = time.Now()
+	ssp = sp.Child("global_pnr")
 	app.Global = pnr.GlobalPlaceAndRoute(app.Netlist, part.CellBlock, part.NumBlocks)
+	ssp.End()
+	s.stageHist("global_pnr").ObserveSince(t0)
 	app.Times.GlobalPNR = time.Since(t0)
 
+	ssp = sp.Child("store")
 	if err := s.Controller.Bitstreams.Store(d.Name, app.Bitstreams); err != nil {
+		ssp.End()
 		return nil, fmt.Errorf("core: storing bitstreams of %s: %w", d.Name, err)
 	}
 	if useCache {
@@ -297,8 +358,17 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 		cache.Put(key, app.cloneFor(app.Name))
 		cache.AddAlias(dkey, key)
 	}
+	ssp.End()
 	app.Wall = time.Since(wallStart)
 	return app, nil
+}
+
+// stageHist returns the per-stage compile-time histogram — the Fig. 8
+// breakdown as a live metric.
+func (s *Stack) stageHist(stage string) *telemetry.Histogram {
+	return s.Controller.Reg.Histogram("vital_compile_stage_seconds",
+		"Per-stage compile wall time (Fig. 8 breakdown).", nil,
+		telemetry.L("stage", stage))
 }
 
 // serveCacheHit turns a cache entry into this tenant's compiled app: a

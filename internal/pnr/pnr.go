@@ -7,6 +7,7 @@ import (
 
 	"vital/internal/fpga"
 	"vital/internal/netlist"
+	"vital/internal/telemetry"
 )
 
 // BlockResult is the local place-and-route outcome for one virtual block
@@ -62,7 +63,12 @@ func LocalPlaceAndRouteOpts(ctx context.Context, n *netlist.Netlist, cellBlock [
 	// all workers).
 	adj := n.Adjacency(packMaxFanout)
 	results := make([]*BlockResult, numBlocks)
-	err := ParallelBlocks(ctx, numBlocks, opts.Workers, func(_ context.Context, b int) error {
+	// Each block opens a child span under the caller's stage span (if any):
+	// with workers the trace shows the fan-out/fan-in shape, since sibling
+	// spans overlap in time.
+	err := ParallelBlocks(ctx, numBlocks, opts.Workers, func(ctx context.Context, b int) error {
+		sp := telemetry.StartChild(ctx, "pnr.block", telemetry.Int("block", b))
+		defer sp.End()
 		start := time.Now()
 		placement, err := PlaceBlockAdj(n, perBlock[b], grid, adj)
 		if err != nil {

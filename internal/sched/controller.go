@@ -9,6 +9,7 @@ import (
 	"vital/internal/bitstream"
 	"vital/internal/cluster"
 	"vital/internal/memvirt"
+	"vital/internal/telemetry"
 	"vital/internal/verify"
 )
 
@@ -24,11 +25,17 @@ type Controller struct {
 	// the core stack consults it before running the expensive compile
 	// steps, so many tenants deploying the same design compile once.
 	Cache *bitstream.CompileCache
-	// log and opts are set once at construction (log is internally
-	// synchronized), so they live above mu (fields below mu are guarded by
-	// it — see lockcheck).
+	// Reg is the controller's metrics registry and Tracer its span
+	// recorder (the daemon runs one controller, so these are process-wide
+	// in practice). The compilation layer and the HTTP layer share them.
+	Reg    *telemetry.Registry
+	Tracer *telemetry.Tracer
+	// log, opts and lat are set once at construction (log is internally
+	// synchronized, lat's histograms are atomic), so they live above mu
+	// (fields below mu are guarded by it — see lockcheck).
 	log  *eventLog
 	opts Options
+	lat  opLatencies
 
 	mu       sync.Mutex
 	deployed map[string]*Deployment
@@ -73,15 +80,19 @@ func NewController(c *cluster.Cluster) *Controller {
 
 // NewControllerWithOptions assembles a controller with explicit options.
 func NewControllerWithOptions(c *cluster.Cluster, opts Options) *Controller {
-	return &Controller{
+	ct := &Controller{
 		Cluster:    c,
 		DB:         NewResourceDB(c),
 		Bitstreams: bitstream.NewDatabase(),
 		Cache:      bitstream.NewCompileCache(),
+		Reg:        telemetry.NewRegistry(),
+		Tracer:     telemetry.NewTracer(0),
 		deployed:   map[string]*Deployment{},
 		log:        newEventLog(),
 		opts:       opts,
 	}
+	ct.registerTelemetry()
+	return ct
 }
 
 // CacheStats snapshots the compile cache's hit/miss counters.
@@ -103,54 +114,76 @@ func (d *Deployment) clone() *Deployment {
 // virtual block's bitstream to its physical block, claims the blocks, and
 // creates the app's memory domain and virtual NIC. memQuota is the app's
 // DRAM quota on its primary board.
-func (ct *Controller) Deploy(app string, memQuota uint64) (*Deployment, error) {
+//
+// The operation is traced (root span "deploy", one child per phase) and
+// its latency recorded in the vital_deploy_seconds histogram — the Fig. 9
+// ms-scale deployment claim, observable per deploy rather than on average.
+func (ct *Controller) Deploy(app string, memQuota uint64) (dep *Deployment, err error) {
+	sp := ct.Tracer.Start("deploy", telemetry.String("app", app))
+	start := time.Now()
+	defer func() {
+		finishSpan(sp, err)
+		ct.lat.deploy.ObserveSince(start)
+	}()
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	if _, exists := ct.deployed[app]; exists {
 		return nil, fmt.Errorf("sched: %q: %w", app, ErrAlreadyDeployed)
 	}
+	lsp := sp.Child("bitstream.lookup")
 	images, ok := ct.Bitstreams.Lookup(app)
+	lsp.End()
 	if !ok {
 		return nil, fmt.Errorf("sched: no compiled bitstreams for %q", app)
 	}
+	asp := sp.Child("allocate", telemetry.Int("blocks", len(images)))
 	refs, err := Allocate(ct.DB, len(images))
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
 	// Relocate every virtual block's bitstream to its physical block —
 	// no recompilation (Section 3.3, step 5).
+	rsp := sp.Child("relocate")
 	programmed := make([]*bitstream.Bitstream, len(refs))
 	perBoard := map[int]time.Duration{}
 	for i, ref := range refs {
 		moved, err := images[i].Relocate(ref.BlockRef, ct.Cluster.Boards[ref.Board].Device)
 		if err != nil {
+			rsp.End()
 			return nil, fmt.Errorf("sched: relocating vb%d to %v: %w", i, ref, err)
 		}
 		programmed[i] = moved
 		perBoard[ref.Board] += moved.ReconfigTime()
 	}
+	rsp.End()
+	psp := sp.Child("provision")
 	if err := ct.DB.Claim(app, refs); err != nil {
+		psp.End()
 		return nil, err
 	}
 	boards := BoardsOf(refs)
 	primary := ct.Cluster.Boards[boards[0]]
 	if _, err := primary.Mem.CreateDomain(app, memQuota); err != nil {
 		ct.DB.ReleaseApp(app)
+		psp.End()
 		return nil, err
 	}
 	vnic, err := primary.Net.AttachNIC(app)
 	if err != nil {
 		_ = primary.Mem.DestroyDomain(app)
 		ct.DB.ReleaseApp(app)
+		psp.End()
 		return nil, err
 	}
+	psp.End()
 	var reconfig time.Duration
 	for _, d := range perBoard {
 		if d > reconfig {
 			reconfig = d
 		}
 	}
-	dep := &Deployment{
+	dep = &Deployment{
 		App:          app,
 		Blocks:       refs,
 		Programmed:   programmed,
@@ -162,7 +195,10 @@ func (ct *Controller) Deploy(app string, memQuota uint64) (*Deployment, error) {
 	}
 	ct.deployed[app] = dep
 	if ct.opts.VerifyOnDeploy {
-		if rep := ct.verifyLocked(); !rep.OK() {
+		vsp := sp.Child("verify")
+		rep := ct.verifyLocked()
+		vsp.End()
+		if !rep.OK() {
 			// Roll the deployment back: the cluster must never be left in a
 			// state that violates the paper's invariants.
 			delete(ct.deployed, app)
@@ -173,6 +209,8 @@ func (ct *Controller) Deploy(app string, memQuota uint64) (*Deployment, error) {
 		}
 	}
 	ct.log.add(EventDeploy, app, fmt.Sprintf("%d blocks on %v", len(refs), boards))
+	sp.SetAttr("blocks", fmt.Sprint(len(refs)))
+	sp.SetAttr("boards", fmt.Sprint(boards))
 	return dep.clone(), nil
 }
 
@@ -227,7 +265,13 @@ func (ct *Controller) verifyLocked() *verify.Report {
 }
 
 // Undeploy stops an application, releasing blocks, memory and network.
-func (ct *Controller) Undeploy(app string) error {
+func (ct *Controller) Undeploy(app string) (err error) {
+	sp := ct.Tracer.Start("undeploy", telemetry.String("app", app))
+	start := time.Now()
+	defer func() {
+		finishSpan(sp, err)
+		ct.lat.undeploy.ObserveSince(start)
+	}()
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	return ct.undeployLocked(app)
@@ -266,7 +310,14 @@ func (ct *Controller) Deployment(app string) (*Deployment, bool) {
 
 // Relocate moves one virtual block of a running application to a specific
 // free physical block without recompilation (Fig. 10's flexible sharing).
-func (ct *Controller) Relocate(app string, vb int, target cluster.GlobalBlockRef) error {
+func (ct *Controller) Relocate(app string, vb int, target cluster.GlobalBlockRef) (err error) {
+	sp := ct.Tracer.Start("relocate",
+		telemetry.String("app", app), telemetry.Int("vb", vb), telemetry.String("target", target.String()))
+	start := time.Now()
+	defer func() {
+		finishSpan(sp, err)
+		ct.lat.relocate.ObserveSince(start)
+	}()
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	return ct.relocateLocked(app, vb, target)
@@ -328,6 +379,13 @@ type Status struct {
 func (ct *Controller) Status() Status {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
+	return ct.statusLocked()
+}
+
+// statusLocked assembles the occupancy summary; the caller holds ct.mu, so
+// Metrics can combine it with the event counters in one consistent
+// snapshot.
+func (ct *Controller) statusLocked() Status {
 	st := Status{
 		Boards:      len(ct.Cluster.Boards),
 		TotalBlocks: ct.Cluster.TotalBlocks(),

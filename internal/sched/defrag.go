@@ -3,8 +3,11 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"vital/internal/cluster"
+	"vital/internal/telemetry"
 )
 
 // Runtime defragmentation — the "more comprehensive runtime policy" the
@@ -18,7 +21,14 @@ import (
 // other boards (preferring boards that already host the same application,
 // to avoid creating new inter-FPGA edges). It returns the number of blocks
 // moved; it fails without changes if the rest of the cluster lacks room.
-func (ct *Controller) Drain(board int) (int, error) {
+func (ct *Controller) Drain(board int) (moved int, err error) {
+	sp := ct.Tracer.Start("drain", telemetry.Int("board", board))
+	start := time.Now()
+	defer func() {
+		sp.SetAttr("moved", strconv.Itoa(moved))
+		finishSpan(sp, err)
+		ct.lat.drain.ObserveSince(start)
+	}()
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	return ct.drainLocked(board)

@@ -3,6 +3,9 @@ package sched
 import (
 	"sync"
 	"time"
+
+	"vital/internal/bitstream"
+	"vital/internal/telemetry"
 )
 
 // EventKind classifies controller events.
@@ -21,6 +24,11 @@ const (
 	// capacity-insufficient undeploy fallback.
 	EventEvacuate EventKind = "evacuate"
 )
+
+// allEventKinds enumerates every kind for the vital_events_total series.
+var allEventKinds = []EventKind{
+	EventDeploy, EventUndeploy, EventRelocate, EventDrain, EventFault, EventEvacuate,
+}
 
 // Event is one entry of the controller's audit log: cloud operators need
 // to reconstruct who held which physical blocks when.
@@ -114,21 +122,52 @@ func (ct *Controller) EventLimit() int {
 	return ct.log.Limit()
 }
 
-// Metrics summarizes controller activity for monitoring.
+// CacheMetrics is the compile cache's counters as exposed by /metrics.
+type CacheMetrics struct {
+	bitstream.CacheStats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Metrics summarizes controller activity for monitoring: one scrape covers
+// occupancy, per-board health, compile-cache counters, event totals, and
+// the operation latency summaries (p50/p90/p99 from the controller's
+// histograms).
 type Metrics struct {
 	TotalBlocks int                  `json:"total_blocks"`
 	UsedBlocks  int                  `json:"used_blocks"`
 	Deployed    int                  `json:"deployed_apps"`
 	Events      map[EventKind]uint64 `json:"events"`
+	Cache       CacheMetrics         `json:"cache"`
+	// Boards is the per-board health report (health, free/used blocks,
+	// resident apps).
+	Boards []BoardHealthInfo `json:"boards"`
+	// Latency maps operation name → histogram summary, in seconds.
+	Latency map[string]telemetry.HistogramSummary `json:"latency_seconds"`
 }
 
-// Metrics reports occupancy and event counters.
+// Metrics reports occupancy, health, cache and event counters in one
+// consistent snapshot: everything derived from controller state is
+// assembled under a single ct.mu acquisition (every event-log append also
+// happens under ct.mu), so occupancy and event counts cannot tear against
+// a concurrent deploy.
 func (ct *Controller) Metrics() Metrics {
-	st := ct.Status()
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	st := ct.statusLocked()
+	cs := ct.Cache.Stats()
 	return Metrics{
 		TotalBlocks: st.TotalBlocks,
 		UsedBlocks:  st.UsedBlocks,
 		Deployed:    len(st.Apps),
 		Events:      ct.log.Counts(),
+		Cache:       CacheMetrics{CacheStats: cs, HitRate: cs.HitRate()},
+		Boards:      ct.healthLocked().Boards,
+		Latency: map[string]telemetry.HistogramSummary{
+			"deploy":   ct.lat.deploy.Summary(),
+			"undeploy": ct.lat.undeploy.Summary(),
+			"relocate": ct.lat.relocate.Summary(),
+			"drain":    ct.lat.drain.Summary(),
+			"evacuate": ct.lat.evacuate.Summary(),
+		},
 	}
 }

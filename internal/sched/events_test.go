@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEventLogWrapOrdering: once the ring laps its limit, Snapshot still
+// returns the most recent events in chronological order (newest last) —
+// the wrap boundary must not reorder or resurrect overwritten entries.
+func TestEventLogWrapOrdering(t *testing.T) {
+	const limit = 8
+	l := newEventLogWithLimit(limit)
+
+	// Before the first wrap: plain append order.
+	for i := 0; i < limit; i++ {
+		l.add(EventDeploy, fmt.Sprintf("app%d", i), "")
+	}
+	got := l.Snapshot(0)
+	if len(got) != limit {
+		t.Fatalf("pre-wrap len = %d, want %d", len(got), limit)
+	}
+	for i, e := range got {
+		if want := fmt.Sprintf("app%d", i); e.App != want {
+			t.Fatalf("pre-wrap event %d = %s, want %s", i, e.App, want)
+		}
+	}
+
+	// Lap the ring 1.5 times: next has wrapped past zero again.
+	for i := limit; i < limit+limit/2+limit; i++ {
+		l.add(EventDeploy, fmt.Sprintf("app%d", i), "")
+	}
+	total := limit + limit/2 + limit // 20 adds in all
+	got = l.Snapshot(0)
+	if len(got) != limit {
+		t.Fatalf("post-wrap len = %d, want %d", len(got), limit)
+	}
+	for i, e := range got {
+		if want := fmt.Sprintf("app%d", total-limit+i); e.App != want {
+			t.Fatalf("post-wrap event %d = %s, want %s", i, e.App, want)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].At.Before(got[i-1].At) {
+			t.Fatalf("events out of order at %d: %v after %v", i, got[i].At, got[i-1].At)
+		}
+	}
+}
+
+// TestEventLogSnapshotMax: max selects the newest events across the wrap
+// boundary, and values past the retained count clamp instead of
+// over-reading the ring.
+func TestEventLogSnapshotMax(t *testing.T) {
+	const limit = 8
+	l := newEventLogWithLimit(limit)
+	for i := 0; i < limit+3; i++ { // next has lapped to index 3
+		l.add(EventDeploy, fmt.Sprintf("app%d", i), "")
+	}
+
+	got := l.Snapshot(3)
+	if len(got) != 3 {
+		t.Fatalf("max=3 len = %d", len(got))
+	}
+	for i, e := range got {
+		if want := fmt.Sprintf("app%d", limit+i); e.App != want {
+			t.Fatalf("max=3 event %d = %s, want %s", i, e.App, want)
+		}
+	}
+
+	// A max spanning the wrap seam (oldest retained entries live at the end
+	// of the backing array, newest at its start).
+	got = l.Snapshot(limit - 1)
+	if len(got) != limit-1 {
+		t.Fatalf("max=%d len = %d", limit-1, len(got))
+	}
+	if got[0].App != "app4" || got[len(got)-1].App != fmt.Sprintf("app%d", limit+2) {
+		t.Fatalf("seam snapshot = %s..%s", got[0].App, got[len(got)-1].App)
+	}
+
+	// Oversized and zero max both clamp to everything retained.
+	for _, max := range []int{0, limit, limit * 10} {
+		got = l.Snapshot(max)
+		if len(got) != limit {
+			t.Fatalf("max=%d len = %d, want %d", max, len(got), limit)
+		}
+		if got[0].App != "app3" {
+			t.Fatalf("max=%d oldest = %s, want app3", max, got[0].App)
+		}
+	}
+}
+
+// TestEventLogConcurrentCounts: adds from many goroutines with concurrent
+// Snapshot/Counts readers (the -race CI run is the real assertion here)
+// leave exact per-kind totals and a full ring.
+func TestEventLogConcurrentCounts(t *testing.T) {
+	const limit, perKind = 16, 500
+	l := newEventLogWithLimit(limit)
+
+	var wg sync.WaitGroup
+	for _, kind := range allEventKinds {
+		kind := kind
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perKind; i++ {
+				l.add(kind, "app", "detail")
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				l.Snapshot(limit / 2)
+				l.Counts()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	counts := l.Counts()
+	for _, kind := range allEventKinds {
+		if counts[kind] != perKind {
+			t.Fatalf("counts[%s] = %d, want %d", kind, counts[kind], perKind)
+		}
+	}
+	if got := l.Snapshot(0); len(got) != limit {
+		t.Fatalf("post-stress snapshot len = %d, want %d", len(got), limit)
+	}
+}

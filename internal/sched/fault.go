@@ -13,6 +13,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"vital/internal/telemetry"
 )
 
 // Sentinel errors, matched with errors.Is by API layers to pick status
@@ -118,7 +121,10 @@ type Evacuation struct {
 // failed board it is re-created on the board now hosting most of its
 // blocks. When the healthy remainder of the cluster lacks capacity, the
 // application is undeployed and the loss reported (EventEvacuate).
-func (ct *Controller) InjectFault(board int, kind FaultKind) (*Evacuation, error) {
+func (ct *Controller) InjectFault(board int, kind FaultKind) (ev *Evacuation, err error) {
+	sp := ct.Tracer.Start("fault",
+		telemetry.Int("board", board), telemetry.String("kind", string(kind)))
+	defer func() { finishSpan(sp, err) }()
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	health, err := kind.health()
@@ -129,9 +135,14 @@ func (ct *Controller) InjectFault(board int, kind FaultKind) (*Evacuation, error
 		return nil, err
 	}
 	ct.log.add(EventFault, "", fmt.Sprintf("board %d: %s → %s", board, kind, health))
-	ev := &Evacuation{Board: board, Kind: kind, Health: health}
+	ev = &Evacuation{Board: board, Kind: kind, Health: health}
 	if kind == FaultFail {
+		esp := sp.Child("evacuate")
+		start := time.Now()
 		ev.Apps = ct.evacuateLocked(board)
+		esp.SetAttr("apps", strconv.Itoa(len(ev.Apps)))
+		esp.End()
+		ct.lat.evacuate.ObserveSince(start)
 	}
 	return ev, nil
 }
@@ -141,6 +152,12 @@ func (ct *Controller) InjectFault(board int, kind FaultKind) (*Evacuation, error
 func (ct *Controller) Health() *HealthReport {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
+	return ct.healthLocked()
+}
+
+// healthLocked assembles the health report under the caller's ct.mu, so
+// Metrics can fold the per-board view into its consistent snapshot.
+func (ct *Controller) healthLocked() *HealthReport {
 	rep := &HealthReport{AllHealthy: true}
 	residents := make([]map[string]bool, len(ct.Cluster.Boards))
 	for app, dep := range ct.deployed {

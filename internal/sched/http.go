@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+
+	"vital/internal/telemetry"
 )
 
 // defaultMemQuota is applied when a deploy request carries no (or a zero)
@@ -15,10 +17,20 @@ const defaultMemQuota uint64 = 1 << 30
 
 // NewHandler exposes the system controller over HTTP — the API surface a
 // higher-level system (hypervisor, cloud control plane) integrates with
-// (Fig. 6: "exposes APIs for an easy system integration").
+// (Fig. 6: "exposes APIs for an easy system integration"). Every route is
+// instrumented with a per-route latency histogram and per-status request
+// counter (vital_http_request_seconds / vital_http_requests_total).
 //
 //	GET  /status            → cluster occupancy + per-board health
-//	GET  /metrics           → occupancy + event counters
+//	GET  /metrics           → one consistent snapshot: occupancy, per-board
+//	                          health, compile-cache hit/miss counters, event
+//	                          totals, and operation latency summaries
+//	                          (p50/p90/p99). ?format=prometheus switches to
+//	                          the Prometheus text exposition of the full
+//	                          registry (histograms, gauges, counters).
+//	GET  /traces?app=A&max=N → recent trace summaries, newest first,
+//	                          optionally filtered by the root span's app attr
+//	GET  /trace/{id}        → one complete trace (all spans) by ID
 //	GET  /events?max=N      → recent audit log (N clamped to the log limit;
 //	                          negative or non-numeric N is a 400)
 //	GET  /apps              → deployed applications
@@ -36,16 +48,64 @@ const defaultMemQuota uint64 = 1 << 30
 //	                          board returns its evacuation report
 func NewHandler(ct *Controller) http.Handler {
 	mux := http.NewServeMux()
+	// handle registers a route wrapped with the per-route latency histogram
+	// and request counter; the route label is the mux pattern, so
+	// /trace/{id} is one series, not one per trace.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, telemetry.InstrumentRoute(ct.Reg, pattern, h))
+	}
 
-	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ct.Status())
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, ct.Metrics())
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			writeJSON(w, http.StatusOK, ct.Metrics())
+		case "prometheus":
+			w.Header().Set("Content-Type", telemetry.ContentType)
+			_ = ct.Reg.WritePrometheus(w)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad format %q: want json or prometheus", format))
+		}
 	})
 
-	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /traces", func(w http.ResponseWriter, r *http.Request) {
+		max := 50
+		if s := r.URL.Query().Get("max"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q: want a non-negative integer", s))
+				return
+			}
+			max = v
+		}
+		app := r.URL.Query().Get("app")
+		all := ct.Tracer.Recent(0)
+		traces := make([]telemetry.TraceSummary, 0, len(all))
+		for _, ts := range all {
+			if app != "" && ts.Attrs["app"] != app {
+				continue
+			}
+			if max > 0 && len(traces) == max {
+				break
+			}
+			traces = append(traces, ts)
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"traces": traces})
+	})
+
+	handle("GET /trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		td, ok := ct.Tracer.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no trace %q (retention is the %d most recent)", r.PathValue("id"), telemetry.DefaultTraceLimit))
+			return
+		}
+		writeJSON(w, http.StatusOK, td)
+	})
+
+	handle("GET /events", func(w http.ResponseWriter, r *http.Request) {
 		max := 256
 		if s := r.URL.Query().Get("max"); s != "" {
 			v, err := strconv.Atoi(s)
@@ -63,7 +123,7 @@ func NewHandler(ct *Controller) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]interface{}{"events": ct.Events(max), "max": max})
 	})
 
-	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /apps", func(w http.ResponseWriter, r *http.Request) {
 		st := ct.Status()
 		apps := make([]string, 0, len(st.Apps))
 		for a := range st.Apps {
@@ -73,11 +133,11 @@ func NewHandler(ct *Controller) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]interface{}{"apps": apps})
 	})
 
-	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ct.Health())
 	})
 
-	mux.HandleFunc("GET /cache", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /cache", func(w http.ResponseWriter, r *http.Request) {
 		st := ct.CacheStats()
 		writeJSON(w, http.StatusOK, map[string]interface{}{
 			"hits":     st.Hits,
@@ -87,7 +147,7 @@ func NewHandler(ct *Controller) http.Handler {
 		})
 	})
 
-	mux.HandleFunc("GET /verify", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /verify", func(w http.ResponseWriter, r *http.Request) {
 		rep := ct.Verify()
 		code := http.StatusOK
 		if !rep.OK() {
@@ -103,7 +163,7 @@ func NewHandler(ct *Controller) http.Handler {
 		App           string `json:"app"`
 		MemQuotaBytes uint64 `json:"mem_quota_bytes"`
 	}
-	mux.HandleFunc("POST /deploy", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /deploy", func(w http.ResponseWriter, r *http.Request) {
 		var req deployReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
@@ -146,7 +206,7 @@ func NewHandler(ct *Controller) http.Handler {
 	type undeployReq struct {
 		App string `json:"app"`
 	}
-	mux.HandleFunc("POST /undeploy", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /undeploy", func(w http.ResponseWriter, r *http.Request) {
 		var req undeployReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
@@ -163,7 +223,7 @@ func NewHandler(ct *Controller) http.Handler {
 		Board *int   `json:"board"`
 		Kind  string `json:"kind"`
 	}
-	mux.HandleFunc("POST /fault", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /fault", func(w http.ResponseWriter, r *http.Request) {
 		var req faultReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"strconv"
+
+	"vital/internal/telemetry"
+)
+
+// opLatencies holds the controller's pre-resolved latency histogram
+// handles: resolved once at construction, observed with lock-free atomics
+// on every operation, so instrumentation cannot show up in the deploy or
+// compile benchmarks.
+type opLatencies struct {
+	deploy   *telemetry.Histogram
+	undeploy *telemetry.Histogram
+	relocate *telemetry.Histogram
+	drain    *telemetry.Histogram
+	evacuate *telemetry.Histogram
+}
+
+// healthValue encodes board health for the vital_board_health gauge.
+func healthValue(h BoardHealth) float64 {
+	switch h {
+	case Healthy:
+		return 0
+	case Degraded:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// registerTelemetry resolves the controller's histogram handles and
+// registers its scrape-time gauges and counters: occupancy and health per
+// board, deployed apps, compile-cache hit/miss totals, and per-kind event
+// counters. Scrape-time callbacks read live state (ResourceDB and the
+// event log are internally synchronized; only the deployed map needs
+// ct.mu), so steady-state operations keep no extra bookkeeping.
+func (ct *Controller) registerTelemetry() {
+	r := ct.Reg
+	ct.lat = opLatencies{
+		deploy:   r.Histogram("vital_deploy_seconds", "Deploy latency: allocation, per-block bitstream relocation, claim and protection-domain provisioning.", nil),
+		undeploy: r.Histogram("vital_undeploy_seconds", "Undeploy latency: domain teardown and block release.", nil),
+		relocate: r.Histogram("vital_relocate_seconds", "Single-block runtime relocation latency.", nil),
+		drain:    r.Histogram("vital_drain_seconds", "Board drain latency (defragmentation).", nil),
+		evacuate: r.Histogram("vital_evacuate_seconds", "Failed-board evacuation latency (all resident apps).", nil),
+	}
+	r.GaugeFunc("vital_deployed_apps", "Applications currently deployed.", func() float64 {
+		ct.mu.Lock()
+		defer ct.mu.Unlock()
+		return float64(len(ct.deployed))
+	})
+	r.GaugeFunc("vital_total_blocks", "Physical blocks in the cluster.", func() float64 {
+		return float64(ct.Cluster.TotalBlocks())
+	})
+	r.GaugeFunc("vital_used_blocks", "Physical blocks claimed by deployments.", func() float64 {
+		return float64(ct.DB.UsedBlocks())
+	})
+	for b := range ct.Cluster.Boards {
+		b := b
+		lbl := telemetry.L("board", strconv.Itoa(b))
+		r.GaugeFunc("vital_board_used_blocks", "Blocks in use, per board.", func() float64 {
+			return float64(ct.DB.UsedOnBoard(b))
+		}, lbl)
+		r.GaugeFunc("vital_board_free_blocks", "Allocatable free blocks, per board (0 when the board is not healthy).", func() float64 {
+			return float64(len(ct.DB.FreeOnBoard(b)))
+		}, lbl)
+		r.GaugeFunc("vital_board_health", "Board health: 0 healthy, 1 degraded, 2 failed.", func() float64 {
+			return healthValue(ct.DB.Health(b))
+		}, lbl)
+	}
+	r.CounterFunc("vital_cache_hits_total", "Compile-cache hits.", func() float64 {
+		return float64(ct.Cache.Stats().Hits)
+	})
+	r.CounterFunc("vital_cache_misses_total", "Compile-cache misses.", func() float64 {
+		return float64(ct.Cache.Stats().Misses)
+	})
+	r.GaugeFunc("vital_cache_entries", "Compile-cache entries resident.", func() float64 {
+		return float64(ct.Cache.Stats().Entries)
+	})
+	for _, k := range allEventKinds {
+		k := k
+		r.CounterFunc("vital_events_total", "Controller audit-log events by kind.", func() float64 {
+			return float64(ct.log.Counts()[k])
+		}, telemetry.L("kind", string(k)))
+	}
+}
+
+// finishSpan annotates a span with the operation's error, if any, and ends
+// it — the shared tail of every instrumented controller operation.
+func finishSpan(sp *telemetry.Span, err error) {
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+}

@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"vital/internal/telemetry"
+)
+
+// TestHTTPPrometheusMetrics: ?format=prometheus switches /metrics to the
+// text exposition, which must parse under the strict validator and carry
+// the operation histograms; an unknown format is a 400.
+func TestHTTPPrometheusMetrics(t *testing.T) {
+	_, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus scrape status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("content type = %q, want %q", ct, telemetry.ContentType)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateExposition(expo); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, expo)
+	}
+	for _, want := range []string{
+		"vital_deploy_seconds_bucket",
+		"vital_deploy_seconds_sum",
+		"vital_deployed_apps 1",
+		"vital_board_health",
+		"vital_cache_hits_total",
+		`vital_http_requests_total{code="200",route="POST /deploy"}`,
+	} {
+		if !bytes.Contains(expo, []byte(want)) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	bad, err := http.Get(srv.URL + "/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format status = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestHTTPMetricsJSONExtended: the JSON /metrics payload now folds in the
+// compile-cache counters, the per-board health report and the operation
+// latency summaries alongside the original occupancy and event counts.
+func TestHTTPMetricsJSONExtended(t *testing.T) {
+	_, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Deployed != 1 || m.UsedBlocks != 1 {
+		t.Fatalf("occupancy = %+v", m)
+	}
+	if len(m.Boards) != 4 {
+		t.Fatalf("%d boards in metrics, want 4", len(m.Boards))
+	}
+	used := 0
+	for _, b := range m.Boards {
+		used += b.UsedBlocks
+	}
+	if used != m.UsedBlocks {
+		t.Fatalf("per-board used sums to %d, cluster says %d", used, m.UsedBlocks)
+	}
+	dep, ok := m.Latency["deploy"]
+	if !ok || dep.Count != 1 || dep.Sum <= 0 {
+		t.Fatalf("deploy latency summary = %+v", dep)
+	}
+	for _, op := range []string{"undeploy", "relocate", "drain", "evacuate"} {
+		s, ok := m.Latency[op]
+		if !ok {
+			t.Fatalf("latency summary missing %q", op)
+		}
+		if s.Count != 0 {
+			t.Fatalf("%s count = %d before any %s", op, s.Count, op)
+		}
+	}
+	// Cache counters ride along (zero here: bitstreams were stored
+	// directly, no compile ran).
+	if m.Cache.Hits != 0 || m.Cache.Misses != 0 || m.Cache.HitRate != 0 {
+		t.Fatalf("cache metrics = %+v", m.Cache)
+	}
+}
+
+// TestHTTPTraces: controller operations leave retrievable traces — /traces
+// lists them newest first with app filtering, /trace/{id} returns the span
+// payload, and bad inputs get 400/404.
+func TestHTTPTraces(t *testing.T) {
+	_, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"})
+	postJSON(t, srv.URL+"/undeploy", map[string]string{"app": "app1"})
+
+	fetch := func(q string) []telemetry.TraceSummary {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/traces" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traces%s status = %d", q, resp.StatusCode)
+		}
+		var out struct {
+			Traces []telemetry.TraceSummary `json:"traces"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Traces
+	}
+
+	all := fetch("")
+	if len(all) != 2 {
+		t.Fatalf("%d traces, want deploy+undeploy", len(all))
+	}
+	// Newest first: the undeploy finished last.
+	if all[0].Name != "undeploy" || all[1].Name != "deploy" {
+		t.Fatalf("trace order = %s, %s", all[0].Name, all[1].Name)
+	}
+	if got := fetch("?app=app1"); len(got) != 2 {
+		t.Fatalf("app filter kept %d traces, want 2", len(got))
+	}
+	if got := fetch("?app=ghost"); len(got) != 0 {
+		t.Fatalf("ghost filter kept %d traces, want 0", len(got))
+	}
+	if got := fetch("?max=1"); len(got) != 1 || got[0].Name != "undeploy" {
+		t.Fatalf("max=1 = %+v", got)
+	}
+
+	resp, err := http.Get(srv.URL + "/traces?max=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative max status = %d, want 400", resp.StatusCode)
+	}
+
+	// Full trace payload: the deploy trace carries its child spans.
+	var deployID string
+	for _, ts := range all {
+		if ts.Name == "deploy" {
+			deployID = ts.ID
+		}
+	}
+	resp, err = http.Get(srv.URL + "/trace/" + deployID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status = %d", resp.StatusCode)
+	}
+	var td telemetry.TraceData
+	if err := json.NewDecoder(resp.Body).Decode(&td); err != nil {
+		t.Fatal(err)
+	}
+	if td.ID != deployID || td.Attrs["app"] != "app1" || len(td.AllSpans) < 3 {
+		t.Fatalf("deploy trace = %+v", td.TraceSummary)
+	}
+	names := map[string]bool{}
+	for _, sp := range td.AllSpans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"deploy", "allocate", "provision"} {
+		if !names[want] {
+			t.Fatalf("deploy trace missing %q span (have %v)", want, names)
+		}
+	}
+
+	missing, err := http.Get(srv.URL + "/trace/ffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", missing.StatusCode)
+	}
+}

@@ -1,0 +1,29 @@
+// Package telemetry is the repo's stdlib-only observability layer: the
+// instrumentation the ROADMAP's "production-scale system" needs to answer
+// latency questions the paper's evaluation asks in aggregate — "what is p99
+// deploy latency?" (Fig. 9 is a deployment-latency figure), "where did this
+// one slow compile spend its time?" (Fig. 8 is a compile-time breakdown).
+//
+// It has three parts:
+//
+//   - Metrics: a Registry of named counters, gauges and fixed-bucket latency
+//     histograms (with p50/p90/p99 summaries). Handles are resolved once and
+//     then updated with atomic operations, so instrumenting a hot path costs
+//     nanoseconds, and scrape-time callbacks (GaugeFunc/CounterFunc) read
+//     live state without per-operation bookkeeping.
+//
+//   - Tracing: a Tracer records lightweight spans (parent/child, per-span
+//     attrs) into a bounded in-memory ring of recent traces. A nil *Span is
+//     a valid no-op receiver, so call sites need no "is tracing on" guards,
+//     and spans propagate through context so parallel workers (the per-block
+//     P&R pool) attach their fan-out spans to the right parent.
+//
+//   - Exposition: WritePrometheus renders the registry in the Prometheus
+//     text format (version 0.0.4) and ValidateExposition is a strict parser
+//     for it — the golden-file CI test and the obssmoke target both use it,
+//     so a malformed metric name or a non-monotone histogram fails the
+//     build, not the operator's scrape.
+//
+// The registry is per-controller; the daemon runs one controller, which
+// makes it process-wide in practice while keeping tests isolated.
+package telemetry

@@ -1,0 +1,409 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text format:
+// families sorted by name, each preceded by its # HELP / # TYPE pair,
+// histograms as cumulative _bucket{le=...} series plus _sum and _count.
+// Scrape-time callbacks (GaugeFunc/CounterFunc) are evaluated here.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fams, sigs := r.collect()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, sig := range sigs[f.name] {
+			s := f.series[sig]
+			switch {
+			case s.hist != nil:
+				writeHistogram(bw, f.name, s)
+			case s.fn != nil:
+				writeSample(bw, f.name, s.labels, nil, s.fn())
+			case s.counter != nil:
+				writeSample(bw, f.name, s.labels, nil, float64(s.counter.Value()))
+			case s.gauge != nil:
+				writeSample(bw, f.name, s.labels, nil, s.gauge.Value())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, name string, s *series) {
+	cum, count, sum := s.hist.snapshot()
+	for i, upper := range s.hist.uppers {
+		writeSample(w, name+"_bucket", s.labels, &Label{Key: "le", Value: formatFloat(upper)}, float64(cum[i]))
+	}
+	writeSample(w, name+"_bucket", s.labels, &Label{Key: "le", Value: "+Inf"}, float64(cum[len(cum)-1]))
+	writeSample(w, name+"_sum", s.labels, nil, sum)
+	writeSample(w, name+"_count", s.labels, nil, float64(count))
+}
+
+// writeSample emits one `name{labels} value` line. extra (the histogram le
+// label) is appended after the series labels.
+func writeSample(w io.Writer, name string, labels []Label, extra *Label, value float64) {
+	ls := labels
+	if extra != nil {
+		ls = append(append(make([]Label, 0, len(labels)+1), labels...), *extra)
+	}
+	if len(ls) == 0 {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(value))
+		return
+	}
+	sorted := append([]Label(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	parts := make([]string, len(sorted))
+	for i, l := range sorted {
+		parts[i] = l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, strings.Join(parts, ","), formatFloat(value))
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the text format: exactly \\, \"
+// and \n — Go's %q would also emit escapes (\t, \x..) the format does not
+// define, so the quoting is done by hand.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ValidateExposition is a strict parser for the Prometheus text format:
+// the golden-file CI test and `make obssmoke` run every scrape through it
+// so syntax drift (bad metric names, unescaped labels, non-monotone
+// histogram buckets, missing HELP/TYPE pairs) fails the build. It checks:
+//
+//   - comment lines are well-formed # HELP / # TYPE with valid names;
+//   - every family has at most one TYPE, declared before its samples, and
+//     HELP and TYPE come in pairs;
+//   - sample lines parse (name, optional {labels}, float value) with valid
+//     metric and label names;
+//   - histogram families have _bucket series with cumulative counts that
+//     are monotone non-decreasing in le, a final le="+Inf" bucket equal to
+//     _count, and a _sum sample.
+func ValidateExposition(data []byte) error {
+	v := &expValidator{
+		typed:  map[string]MetricType{},
+		helped: map[string]bool{},
+		hists:  map[string]*histCheck{},
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if err := v.line(line); err != nil {
+			return fmt.Errorf("telemetry: exposition line %d: %w", i+1, err)
+		}
+	}
+	return v.finish()
+}
+
+type histCheck struct {
+	// buckets holds (le, cumulative count) per label signature, in
+	// appearance order.
+	buckets map[string][]bucketSample
+	counts  map[string]float64
+	sums    map[string]bool
+}
+
+type bucketSample struct {
+	le  float64
+	cum float64
+}
+
+type expValidator struct {
+	typed  map[string]MetricType
+	helped map[string]bool
+	hists  map[string]*histCheck
+}
+
+func (v *expValidator) line(line string) error {
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return v.comment(line)
+	}
+	return v.sample(line)
+}
+
+func (v *expValidator) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	kind, name := fields[1], fields[2]
+	switch kind {
+	case "HELP":
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if v.helped[name] {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		v.helped[name] = true
+	case "TYPE":
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line for %q missing a type", name)
+		}
+		switch MetricType(fields[3]) {
+		case TypeCounter, TypeGauge, TypeHistogram:
+		default:
+			return fmt.Errorf("unknown TYPE %q for %q", fields[3], name)
+		}
+		// A TYPE arriving after its family's samples is also caught here:
+		// samples without a preceding TYPE are rejected outright, so a
+		// late TYPE can only be a duplicate.
+		if _, dup := v.typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		v.typed[name] = MetricType(fields[3])
+	default:
+		// Other comments are legal and ignored.
+	}
+	return nil
+}
+
+func (v *expValidator) sample(line string) error {
+	name, rest, err := splitName(line)
+	if err != nil {
+		return err
+	}
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		if labels, rest, err = parseLabels(rest); err != nil {
+			return err
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	// A trailing timestamp is legal; the value is the first field.
+	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		valStr = valStr[:i]
+	}
+	value, err := parseValue(valStr)
+	if err != nil {
+		return fmt.Errorf("sample %q: %w", line, err)
+	}
+	base := histBase(name, v.typed)
+	fam := name
+	if base != "" {
+		fam = base
+	}
+	if _, ok := v.typed[fam]; !ok {
+		return fmt.Errorf("sample for %q without a preceding TYPE", name)
+	}
+	if base != "" {
+		v.histSample(base, name, labels, value)
+	}
+	return nil
+}
+
+// histBase maps a histogram's _bucket/_sum/_count sample name back to its
+// family name, if that family was TYPEd histogram.
+func histBase(name string, typed map[string]MetricType) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typed[base] == TypeHistogram {
+			return base
+		}
+	}
+	return ""
+}
+
+func (v *expValidator) histSample(base, name string, labels map[string]string, value float64) {
+	h := v.hists[base]
+	if h == nil {
+		h = &histCheck{buckets: map[string][]bucketSample{}, counts: map[string]float64{}, sums: map[string]bool{}}
+		v.hists[base] = h
+	}
+	le := labels["le"]
+	delete(labels, "le")
+	sig := labelsSig(labels)
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		f := math.Inf(+1)
+		if le != "+Inf" {
+			f, _ = strconv.ParseFloat(le, 64)
+		}
+		h.buckets[sig] = append(h.buckets[sig], bucketSample{le: f, cum: value})
+	case strings.HasSuffix(name, "_count"):
+		h.counts[sig] = value
+	case strings.HasSuffix(name, "_sum"):
+		h.sums[sig] = true
+	}
+}
+
+func (v *expValidator) finish() error {
+	for base, h := range v.hists {
+		for _, sig := range sortedSigs(h.buckets) {
+			bs := h.buckets[sig]
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, +1) {
+				return fmt.Errorf("telemetry: histogram %s{%s}: last bucket le=%v, want +Inf", base, sig, last.le)
+			}
+			for i := 1; i < len(bs); i++ {
+				if bs[i].le <= bs[i-1].le {
+					return fmt.Errorf("telemetry: histogram %s{%s}: le not increasing at %v", base, sig, bs[i].le)
+				}
+				if bs[i].cum < bs[i-1].cum {
+					return fmt.Errorf("telemetry: histogram %s{%s}: cumulative count decreases at le=%v", base, sig, bs[i].le)
+				}
+			}
+			count, ok := h.counts[sig]
+			if !ok {
+				return fmt.Errorf("telemetry: histogram %s{%s}: missing _count", base, sig)
+			}
+			if count != last.cum {
+				return fmt.Errorf("telemetry: histogram %s{%s}: _count %v != +Inf bucket %v", base, sig, count, last.cum)
+			}
+			if !h.sums[sig] {
+				return fmt.Errorf("telemetry: histogram %s{%s}: missing _sum", base, sig)
+			}
+		}
+	}
+	for name := range v.typed {
+		if !v.helped[name] {
+			return fmt.Errorf("telemetry: metric %q has TYPE but no HELP", name)
+		}
+	}
+	for name := range v.helped {
+		if _, ok := v.typed[name]; !ok {
+			return fmt.Errorf("telemetry: metric %q has HELP but no TYPE", name)
+		}
+	}
+	return nil
+}
+
+func sortedSigs(m map[string][]bucketSample) []string {
+	sigs := make([]string, 0, len(m))
+	for sig := range m {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+func labelsSig(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func splitName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !metricNameRe.MatchString(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed labels near %q", s)
+		}
+		key := s[:eq]
+		if !labelNameRe.MatchString(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("unquoted label value near %q", s)
+		}
+		val, rest, err := unquoteLabel(s)
+		if err != nil {
+			return nil, "", err
+		}
+		labels[key] = val
+		s = rest
+	}
+}
+
+// unquoteLabel consumes a quoted label value honoring \\, \" and \n
+// escapes, returning the value and the remaining input.
+func unquoteLabel(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("truncated escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c in %q", s[i], s)
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value in %q", s)
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}

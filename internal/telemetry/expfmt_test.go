@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// goldenRegistry builds a registry with fully deterministic content: fixed
+// counter/gauge values, fixed histogram observations, and a constant
+// scrape-time callback.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("vital_test_deploys_total", "Deployments processed.")
+	c.Add(7)
+	r.Counter("vital_test_evictions_total", "Evictions by reason.", L("reason", "capacity")).Add(2)
+	r.Counter("vital_test_evictions_total", "Evictions by reason.", L("reason", "fault")).Inc()
+	r.Gauge("vital_test_used_blocks", "Blocks in use per board.", L("board", "0")).Set(3)
+	r.Gauge("vital_test_used_blocks", "Blocks in use per board.", L("board", "1")).Set(0)
+	r.GaugeFunc("vital_test_hit_rate", "Cache hit rate.", func() float64 { return 0.75 })
+	h := r.Histogram("vital_test_latency_seconds", "Operation latency.", []float64{0.001, 0.01, 0.1, 1})
+	h.Observe(0.0005)
+	h.Observe(0.003)
+	h.Observe(0.25)
+	// A labeled value that needs escaping in the exposition.
+	r.Gauge("vital_test_escapes", "Label escaping.", L("detail", `quote " slash \ newline`+"\n")).Set(1)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file (re-run with -update after an intentional change)\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestGoldenExpositionValidates(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "exposition.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(want); err != nil {
+		t.Fatalf("golden exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionAcceptsLive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("live exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			name: "bad metric name",
+			in:   "# HELP vital-x bad\n# TYPE vital-x counter\nvital-x 1\n",
+			want: "invalid metric name",
+		},
+		{
+			name: "sample without TYPE",
+			in:   "vital_x_total 1\n",
+			want: "without a preceding TYPE",
+		},
+		{
+			name: "TYPE after samples",
+			in:   "# HELP vital_x x\n# TYPE vital_x counter\nvital_x 1\n# TYPE vital_x counter\n",
+			want: "duplicate TYPE",
+		},
+		{
+			name: "unknown type keyword",
+			in:   "# HELP vital_x x\n# TYPE vital_x summary2\nvital_x 1\n",
+			want: "unknown TYPE",
+		},
+		{
+			name: "TYPE without HELP",
+			in:   "# TYPE vital_x counter\nvital_x 1\n",
+			want: "TYPE but no HELP",
+		},
+		{
+			name: "HELP without TYPE",
+			in:   "# HELP vital_x x\n",
+			want: "HELP but no TYPE",
+		},
+		{
+			name: "bad label name",
+			in:   "# HELP vital_x x\n# TYPE vital_x gauge\nvital_x{0bad=\"v\"} 1\n",
+			want: "invalid label name",
+		},
+		{
+			name: "unquoted label value",
+			in:   "# HELP vital_x x\n# TYPE vital_x gauge\nvital_x{k=v} 1\n",
+			want: "unquoted label value",
+		},
+		{
+			name: "bad value",
+			in:   "# HELP vital_x x\n# TYPE vital_x gauge\nvital_x abc\n",
+			want: "bad value",
+		},
+		{
+			name: "non-monotone histogram buckets",
+			in: "# HELP vital_h h\n# TYPE vital_h histogram\n" +
+				"vital_h_bucket{le=\"0.1\"} 5\nvital_h_bucket{le=\"1\"} 3\nvital_h_bucket{le=\"+Inf\"} 3\n" +
+				"vital_h_sum 1\nvital_h_count 3\n",
+			want: "cumulative count decreases",
+		},
+		{
+			name: "le not increasing",
+			in: "# HELP vital_h h\n# TYPE vital_h histogram\n" +
+				"vital_h_bucket{le=\"1\"} 1\nvital_h_bucket{le=\"0.1\"} 2\nvital_h_bucket{le=\"+Inf\"} 2\n" +
+				"vital_h_sum 1\nvital_h_count 2\n",
+			want: "le not increasing",
+		},
+		{
+			name: "missing +Inf bucket",
+			in: "# HELP vital_h h\n# TYPE vital_h histogram\n" +
+				"vital_h_bucket{le=\"0.1\"} 1\nvital_h_sum 1\nvital_h_count 1\n",
+			want: "want +Inf",
+		},
+		{
+			name: "count disagrees with +Inf",
+			in: "# HELP vital_h h\n# TYPE vital_h histogram\n" +
+				"vital_h_bucket{le=\"+Inf\"} 3\nvital_h_sum 1\nvital_h_count 4\n",
+			want: "_count 4 != +Inf bucket 3",
+		},
+		{
+			name: "missing sum",
+			in: "# HELP vital_h h\n# TYPE vital_h histogram\n" +
+				"vital_h_bucket{le=\"+Inf\"} 1\nvital_h_count 1\n",
+			want: "missing _sum",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateExposition([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("accepted malformed exposition:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateExpositionAcceptsTimestampsAndComments(t *testing.T) {
+	in := "# scraped by test\n# HELP vital_x x\n# TYPE vital_x gauge\nvital_x{k=\"a b\"} 1.5 1700000000000\n"
+	if err := ValidateExposition([]byte(in)); err != nil {
+		t.Fatalf("rejected legal exposition: %v", err)
+	}
+}

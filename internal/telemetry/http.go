@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusRecorder captures the response status and size for the access log
+// and the per-route counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += n
+	return n, err
+}
+
+// AccessLog wraps a handler with an HTTP access log: one line per request
+// (method, path, status, response bytes, latency) through logf — vitald
+// passes log.Printf.
+func AccessLog(logf func(format string, v ...interface{}), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		logf("%s %s %d %dB %v", r.Method, r.URL.RequestURI(), sr.status, sr.bytes, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// InstrumentRoute wraps one route's handler with a per-route latency
+// histogram (vital_http_request_seconds{route=...}) and a per-route,
+// per-status counter (vital_http_requests_total{route=...,code=...}). The
+// route label is the mux pattern, not the raw path, so path parameters
+// (/trace/{id}) don't explode the series cardinality.
+func InstrumentRoute(reg *Registry, route string, next http.Handler) http.Handler {
+	hist := reg.Histogram("vital_http_request_seconds", "HTTP request latency by route.", DefBuckets,
+		L("route", route))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		hist.ObserveSince(start)
+		reg.Counter("vital_http_requests_total", "HTTP requests by route and status code.",
+			L("route", route), L("code", strconv.Itoa(sr.status))).Inc()
+	})
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAccessLog(t *testing.T) {
+	var lines []string
+	logf := func(format string, v ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, v...))
+	}
+	h := AccessLog(logf, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short and stout")
+	}))
+	req := httptest.NewRequest("GET", "/status?max=3", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1", len(lines))
+	}
+	for _, want := range []string{"GET", "/status?max=3", "418", "15B"} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("access log %q missing %q", lines[0], want)
+		}
+	}
+}
+
+func TestAccessLogDefaultsTo200(t *testing.T) {
+	var line string
+	h := AccessLog(func(format string, v ...interface{}) { line = fmt.Sprintf(format, v...) },
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "ok") }))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(line, " 200 ") {
+		t.Fatalf("access log %q missing implicit 200", line)
+	}
+}
+
+func TestInstrumentRoute(t *testing.T) {
+	reg := NewRegistry()
+	ok := InstrumentRoute(reg, "GET /status", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "{}")
+	}))
+	fail := InstrumentRoute(reg, "POST /deploy", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+	}))
+	for i := 0; i < 3; i++ {
+		ok.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/status", nil))
+	}
+	fail.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/deploy", nil))
+
+	if got := reg.Counter("vital_http_requests_total", "", L("route", "GET /status"), L("code", "200")).Value(); got != 3 {
+		t.Fatalf("status route counter = %d, want 3", got)
+	}
+	if got := reg.Counter("vital_http_requests_total", "", L("route", "POST /deploy"), L("code", "409")).Value(); got != 1 {
+		t.Fatalf("deploy route counter = %d, want 1", got)
+	}
+	h := reg.Histogram("vital_http_request_seconds", "", DefBuckets, L("route", "GET /status"))
+	if got := h.Summary().Count; got != 3 {
+		t.Fatalf("route histogram count = %d, want 3", got)
+	}
+
+	// The exposition of the instrumented registry must itself validate.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("instrumented exposition rejected: %v\n%s", err, buf.String())
+	}
+}

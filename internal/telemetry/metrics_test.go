@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vital_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("vital_test_total", "test counter"); again != c {
+		t.Fatalf("second lookup returned a different counter handle")
+	}
+	g := r.Gauge("vital_test_gauge", "test gauge", L("board", "0"))
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	// Distinct labels are distinct series.
+	g1 := r.Gauge("vital_test_gauge", "test gauge", L("board", "1"))
+	if g1 == g {
+		t.Fatalf("distinct labels shared one series")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vital_test_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("vital_test_total", "")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("vital-bad-name", "")
+}
+
+func TestHistogramBucketsAndSummary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vital_test_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	// 100 observations at 5ms: p50/p90/p99 all interpolate inside the
+	// (0.001, 0.01] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if math.Abs(s.Sum-0.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.5", s.Sum)
+	}
+	for _, q := range []float64{s.P50, s.P90, s.P99} {
+		if q <= 0.001 || q > 0.01 {
+			t.Fatalf("quantile %v outside the observed bucket (0.001, 0.01]", q)
+		}
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Fatalf("quantiles not monotone: %v %v %v", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vital_test_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	// 90 fast + 10 slow: p50 in the first bucket, p99 in the slow bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	s := h.Summary()
+	if s.P50 > 0.001 {
+		t.Fatalf("p50 = %v, want <= 0.001", s.P50)
+	}
+	if s.P99 <= 0.01 || s.P99 > 0.1 {
+		t.Fatalf("p99 = %v, want in (0.01, 0.1]", s.P99)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vital_test_seconds", "", []float64{0.001, 0.01})
+	h.Observe(5) // beyond every finite bucket
+	s := h.Summary()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	// The +Inf bucket's best point estimate is the highest finite bound.
+	if s.P99 != 0.01 {
+		t.Fatalf("p99 = %v, want the highest finite bound 0.01", s.P99)
+	}
+}
+
+func TestHistogramEmptySummary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vital_test_seconds", "", nil)
+	s := h.Summary()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty histogram summary not zero: %+v", s)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vital_test_seconds", "", nil)
+	h.ObserveDuration(3 * time.Millisecond)
+	if s := h.Summary(); math.Abs(s.Sum-0.003) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.003", s.Sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vital_test_seconds", "", nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.002)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if math.Abs(s.Sum-workers*per*0.002) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", s.Sum, workers*per*0.002)
+	}
+}
+
+func TestGaugeFuncEvaluatedAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("vital_test_live", "live gauge", func() float64 { return v })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Series[0].Value != 1 {
+		t.Fatalf("snapshot = %+v, want value 1", snap)
+	}
+	v = 7
+	if got := r.Snapshot()[0].Series[0].Value; got != 7 {
+		t.Fatalf("second snapshot = %v, want the live value 7", got)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vital_b_total", "")
+	r.Counter("vital_a_total", "")
+	r.Gauge("vital_c", "", L("board", "1"))
+	r.Gauge("vital_c", "", L("board", "0"))
+	snap := r.Snapshot()
+	if snap[0].Name != "vital_a_total" || snap[1].Name != "vital_b_total" || snap[2].Name != "vital_c" {
+		t.Fatalf("families not sorted: %v %v %v", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if snap[2].Series[0].Labels["board"] != "0" || snap[2].Series[1].Labels["board"] != "1" {
+		t.Fatalf("series not sorted by label signature: %+v", snap[2].Series)
+	}
+}

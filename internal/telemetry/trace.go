@@ -1,0 +1,312 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attr.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attr.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
+
+// SpanData is one finished span of a trace.
+type SpanData struct {
+	ID     int64     `json:"id"`
+	Parent int64     `json:"parent"` // 0 for the root span
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	// Duration marshals as integer nanoseconds.
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceSummary identifies one recent trace without its span payload.
+type TraceSummary struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// Duration marshals as integer nanoseconds.
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Spans    int               `json:"spans"`
+}
+
+// TraceData is one complete trace: the root span's identity plus every
+// finished span, in end order.
+type TraceData struct {
+	TraceSummary
+	AllSpans []SpanData `json:"all_spans"`
+}
+
+// trace accumulates the spans of one in-flight trace. Spans append on End
+// under mu (parallel P&R workers end spans concurrently); when the root
+// ends, the accumulated spans are committed to the tracer's ring.
+type trace struct {
+	id     string
+	tracer *Tracer
+
+	mu       sync.Mutex
+	nextSpan int64
+	spans    []SpanData
+	done     bool
+}
+
+// Span is a live (unfinished) span. A nil *Span is a valid no-op receiver:
+// call sites instrument unconditionally and pay one nil check when tracing
+// is off.
+type Span struct {
+	t      *trace
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+}
+
+// Tracer records completed traces into a bounded ring (oldest evicted
+// first).
+type Tracer struct {
+	mu    sync.Mutex
+	limit int
+	seq   uint64
+	// ring is circular once full; next is the oldest slot.
+	ring []TraceData
+	next int
+}
+
+// DefaultTraceLimit is the number of recent traces a tracer retains.
+const DefaultTraceLimit = 256
+
+// NewTracer returns a tracer retaining up to limit recent traces
+// (limit <= 0 selects DefaultTraceLimit).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Start begins a new trace rooted at a span with the given name. Safe on a
+// nil tracer, which returns a nil (no-op) span.
+func (tr *Tracer) Start(name string, attrs ...Attr) *Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	tr.seq++
+	id := tr.seq
+	tr.mu.Unlock()
+	t := &trace{id: fmt.Sprintf("%08x", id), tracer: tr, nextSpan: 1}
+	return &Span{t: t, id: 1, name: name, start: time.Now(), attrs: attrMap(attrs)}
+}
+
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// TraceID returns the ID of the span's trace ("" on a nil span).
+func (sp *Span) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.t.id
+}
+
+// Child begins a sub-span. Safe on a nil span (returns nil).
+func (sp *Span) Child(name string, attrs ...Attr) *Span {
+	if sp == nil {
+		return nil
+	}
+	t := sp.t
+	t.mu.Lock()
+	t.nextSpan++
+	id := t.nextSpan
+	t.mu.Unlock()
+	return &Span{t: t, id: id, parent: sp.id, name: name, start: time.Now(), attrs: attrMap(attrs)}
+}
+
+// SetAttr annotates the span. Safe on a nil span.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]string, 1)
+	}
+	sp.attrs[key] = value
+	sp.mu.Unlock()
+}
+
+// End finishes the span, recording it into its trace; ending the root span
+// commits the whole trace to the tracer's ring. Safe on a nil span; ending
+// twice records twice (don't).
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	d := time.Since(sp.start)
+	sp.mu.Lock()
+	attrs := sp.attrs
+	sp.attrs = nil
+	sp.mu.Unlock()
+	data := SpanData{ID: sp.id, Parent: sp.parent, Name: sp.name, Start: sp.start, Duration: d, Attrs: attrs}
+	t := sp.t
+	t.mu.Lock()
+	if !t.done {
+		t.spans = append(t.spans, data)
+	}
+	if sp.parent != 0 {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	spans := t.spans
+	t.spans = nil
+	t.mu.Unlock()
+	t.tracer.commit(TraceData{
+		TraceSummary: TraceSummary{
+			ID: t.id, Name: sp.name, Start: sp.start, Duration: d,
+			Attrs: attrs, Spans: len(spans),
+		},
+		AllSpans: spans,
+	})
+}
+
+func (tr *Tracer) commit(td TraceData) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.ring) < tr.limit {
+		tr.ring = append(tr.ring, td)
+		return
+	}
+	tr.ring[tr.next] = td
+	tr.next = (tr.next + 1) % tr.limit
+}
+
+// Get returns a completed trace by ID.
+func (tr *Tracer) Get(id string) (TraceData, bool) {
+	if tr == nil {
+		return TraceData{}, false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for i := range tr.ring {
+		if tr.ring[i].ID == id {
+			return tr.ring[i], true
+		}
+	}
+	return TraceData{}, false
+}
+
+// Recent returns summaries of the most recent completed traces, newest
+// first, at most max (max <= 0 returns everything retained).
+func (tr *Tracer) Recent(max int) []TraceSummary {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := len(tr.ring)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]TraceSummary, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the newest slot (next-1 once wrapped,
+		// len-1 while still growing).
+		idx := (tr.next + len(tr.ring) - 1 - i + len(tr.ring)) % len(tr.ring)
+		out = append(out, tr.ring[idx].TraceSummary)
+	}
+	return out
+}
+
+// ContextWithSpan returns a context carrying the span; workers retrieve it
+// with SpanFromContext (or StartChild) to attach fan-out spans to the right
+// parent across goroutines.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+type spanCtxKey struct{}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartChild begins a child of the context's span (nil, and a no-op, when
+// the context carries none).
+func StartChild(ctx context.Context, name string, attrs ...Attr) *Span {
+	return SpanFromContext(ctx).Child(name, attrs...)
+}
+
+// Tree renders the trace as an indented stage tree — the `vitalctl trace`
+// view. Children sort by start time (then span ID) under their parent, so
+// the serial stages read top to bottom and parallel fan-out spans group
+// under their fan-out parent.
+func (td *TraceData) Tree() string {
+	children := map[int64][]SpanData{}
+	for _, sp := range td.AllSpans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool {
+			if !cs[i].Start.Equal(cs[j].Start) {
+				return cs[i].Start.Before(cs[j].Start)
+			}
+			return cs[i].ID < cs[j].ID
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s (%d spans)\n", td.ID, len(td.AllSpans))
+	var walk func(parent int64, depth int)
+	walk = func(parent int64, depth int) {
+		for _, sp := range children[parent] {
+			b.WriteString(strings.Repeat("  ", depth))
+			fmt.Fprintf(&b, "%s  %s", sp.Name, sp.Duration.Round(time.Microsecond))
+			for _, k := range sortedKeys(sp.Attrs) {
+				fmt.Fprintf(&b, "  %s=%s", k, sp.Attrs[k])
+			}
+			b.WriteByte('\n')
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 1)
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
