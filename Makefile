@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race faultstress lint bench benchsmoke obssmoke clean
+.PHONY: all build test race faultstress lint bench benchsmoke obssmoke alertsmoke clean
 
 all: build lint test
 
@@ -39,7 +39,13 @@ benchsmoke:
 # the Prometheus exposition through the strict validator, and fetch the
 # deploy trace. Exits non-zero on the first broken surface.
 obssmoke:
-	$(GO) run ./cmd/obssmoke
+	$(GO) run ./cmd/obssmoke -phase core
+
+# Alerting smoke: placement-quality report, channel-traffic metrics from a
+# live execution, then a board fault observed end to end — fault,
+# evacuation and firing alert all arriving over the SSE event stream.
+alertsmoke:
+	$(GO) run ./cmd/obssmoke -phase alerts
 
 clean:
 	$(GO) clean ./...

@@ -1,28 +1,42 @@
 // Command obssmoke is the observability smoke test wired into CI (`make
-// obssmoke`): it boots a complete in-process vitald — stack, pre-compiled
-// benchmark, access-logged HTTP handler on an ephemeral port — drives a
-// deploy through the HTTP API, then verifies the three observability
-// surfaces end to end:
+// obssmoke` / `make alertsmoke`): it boots a complete in-process vitald —
+// stack, pre-compiled benchmark, access-logged HTTP handler on an
+// ephemeral port — drives a deploy through the HTTP API, then verifies the
+// observability surfaces end to end.
+//
+// Phase "core" (`make obssmoke`):
 //
 //  1. GET /metrics?format=prometheus parses under the strict exposition
 //     validator and contains the deploy-latency histogram;
 //  2. GET /traces lists the compile and deploy traces;
 //  3. GET /trace/{id} returns the deploy trace with its span tree intact.
 //
+// Phase "alerts" (`make alertsmoke`):
+//
+//  4. GET /placement reports the deployed app's placement quality;
+//  5. an execution populates the channel-traffic series in the exposition;
+//  6. a live SSE client on GET /events/stream observes the fault, the
+//     evacuation and the alert transition triggered by failing the app's
+//     primary board, and GET /alerts reports the board rule firing.
+//
 // It exits non-zero on the first failure, so CI fails loudly.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"vital/internal/core"
+	"vital/internal/sched"
 	"vital/internal/telemetry"
 	"vital/internal/workload"
 )
@@ -30,8 +44,17 @@ import (
 func main() {
 	log.SetPrefix("obssmoke: ")
 	log.SetFlags(0)
+	phase := flag.String("phase", "all", "which assertions to run: all|core|alerts")
+	flag.Parse()
+	if *phase != "all" && *phase != "core" && *phase != "alerts" {
+		log.Fatalf("bad -phase %q: want all, core or alerts", *phase)
+	}
 
-	stack := core.NewStack(nil)
+	// Zero For-duration on the board rule so the alerts phase sees the
+	// firing transition on the first evaluation after the fault.
+	th := sched.DefaultAlertThresholds()
+	th.BoardUnhealthyFor = 0
+	stack := core.NewStackWithOptions(nil, sched.Options{Alerts: &th})
 	spec, err := workload.ParseSpec("lenet-S")
 	if err != nil {
 		log.Fatal(err)
@@ -65,22 +88,20 @@ func main() {
 	}
 	log.Printf("deployed lenet-S")
 
+	if *phase == "all" || *phase == "core" {
+		corePhase(base)
+	}
+	if *phase == "all" || *phase == "alerts" {
+		alertsPhase(base, stack, app)
+	}
+	fmt.Println("obssmoke: PASS")
+}
+
+// corePhase verifies the exposition, trace listing and trace retrieval.
+func corePhase(base string) {
 	// Surface 1: the Prometheus exposition must parse under the strict
 	// validator and carry the deploy-latency histogram.
-	resp, err = http.Get(base + "/metrics?format=prometheus")
-	if err != nil {
-		log.Fatalf("metrics: %v", err)
-	}
-	expo := readAll(resp)
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("metrics: status %d", resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
-		log.Fatalf("metrics: content type %q, want %q", ct, telemetry.ContentType)
-	}
-	if err := telemetry.ValidateExposition(expo); err != nil {
-		log.Fatalf("metrics exposition invalid: %v", err)
-	}
+	expo := fetchExposition(base)
 	for _, want := range []string{
 		"vital_deploy_seconds_bucket",
 		"vital_compile_seconds_bucket",
@@ -122,7 +143,172 @@ func main() {
 		}
 	}
 	log.Printf("deploy trace %s OK (%d spans)", deployID, len(td.AllSpans))
-	fmt.Println("obssmoke: PASS")
+}
+
+// alertsPhase verifies placement scoring, data-plane metrics and the live
+// alert path: SSE stream → board fault → evacuation → firing alert.
+func alertsPhase(base string, stack *core.Stack, app *core.CompiledApp) {
+	// Surface 4: the placement report covers the deployed app.
+	var cp sched.ClusterPlacement
+	getJSON(base+"/placement", &cp)
+	if len(cp.Apps) != 1 || cp.Apps[0].App != "lenet-S" {
+		log.Fatalf("placement report apps = %+v, want [lenet-S]", cp.Apps)
+	}
+	sc := cp.Apps[0]
+	if sc.Quality < 0 || sc.Quality > 1 {
+		log.Fatalf("placement quality %v out of range", sc.Quality)
+	}
+	log.Printf("placement OK: %d edges, %d/%d/%d intra/inter-die/inter-board, quality %.2f",
+		sc.Edges, sc.IntraDie, sc.InterDie, sc.InterBoard, sc.Quality)
+
+	// Surface 5: an execution populates the channel-traffic series.
+	dep, ok := stack.Controller.Deployment("lenet-S")
+	if !ok {
+		log.Fatal("lenet-S vanished between deploy and execute")
+	}
+	primary := dep.Primary
+	stats, err := stack.Execute(app, dep, 64)
+	if err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+	log.Printf("executed lenet-S: %d cycles, %d firings through %d actors",
+		stats.Cycles, stats.Tokens, stats.NumActors)
+
+	// Surface 6: a live SSE subscriber must observe the fault, the
+	// evacuation and the alert transition.
+	events := subscribeSSE(base + "/events/stream?heartbeat=1s")
+	faultResp, err := http.Post(base+"/fault", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"board":%d,"kind":"fail"}`, primary)))
+	if err != nil {
+		log.Fatalf("fault: %v", err)
+	}
+	if raw := readAll(faultResp); faultResp.StatusCode != http.StatusOK {
+		log.Fatalf("fault: status %d: %s", faultResp.StatusCode, raw)
+	}
+	waitEvent(events, sched.EventFault, "")
+	waitEvent(events, sched.EventEvacuate, "")
+	log.Printf("SSE observed fault and evacuation of board %d", primary)
+
+	// GET /alerts evaluates the rules; the zero-For board rule must fire
+	// and its transition must arrive over the same stream.
+	rule := fmt.Sprintf("board_%d_unhealthy", primary)
+	var alerts struct {
+		Alerts []telemetry.AlertStatus `json:"alerts"`
+		Firing int                     `json:"firing"`
+	}
+	getJSON(base+"/alerts", &alerts)
+	found := false
+	for _, a := range alerts.Alerts {
+		if a.Rule == rule && a.State == telemetry.AlertFiring {
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("%s not firing after board %d failed: %+v", rule, primary, alerts.Alerts)
+	}
+	waitEvent(events, sched.EventAlert, rule)
+	log.Printf("alert %s fired and arrived over SSE", rule)
+
+	// The exposition must now carry channel-traffic, placement-quality and
+	// alert-state series, still accepted by the strict validator.
+	expo := fetchExposition(base)
+	for _, want := range []string{
+		"vital_channel_tokens_total",
+		"vital_channel_effective_gbps",
+		"vital_ring_segment_utilization",
+		"vital_placement_quality",
+		"vital_fragmentation_index",
+		"vital_alert_state",
+		"vital_mem_read_bytes_total",
+		"vital_vnic_tx_frames_total",
+	} {
+		if !bytes.Contains(expo, []byte(want)) {
+			log.Fatalf("metrics exposition missing %s", want)
+		}
+	}
+	log.Printf("data-plane exposition OK (%d bytes)", len(expo))
+}
+
+// subscribeSSE connects to the event stream and returns a channel of
+// decoded events. It blocks until the server acknowledges the stream, so
+// events triggered after it returns are guaranteed to be delivered.
+func subscribeSSE(url string) <-chan sched.Event {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("events/stream: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("events/stream: status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			log.Fatalf("events/stream preamble: %v", err)
+		}
+		if strings.HasPrefix(line, ": stream open") {
+			break
+		}
+	}
+	events := make(chan sched.Event, 64)
+	go func() {
+		defer resp.Body.Close()
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				close(events)
+				return
+			}
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev sched.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				log.Fatalf("events/stream: bad frame %q: %v", line, err)
+			}
+			events <- ev
+		}
+	}()
+	return events
+}
+
+// waitEvent consumes the stream until an event of the wanted kind (and
+// app, when non-empty) arrives, failing after a timeout.
+func waitEvent(events <-chan sched.Event, kind sched.EventKind, app string) {
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				log.Fatalf("event stream closed while waiting for %s", kind)
+			}
+			if ev.Kind == kind && (app == "" || ev.App == app) {
+				return
+			}
+		case <-deadline:
+			log.Fatalf("timed out waiting for %s event (app %q)", kind, app)
+		}
+	}
+}
+
+// fetchExposition retrieves and strictly validates the Prometheus text
+// exposition.
+func fetchExposition(base string) []byte {
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	expo := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		log.Fatalf("metrics: content type %q, want %q", ct, telemetry.ContentType)
+	}
+	if err := telemetry.ValidateExposition(expo); err != nil {
+		log.Fatalf("metrics exposition invalid: %v", err)
+	}
+	return expo
 }
 
 func readAll(resp *http.Response) []byte {

@@ -13,6 +13,9 @@
 //	vitalctl verify
 //	vitalctl top                 # formatted cluster dashboard (-watch 2s to repeat)
 //	vitalctl trace lenet-M       # latest compile/deploy trace tree for an app
+//	vitalctl placement           # placement-quality report (-app for one app)
+//	vitalctl alerts              # evaluate and list alert rules
+//	vitalctl watch               # follow the live event stream (-kind fault to filter)
 //
 // Transient failures retry with exponential backoff: connection errors
 // always, 502/503/504 responses only for idempotent (GET) requests — a 503
@@ -21,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -32,6 +36,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"vital/internal/sched"
@@ -47,10 +52,12 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "vitald address")
 	quota := flag.Uint64("mem", 1<<30, "DRAM quota in bytes for deploy")
 	watch := flag.Duration("watch", 0, "for top: refresh interval (0 prints once)")
+	kind := flag.String("kind", "", "for watch: only stream events of this kind (deploy|undeploy|relocate|drain|fault|evacuate|alert)")
+	app := flag.String("app", "", "for placement: score one deployed app instead of the whole cluster")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|trace <app>|deploy <app>|undeploy <app>|fault <board> <degrade|fail|recover>")
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|placement|alerts|watch|trace <app>|deploy <app>|undeploy <app>|fault <board> <degrade|fail|recover>")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -76,6 +83,16 @@ func main() {
 	case "trace":
 		requireArg(args, "trace")
 		printTrace(*addr, args[1])
+	case "placement":
+		if *app != "" {
+			get(*addr + "/placement?app=" + url.QueryEscape(*app))
+		} else {
+			get(*addr + "/placement")
+		}
+	case "alerts":
+		printAlerts(*addr)
+	case "watch":
+		watchEvents(*addr, *kind)
 	case "deploy":
 		requireArg(args, "deploy")
 		post(*addr+"/deploy", map[string]interface{}{"app": args[1], "mem_quota_bytes": *quota})
@@ -218,6 +235,68 @@ func top(addr string) {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		fmt.Printf("  %-9s %d\n", k, m.Events[sched.EventKind(k)])
+	}
+}
+
+// printAlerts evaluates the controller's alert rules (GET /alerts samples
+// every rule) and renders each as one line: state, current value against
+// its condition, and how often it has fired.
+func printAlerts(addr string) {
+	var body struct {
+		Alerts []telemetry.AlertStatus `json:"alerts"`
+		Firing int                     `json:"firing"`
+	}
+	getJSON(addr+"/alerts", &body)
+	fmt.Printf("%d rules, %d firing\n", len(body.Alerts), body.Firing)
+	for _, a := range body.Alerts {
+		line := fmt.Sprintf("  %-8s %-28s %.4g %s %.4g", a.State, a.Rule, a.Value, a.Op, a.Threshold)
+		if a.ForSec > 0 {
+			line += fmt.Sprintf(" for %gs", a.ForSec)
+		}
+		if a.Since != nil {
+			line += "  since " + a.Since.Format(time.RFC3339)
+		}
+		if a.Fired > 0 {
+			line += fmt.Sprintf("  fired %d×", a.Fired)
+		}
+		fmt.Println(line)
+	}
+}
+
+// watchEvents follows GET /events/stream and prints each event as it
+// arrives. It is a minimal SSE consumer: `data:` lines carry the event
+// JSON, comment lines (heartbeats) are skipped. Runs until interrupted or
+// the server closes the stream.
+func watchEvents(addr, kind string) {
+	streamURL := addr + "/events/stream"
+	if kind != "" {
+		streamURL += "?kind=" + url.QueryEscape(kind)
+	}
+	resp := doRetry(true, func() (*http.Response, error) { return http.Get(streamURL) })
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("vitalctl: server answered %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			log.Fatalf("vitalctl: stream closed: %v", err)
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev sched.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			log.Printf("vitalctl: bad event frame: %v", err)
+			continue
+		}
+		out := fmt.Sprintf("%s  %-9s %s", ev.At.Format(time.RFC3339), ev.Kind, ev.App)
+		if ev.Detail != "" {
+			out += "  " + ev.Detail
+		}
+		fmt.Println(out)
 	}
 }
 

@@ -13,7 +13,9 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"time"
 
 	"vital/internal/core"
 	"vital/internal/sched"
@@ -26,6 +28,8 @@ func main() {
 	compile := flag.String("compile", "lenet-S,lenet-M", "comma-separated benchmark designs (name-S/M/L) to pre-compile")
 	verifyOnDeploy := flag.Bool("verify-on-deploy", false, "re-check architectural invariants after every deployment and roll back violators")
 	fault := flag.String("fault", "", "initial fault plan, comma-separated board:kind pairs (e.g. 2:fail,3:degrade)")
+	enablePprof := flag.Bool("pprof", false, "expose Go runtime profiles under /debug/pprof/")
+	alertInterval := flag.Duration("alert-interval", 15*time.Second, "alert-rule evaluation period (0 disables the ticker; GET /alerts still evaluates on demand)")
 	flag.Parse()
 
 	stack := core.NewStackWithOptions(nil, sched.Options{VerifyOnDeploy: *verifyOnDeploy})
@@ -59,10 +63,36 @@ func main() {
 			log.Printf("fault injected: board %d → %s (%d apps affected)", ev.Board, ev.Health, len(ev.Apps))
 		}
 	}
+	if *alertInterval > 0 {
+		// Background alert evaluation: rules with a For duration need
+		// periodic sampling to move pending → firing without a client
+		// polling GET /alerts.
+		go func() {
+			ticker := time.NewTicker(*alertInterval)
+			defer ticker.Stop()
+			for range ticker.C {
+				stack.Controller.EvalAlerts()
+			}
+		}()
+	}
 	log.Printf("system controller listening on %s", *listen)
 	// Access-logged handler: every request logs method, path, status, bytes
 	// and latency; per-route latency histograms land in the registry and
 	// are scraped via GET /metrics?format=prometheus.
-	handler := telemetry.AccessLog(log.Printf, core.NewStackHandler(stack))
-	log.Fatal(http.ListenAndServe(*listen, handler))
+	var handler http.Handler = core.NewStackHandler(stack)
+	if *enablePprof {
+		// Mount the profile handlers on an explicit outer mux rather than
+		// importing net/http/pprof for its DefaultServeMux side effect, so
+		// profiling stays strictly opt-in.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	log.Fatal(http.ListenAndServe(*listen, telemetry.AccessLog(log.Printf, handler)))
 }

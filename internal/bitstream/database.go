@@ -12,11 +12,22 @@ import (
 type Database struct {
 	mu   sync.RWMutex
 	apps map[string][]*Bitstream
+	// chans records the compiled virtual-block channel topology per app
+	// (which virtual block talks to which), so the runtime can score a
+	// placement's crossings without re-opening the netlist.
+	chans map[string][]BlockEdge
+}
+
+// BlockEdge is one directed channel between two virtual blocks of a
+// compiled application, identified by virtual block index.
+type BlockEdge struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
 }
 
 // NewDatabase returns an empty bitstream database.
 func NewDatabase() *Database {
-	return &Database{apps: make(map[string][]*Bitstream)}
+	return &Database{apps: make(map[string][]*Bitstream), chans: make(map[string][]BlockEdge)}
 }
 
 // Store registers the compiled bitstreams of an application, replacing any
@@ -52,11 +63,37 @@ func (db *Database) Lookup(app string) ([]*Bitstream, bool) {
 	return bs, ok
 }
 
-// Delete removes an application's bitstreams.
+// StoreChannels records an application's inter-block channel topology,
+// replacing any previous record. Edges are stored in a deterministic
+// (Src, Dst) order.
+func (db *Database) StoreChannels(app string, edges []BlockEdge) {
+	sorted := make([]BlockEdge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Src != sorted[j].Src {
+			return sorted[i].Src < sorted[j].Src
+		}
+		return sorted[i].Dst < sorted[j].Dst
+	})
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.chans[app] = sorted
+}
+
+// Channels returns an application's recorded channel topology.
+func (db *Database) Channels(app string) ([]BlockEdge, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	es, ok := db.chans[app]
+	return es, ok
+}
+
+// Delete removes an application's bitstreams and channel topology.
 func (db *Database) Delete(app string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	delete(db.apps, app)
+	delete(db.chans, app)
 }
 
 // Apps lists the stored applications in sorted order.

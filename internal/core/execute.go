@@ -27,6 +27,9 @@ type ExecutionStats struct {
 	// DMASeconds is the modeled DRAM transfer time at the board's
 	// bandwidth (overlapped with compute in a real run).
 	DMASeconds float64
+	// Traffic is the per-class / per-ring-segment data-plane breakdown of
+	// the run (also folded into the controller's metrics registry).
+	Traffic interconnect.TrafficReport
 }
 
 // OverheadFraction is gated block-cycles over total block-cycles (the paper
@@ -148,6 +151,8 @@ func (s *Stack) Execute(app *CompiledApp, dep *sched.Deployment, tokens uint64) 
 		}
 		stats.GatedCycles += a.Gated
 	}
+	stats.Traffic = sys.Traffic()
+	s.Controller.RecordTraffic(app.Name, stats.Traffic)
 	if err := s.dmaTraffic(app, dep, stats); err != nil {
 		return nil, err
 	}

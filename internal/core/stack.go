@@ -352,6 +352,7 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 		ssp.End()
 		return nil, fmt.Errorf("core: storing bitstreams of %s: %w", d.Name, err)
 	}
+	s.Controller.Bitstreams.StoreChannels(d.Name, blockEdges(app.Channels))
 	if useCache {
 		// Cache a private clone: entries are shared across tenants and
 		// treated as immutable, so the caller's app must not alias them.
@@ -383,8 +384,21 @@ func (s *Stack) serveCacheHit(entry *CompiledApp, name string, wallStart time.Ti
 	if err := s.Controller.Bitstreams.Store(name, hit.Bitstreams); err != nil {
 		return nil, fmt.Errorf("core: storing bitstreams of %s: %w", name, err)
 	}
+	s.Controller.Bitstreams.StoreChannels(name, blockEdges(hit.Channels))
 	hit.Wall = time.Since(wallStart)
 	return hit, nil
+}
+
+// blockEdges flattens the compiled channel specs into the directed
+// block-to-block edge list the runtime's placement scorer consumes.
+func blockEdges(specs []ChannelSpec) []bitstream.BlockEdge {
+	var edges []bitstream.BlockEdge
+	for _, sp := range specs {
+		for _, dst := range sp.DstBlocks {
+			edges = append(edges, bitstream.BlockEdge{Src: sp.SrcBlock, Dst: dst})
+		}
+	}
+	return edges
 }
 
 // cloneFor copies the compiled artifacts under a new application name:

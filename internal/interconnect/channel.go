@@ -126,8 +126,16 @@ type Channel struct {
 	ring      *Ring
 	ringGrant bool
 
-	// Statistics.
-	Pushed, Popped uint64
+	// Statistics. Pushed counts tokens the producer pushed through the
+	// protocol; Primed counts tokens deposited by buffer initialization
+	// (Section 3.5.1) and is kept separate so priming never inflates
+	// observed push rates. FullCycles counts cycles the channel spent with
+	// zero credits — the cycles in which a willing producer would have been
+	// clock-gated by back-pressure. PeakOccupancy is the high-water mark of
+	// the receive buffer.
+	Pushed, Popped, Primed uint64
+	FullCycles             uint64
+	PeakOccupancy          int
 }
 
 type tokenSlot struct {
@@ -198,6 +206,9 @@ func (c *Channel) Push(t Token) error {
 func (c *Channel) deliver(t Token) {
 	c.fifo[(c.head+c.count)%len(c.fifo)] = t
 	c.count++
+	if c.count > c.PeakOccupancy {
+		c.PeakOccupancy = c.count
+	}
 }
 
 // CanPop reports whether a token is available to the consumer — the
@@ -224,6 +235,9 @@ func (c *Channel) Pop() (Token, bool) {
 // after producers pushed and before consumers pop (arrivals become visible
 // in the same cycle they land).
 func (c *Channel) Step() {
+	if c.credits == 0 {
+		c.FullCycles++
+	}
 	if len(c.pipe) == 0 {
 		return
 	}
@@ -245,6 +259,9 @@ func (c *Channel) Prime(n int) error {
 		}
 		c.deliver(Token{Seq: ^uint64(0) - uint64(i)})
 		c.credits--
+		// Primed tokens bypass Push on purpose: they are initialization
+		// state, not produced traffic, and must not inflate Pushed.
+		c.Primed++
 	}
 	return nil
 }

@@ -1,0 +1,118 @@
+package interconnect
+
+// This file aggregates the per-channel and per-ring counters of one
+// simulated execution into a TrafficReport — the data-plane observability
+// record the system controller folds into its metrics registry. All slices
+// are ordered deterministically (classes by LinkClass value, segments by
+// (segment, direction)); no map iteration is involved.
+
+// ClassTraffic aggregates every channel of one link class.
+type ClassTraffic struct {
+	Class    LinkClass `json:"-"`
+	ClassStr string    `json:"class"`
+	Channels int       `json:"channels"`
+	// Token counters summed over the class's channels. GatedCycles is the
+	// sum of per-channel zero-credit cycles (back-pressure stalls).
+	Pushed      uint64 `json:"pushed"`
+	Popped      uint64 `json:"popped"`
+	Primed      uint64 `json:"primed"`
+	GatedCycles uint64 `json:"gated_cycles"`
+	// PeakOccupancy is the deepest any receive buffer of the class got.
+	PeakOccupancy int `json:"peak_occupancy"`
+	// PeakGbps sums the theoretical bandwidth of the class's channels;
+	// EffectiveGbps sums each channel's delivered payload rate (popped
+	// bits over the elapsed simulated time at that channel's clock).
+	PeakGbps      float64 `json:"peak_gbps"`
+	EffectiveGbps float64 `json:"effective_gbps"`
+}
+
+// SegmentTraffic reports one directed ring segment.
+type SegmentTraffic struct {
+	Segment     int     `json:"segment"`
+	Clockwise   bool    `json:"clockwise"`
+	BusyBits    uint64  `json:"busy_bits"`
+	Denied      uint64  `json:"denied"`
+	Utilization float64 `json:"utilization"`
+}
+
+// TrafficReport is the data-plane summary of one System execution.
+type TrafficReport struct {
+	// Cycles is the system cycle count at report time.
+	Cycles uint64 `json:"cycles"`
+	// Classes always holds one entry per LinkClass (IntraDie, InterDie,
+	// InterFPGA, in that order), zero-valued when the class had no
+	// channels, so exported series exist even for single-block apps.
+	Classes [3]ClassTraffic `json:"classes"`
+	// Segments lists every directed ring segment across the system's
+	// rings, ordered by (segment, direction); segments of multiple rings
+	// with the same index are merged.
+	Segments []SegmentTraffic `json:"segments,omitempty"`
+	// ActorGatedCycles sums cycles actors spent clock-gated;
+	// ActorFirings sums completed firings.
+	ActorGatedCycles uint64 `json:"actor_gated_cycles"`
+	ActorFirings     uint64 `json:"actor_firings"`
+}
+
+// Traffic assembles the data-plane counters of every channel, ring and
+// actor in the system into one report.
+func (s *System) Traffic() TrafficReport {
+	rep := TrafficReport{Cycles: s.Cycle}
+	for cl := IntraDie; cl <= InterFPGA; cl++ {
+		rep.Classes[cl].Class = cl
+		rep.Classes[cl].ClassStr = cl.String()
+	}
+	for _, c := range s.Channels {
+		cl := c.P.Class
+		if cl > InterFPGA {
+			continue
+		}
+		ct := &rep.Classes[cl]
+		ct.Channels++
+		ct.Pushed += c.Pushed
+		ct.Popped += c.Popped
+		ct.Primed += c.Primed
+		ct.GatedCycles += c.FullCycles
+		if c.PeakOccupancy > ct.PeakOccupancy {
+			ct.PeakOccupancy = c.PeakOccupancy
+		}
+		ct.PeakGbps += c.P.PeakGbps()
+		if s.Cycle > 0 && c.P.ClockMHz > 0 {
+			// Elapsed simulated seconds at this channel's clock.
+			seconds := float64(s.Cycle) / (c.P.ClockMHz * 1e6)
+			bits := float64(c.Popped) * float64(c.P.WidthBits)
+			ct.EffectiveGbps += bits / seconds / 1e9
+		}
+	}
+	// Merge ring segments by (segment, direction) so a system with several
+	// rings still reports one row per directed segment index.
+	maxSeg := 0
+	for _, r := range s.Rings {
+		if r.Segments > maxSeg {
+			maxSeg = r.Segments
+		}
+	}
+	for seg := 0; seg < maxSeg; seg++ {
+		for d := 0; d < 2; d++ {
+			row := SegmentTraffic{Segment: seg, Clockwise: d == 1}
+			var bits, budget uint64
+			for _, r := range s.Rings {
+				if seg >= r.Segments {
+					continue
+				}
+				row.BusyBits += r.SegBusyBits[d][seg]
+				row.Denied += r.SegDenied[d][seg]
+				bits += r.SegBusyBits[d][seg]
+				budget += r.Cycles * uint64(r.BitsPerCycle)
+			}
+			if budget > 0 {
+				row.Utilization = float64(bits) / float64(budget)
+			}
+			rep.Segments = append(rep.Segments, row)
+		}
+	}
+	for _, a := range s.Actors {
+		rep.ActorGatedCycles += a.Gated
+		rep.ActorFirings += a.fired
+	}
+	return rep
+}

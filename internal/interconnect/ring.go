@@ -22,6 +22,16 @@ type Ring struct {
 	next    int // round-robin pointer
 	// Granted counts total flit-grants per direction, for measurement.
 	Granted [2]uint64
+
+	// Per-segment contention accounting, indexed [direction][segment]
+	// (direction via dirIdx). SegBusyBits accumulates the bits of budget
+	// granted on each directed segment; SegDenied counts arbitration
+	// refusals charged to the first segment on a path whose remaining
+	// budget could not fit the channel width. Cycles counts Arbitrate
+	// calls, so SegBusyBits / (Cycles × BitsPerCycle) is a utilization.
+	SegBusyBits [2][]uint64
+	SegDenied   [2][]uint64
+	Cycles      uint64
 }
 
 // segRef is one directed ring segment: segment index + direction.
@@ -49,7 +59,12 @@ func NewSegmentedRing(bitsPerCycle, segments int) (*Ring, error) {
 	if segments < 1 {
 		return nil, fmt.Errorf("interconnect: ring needs at least one segment, got %d", segments)
 	}
-	return &Ring{BitsPerCycle: bitsPerCycle, Segments: segments}, nil
+	r := &Ring{BitsPerCycle: bitsPerCycle, Segments: segments}
+	for d := 0; d < 2; d++ {
+		r.SegBusyBits[d] = make([]uint64, segments)
+		r.SegDenied[d] = make([]uint64, segments)
+	}
+	return r, nil
 }
 
 // Attach registers an inter-FPGA channel that traverses segment 0 in the
@@ -89,6 +104,7 @@ func (r *Ring) AttachPath(c *Channel, segments []int, clockwise bool) error {
 // channel gets a grant only if every segment on its path has room for its
 // width.
 func (r *Ring) Arbitrate() {
+	r.Cycles++
 	// budget[direction][segment]
 	budget := [2][]int{make([]int, r.Segments), make([]int, r.Segments)}
 	for d := 0; d < 2; d++ {
@@ -107,6 +123,9 @@ func (r *Ring) Arbitrate() {
 		for _, ref := range r.members[i] {
 			d := dirIdx(ref.cw)
 			if budget[d][ref.seg] < c.P.WidthBits {
+				// Charge the refusal to the directed segment that ran out
+				// of budget — the contention hot spot.
+				r.SegDenied[d][ref.seg]++
 				fits = false
 				break
 			}
@@ -115,13 +134,27 @@ func (r *Ring) Arbitrate() {
 			continue
 		}
 		for _, ref := range r.members[i] {
-			budget[dirIdx(ref.cw)][ref.seg] -= c.P.WidthBits
+			d := dirIdx(ref.cw)
+			budget[d][ref.seg] -= c.P.WidthBits
+			r.SegBusyBits[d][ref.seg] += uint64(c.P.WidthBits)
 		}
 		c.ringGrant = true
 	}
 	if n > 0 {
 		r.next = (r.next + 1) % n
 	}
+}
+
+// SegmentUtilization returns the fraction of a directed segment's
+// cumulative bit budget that arbitration handed out (0 when the ring never
+// arbitrated). Granted budget overstates carried payload slightly — a
+// granted channel with nothing to send wastes its slot — matching how a
+// hardware arbiter reserves the wave.
+func (r *Ring) SegmentUtilization(clockwise bool, segment int) float64 {
+	if r.Cycles == 0 || segment < 0 || segment >= r.Segments {
+		return 0
+	}
+	return float64(r.SegBusyBits[dirIdx(clockwise)][segment]) / (float64(r.Cycles) * float64(r.BitsPerCycle))
 }
 
 func dirIdx(cw bool) int {

@@ -1,0 +1,186 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression test for the Prime/Push accounting split: primed tokens are
+// initialization state and must never inflate the pushed-token counters
+// that feed the traffic metrics.
+func TestPrimeDoesNotInflatePushed(t *testing.T) {
+	c, err := New(DefaultParams(InterDie))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Prime(3); err != nil {
+		t.Fatalf("Prime: %v", err)
+	}
+	if c.Pushed != 0 {
+		t.Fatalf("Prime inflated Pushed: got %d, want 0", c.Pushed)
+	}
+	if c.Primed != 3 {
+		t.Fatalf("Primed = %d, want 3", c.Primed)
+	}
+	if c.Occupancy() != 3 {
+		t.Fatalf("Occupancy = %d, want 3", c.Occupancy())
+	}
+
+	// Produced traffic counts as pushed, and priming stays untouched.
+	for i := 0; i < 2; i++ {
+		if err := c.Push(Token{Seq: uint64(i)}); err != nil {
+			t.Fatalf("Push %d: %v", i, err)
+		}
+		c.Step()
+	}
+	for i := 0; i < c.P.LatencyCycles; i++ {
+		c.Step()
+	}
+	if c.Pushed != 2 || c.Primed != 3 {
+		t.Fatalf("Pushed=%d Primed=%d, want 2/3", c.Pushed, c.Primed)
+	}
+
+	// Draining everything pops primed + pushed tokens exactly once each.
+	var popped int
+	for {
+		if _, ok := c.Pop(); !ok {
+			break
+		}
+		popped++
+	}
+	if popped != 5 || c.Popped != 5 {
+		t.Fatalf("drained %d tokens (Popped=%d), want 5", popped, c.Popped)
+	}
+}
+
+func TestChannelFullCyclesAndPeakOccupancy(t *testing.T) {
+	p := Params{Class: InterDie, WidthBits: 512, ClockMHz: 610.3516, LatencyCycles: 1, FIFODepth: 2}
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Fill the receive buffer: two pushes, stepped through the 1-cycle wire.
+	for i := 0; i < 2; i++ {
+		if err := c.Push(Token{Seq: uint64(i)}); err != nil {
+			t.Fatalf("Push %d: %v", i, err)
+		}
+		c.Step()
+	}
+	c.Step()
+	if c.CanPush() {
+		t.Fatal("channel should be out of credits")
+	}
+	if c.PeakOccupancy != 2 {
+		t.Fatalf("PeakOccupancy = %d, want 2", c.PeakOccupancy)
+	}
+	before := c.FullCycles
+	for i := 0; i < 4; i++ {
+		c.Step() // stalled consumer: every cycle counts as gated
+	}
+	if got := c.FullCycles - before; got != 4 {
+		t.Fatalf("FullCycles grew by %d over 4 stalled cycles, want 4", got)
+	}
+	// Credits return when the consumer drains; gating stops.
+	c.Pop()
+	c.Pop()
+	before = c.FullCycles
+	c.Step()
+	if c.FullCycles != before {
+		t.Fatal("FullCycles must not grow once credits are available")
+	}
+}
+
+func TestRingSegmentContentionCounters(t *testing.T) {
+	r, err := NewSegmentedRing(512, 4)
+	if err != nil {
+		t.Fatalf("NewSegmentedRing: %v", err)
+	}
+	mk := func() *Channel {
+		c, err := New(DefaultParams(InterFPGA))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	// Both channels load segment 0 clockwise: with a 512-bit budget and
+	// 512-bit flits, exactly one wins each cycle and the other is denied.
+	if err := r.AttachPath(a, []int{0}, true); err != nil {
+		t.Fatalf("AttachPath: %v", err)
+	}
+	if err := r.AttachPath(b, []int{0, 1}, true); err != nil {
+		t.Fatalf("AttachPath: %v", err)
+	}
+	const cycles = 10
+	for i := 0; i < cycles; i++ {
+		r.Arbitrate()
+	}
+	if r.Cycles != cycles {
+		t.Fatalf("Cycles = %d, want %d", r.Cycles, cycles)
+	}
+	cw := dirIdx(true)
+	if r.SegDenied[cw][0] != cycles {
+		t.Fatalf("SegDenied[cw][0] = %d, want %d (one loser per cycle)", r.SegDenied[cw][0], cycles)
+	}
+	if r.SegBusyBits[cw][0] != cycles*512 {
+		t.Fatalf("SegBusyBits[cw][0] = %d, want %d", r.SegBusyBits[cw][0], cycles*512)
+	}
+	if got := r.SegmentUtilization(true, 0); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("segment 0 cw utilization = %v, want 1.0", got)
+	}
+	if got := r.SegmentUtilization(false, 0); got != 0 {
+		t.Fatalf("segment 0 ccw utilization = %v, want 0", got)
+	}
+	// Round-robin alternates winners, so b wins exactly half the cycles
+	// and segment 1 carries only b's grants.
+	if r.SegBusyBits[cw][1] != cycles/2*512 {
+		t.Fatalf("SegBusyBits[cw][1] = %d, want %d (b wins every other cycle)", r.SegBusyBits[cw][1], cycles/2*512)
+	}
+}
+
+func TestSystemTrafficReport(t *testing.T) {
+	intra, err := New(DefaultParams(IntraDie))
+	if err != nil {
+		t.Fatalf("New intra: %v", err)
+	}
+	inter, err := New(DefaultParams(InterDie))
+	if err != nil {
+		t.Fatalf("New inter: %v", err)
+	}
+	if err := inter.Prime(2); err != nil {
+		t.Fatalf("Prime: %v", err)
+	}
+	src := &Actor{Name: "src", Outs: []*Channel{intra}, Work: 50}
+	mid := &Actor{Name: "mid", Ins: []*Channel{intra}, Outs: []*Channel{inter}, Work: 50}
+	sink := &Actor{Name: "sink", Ins: []*Channel{inter}, Work: 50}
+	sys := &System{Actors: []*Actor{src, mid, sink}, Channels: []*Channel{intra, inter}}
+	if _, err := sys.Run(10000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := sys.Traffic()
+	if rep.Cycles == 0 {
+		t.Fatal("report has zero cycles")
+	}
+	ic := rep.Classes[IntraDie]
+	id := rep.Classes[InterDie]
+	if ic.Channels != 1 || id.Channels != 1 || rep.Classes[InterFPGA].Channels != 0 {
+		t.Fatalf("channel counts wrong: %+v", rep.Classes)
+	}
+	if ic.Pushed != 50 || ic.Primed != 0 {
+		t.Fatalf("intra-die pushed/primed = %d/%d, want 50/0", ic.Pushed, ic.Primed)
+	}
+	if id.Pushed != 50 || id.Primed != 2 {
+		t.Fatalf("inter-die pushed/primed = %d/%d, want 50/2", id.Pushed, id.Primed)
+	}
+	if id.EffectiveGbps <= 0 || id.EffectiveGbps > id.PeakGbps {
+		t.Fatalf("effective %v Gbps not in (0, peak %v]", id.EffectiveGbps, id.PeakGbps)
+	}
+	// All three class rows exist even when a class carried nothing, so the
+	// exported Prometheus series are always present.
+	if rep.Classes[InterFPGA].ClassStr != InterFPGA.String() {
+		t.Fatalf("inter-FPGA row missing: %+v", rep.Classes[InterFPGA])
+	}
+	if rep.ActorFirings != 150 {
+		t.Fatalf("ActorFirings = %d, want 150", rep.ActorFirings)
+	}
+}

@@ -31,6 +31,30 @@ type Domain struct {
 // TLBEntries is the per-domain translation cache size.
 const TLBEntries = 64
 
+// DomainStats is one consistent snapshot of a domain's monitoring
+// counters, safe to take from metric-scrape callbacks while user logic is
+// accessing memory.
+type DomainStats struct {
+	Reads, Writes, Faults uint64
+	BytesRead, BytesWrit  uint64
+	TLBHits, TLBMisses    uint64
+	AllocatedBytes        uint64
+	QuotaBytes            uint64
+}
+
+// Stats returns a consistent snapshot of the domain's counters.
+func (d *Domain) Stats() DomainStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DomainStats{
+		Reads: d.Reads, Writes: d.Writes, Faults: d.Faults,
+		BytesRead: d.BytesRead, BytesWrit: d.BytesWrit,
+		TLBHits: d.TLBHits, TLBMisses: d.TLBMisses,
+		AllocatedBytes: d.allocated,
+		QuotaBytes:     d.QuotaBytes,
+	}
+}
+
 // lookupLocked translates one vpn through the TLB, falling back to the page
 // table and filling the cache. Callers hold d.mu.
 func (d *Domain) lookupLocked(vpn uint64) (uint64, bool) {

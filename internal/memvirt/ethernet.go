@@ -36,6 +36,20 @@ type VNIC struct {
 	TxFrames, RxFrames uint64
 }
 
+// VNICStats is one consistent snapshot of a virtual NIC's traffic
+// counters.
+type VNICStats struct {
+	TxFrames, RxFrames uint64
+	QueuedFrames       int
+}
+
+// Stats returns a consistent snapshot of the NIC's counters.
+func (v *VNIC) Stats() VNICStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return VNICStats{TxFrames: v.TxFrames, RxFrames: v.RxFrames, QueuedFrames: len(v.inbox)}
+}
+
 // Recv pops the next received frame.
 func (v *VNIC) Recv() (EthFrame, bool) {
 	v.mu.Lock()

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"vital/internal/telemetry"
+)
+
+// Default alert rules (DESIGN.md §11). The controller owns one alert
+// engine; rules sample controller state through closures, firing/resolved
+// transitions land in the audit log (EventAlert) and stream over SSE, and
+// each rule's state is exported as the vital_alert_state gauge. Evaluation
+// is on demand: GET /alerts evaluates before reporting, and vitald runs a
+// periodic ticker (-alert-interval).
+//
+// Lock ordering: engine.mu → rule source → ct.mu (or DB/cache internal
+// locks). Nothing holding ct.mu may call into the engine.
+
+// AlertThresholds tunes the controller's built-in alert rules.
+type AlertThresholds struct {
+	// BoardUnhealthyFor is how long a board must stay degraded or failed
+	// before board_N_unhealthy fires.
+	BoardUnhealthyFor time.Duration
+	// FragmentationMax is the fragmentation-index threshold of
+	// fragmentation_high, held for FragmentationFor.
+	FragmentationMax   float64
+	FragmentationFor   time.Duration
+	// CacheHitRateMin is the compile-cache hit-rate floor of
+	// cache_hit_rate_low, held for CacheFor; the rule stays quiet until
+	// the cache has seen CacheMinLookups lookups.
+	CacheHitRateMin float64
+	CacheMinLookups uint64
+	CacheFor        time.Duration
+	// GatedRatioMax is the channel back-pressure stall-ratio ceiling of
+	// channel_gated_ratio_high, held for GatedFor.
+	GatedRatioMax float64
+	GatedFor      time.Duration
+}
+
+// DefaultAlertThresholds returns the shipped thresholds: board unhealthy
+// for 30 s, fragmentation index above 0.5 for 60 s, cache hit rate below
+// 0.5 for 60 s (after 32 lookups), channel gated-cycle ratio above 0.25
+// for 30 s.
+func DefaultAlertThresholds() AlertThresholds {
+	return AlertThresholds{
+		BoardUnhealthyFor: 30 * time.Second,
+		FragmentationMax:  0.5,
+		FragmentationFor:  60 * time.Second,
+		CacheHitRateMin:   0.5,
+		CacheMinLookups:   32,
+		CacheFor:          60 * time.Second,
+		GatedRatioMax:     0.25,
+		GatedFor:          30 * time.Second,
+	}
+}
+
+// registerAlerts builds the controller's alert engine and default rules,
+// and exports per-rule state gauges.
+func (ct *Controller) registerAlerts(th AlertThresholds) {
+	eng := telemetry.NewAlertEngine(func(tr telemetry.AlertTransition) {
+		ct.log.add(EventAlert, tr.Rule, tr.String())
+	})
+	ct.Alerts = eng
+
+	mustAdd := func(r telemetry.AlertRule) {
+		if err := eng.AddRule(r); err != nil {
+			panic(fmt.Sprintf("sched: registering alert rule: %v", err))
+		}
+		rule := r.Name
+		ct.Reg.GaugeFunc("vital_alert_state", "Alert-rule state: 0 inactive, 1 pending, 2 firing.", func() float64 {
+			return eng.StateValueOf(rule)
+		}, telemetry.L("rule", rule))
+	}
+
+	for b := range ct.Cluster.Boards {
+		b := b
+		mustAdd(telemetry.AlertRule{
+			Name:   "board_" + strconv.Itoa(b) + "_unhealthy",
+			Help:   "Board has been degraded or failed beyond the hold time.",
+			Source: func() float64 { return healthValue(ct.DB.Health(b)) },
+			Op:     telemetry.OpGreater, Threshold: 0.5, For: th.BoardUnhealthyFor,
+		})
+	}
+	mustAdd(telemetry.AlertRule{
+		Name:   "fragmentation_high",
+		Help:   "Free capacity is scattered; defragmentation (Drain/CompactApp) is advisable.",
+		Source: func() float64 { return ct.Placement().FragmentationIndex },
+		Op:     telemetry.OpGreater, Threshold: th.FragmentationMax, For: th.FragmentationFor,
+	})
+	mustAdd(telemetry.AlertRule{
+		Name: "cache_hit_rate_low",
+		Help: "Compile-cache hit rate fell below the floor (after a warm-up lookup count).",
+		Source: func() float64 {
+			st := ct.Cache.Stats()
+			if st.Hits+st.Misses < ct.alertThresholds.CacheMinLookups {
+				return 1 // warm-up: report a perfect rate so the rule stays quiet
+			}
+			return st.HitRate()
+		},
+		Op: telemetry.OpLess, Threshold: th.CacheHitRateMin, For: th.CacheFor,
+	})
+	mustAdd(telemetry.AlertRule{
+		Name:   "channel_gated_ratio_high",
+		Help:   "Channels spend too many cycles back-pressured (credits exhausted).",
+		Source: func() float64 { return ct.dp.gatedRatio() },
+		Op:     telemetry.OpGreater, Threshold: th.GatedRatioMax, For: th.GatedFor,
+	})
+}
+
+// EvalAlerts evaluates every alert rule now; transitions land in the audit
+// log and are returned. GET /alerts and the vitald ticker call this.
+func (ct *Controller) EvalAlerts() []telemetry.AlertTransition {
+	return ct.Alerts.Eval(time.Now())
+}
+
+// AlertStatus reports every rule's current state (without evaluating).
+func (ct *Controller) AlertStatus() []telemetry.AlertStatus {
+	return ct.Alerts.Status()
+}

@@ -30,12 +30,19 @@ type Controller struct {
 	// in practice). The compilation layer and the HTTP layer share them.
 	Reg    *telemetry.Registry
 	Tracer *telemetry.Tracer
-	// log, opts and lat are set once at construction (log is internally
-	// synchronized, lat's histograms are atomic), so they live above mu
-	// (fields below mu are guarded by it — see lockcheck).
-	log  *eventLog
-	opts Options
-	lat  opLatencies
+	// Alerts is the controller's alert-rule engine (internally
+	// synchronized; rules sample controller state, so nothing holding
+	// ct.mu may call into it — see alerts.go for the lock ordering).
+	Alerts *telemetry.AlertEngine
+	// log, opts, lat, alertThresholds and dp are set once at construction
+	// (log is internally synchronized, lat's histograms and dp's counters
+	// are atomic), so they live above mu (fields below mu are guarded by
+	// it — see lockcheck).
+	log             *eventLog
+	opts            Options
+	lat             opLatencies
+	alertThresholds AlertThresholds
+	dp              dataPlaneTotals
 
 	mu       sync.Mutex
 	deployed map[string]*Deployment
@@ -48,6 +55,9 @@ type Options struct {
 	// isolation) after every deployment and rolls the deployment back if any
 	// is violated — a belt-and-braces mode for multi-tenant operators.
 	VerifyOnDeploy bool
+	// Alerts overrides the built-in alert-rule thresholds (nil selects
+	// DefaultAlertThresholds).
+	Alerts *AlertThresholds
 }
 
 // Deployment records a running application.
@@ -91,7 +101,12 @@ func NewControllerWithOptions(c *cluster.Cluster, opts Options) *Controller {
 		log:        newEventLog(),
 		opts:       opts,
 	}
+	ct.alertThresholds = DefaultAlertThresholds()
+	if opts.Alerts != nil {
+		ct.alertThresholds = *opts.Alerts
+	}
 	ct.registerTelemetry()
+	ct.registerAlerts(ct.alertThresholds)
 	return ct
 }
 
@@ -208,6 +223,7 @@ func (ct *Controller) Deploy(app string, memQuota uint64) (dep *Deployment, err 
 			return nil, fmt.Errorf("sched: deploying %q violates invariants: %w", app, rep.Err())
 		}
 	}
+	ct.registerAppTelemetry(app)
 	ct.log.add(EventDeploy, app, fmt.Sprintf("%d blocks on %v", len(refs), boards))
 	sp.SetAttr("blocks", fmt.Sprint(len(refs)))
 	sp.SetAttr("boards", fmt.Sprint(boards))

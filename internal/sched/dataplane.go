@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"vital/internal/interconnect"
+	"vital/internal/telemetry"
+)
+
+// Data-plane metrics (DESIGN.md §11): every simulated execution folds its
+// interconnect TrafficReport into the controller's registry, so the
+// Prometheus exposition carries per-link-class token counters, gated
+// back-pressure cycles, effective-vs-peak bandwidth, and per-ring-segment
+// contention — the counters AmorphOS and Coyote expose per region, here
+// per link class.
+
+// dataPlaneTotals accumulates cross-execution totals the alert rules
+// sample (lock-free; RecordTraffic may run concurrently with scrapes).
+type dataPlaneTotals struct {
+	popped      atomic.Uint64
+	gatedCycles atomic.Uint64
+	chanCycles  atomic.Uint64
+}
+
+// gatedRatio is the fraction of channel-cycles spent with zero credits —
+// the back-pressure stall ratio the channel_gated_ratio_high rule watches.
+func (d *dataPlaneTotals) gatedRatio() float64 {
+	cycles := d.chanCycles.Load()
+	if cycles == 0 {
+		return 0
+	}
+	return float64(d.gatedCycles.Load()) / float64(cycles)
+}
+
+// RecordTraffic folds one execution's data-plane report into the metrics
+// registry under the app's name-free, per-class series. The core stack
+// calls it after every Execute; tests may call it directly.
+func (ct *Controller) RecordTraffic(app string, rep interconnect.TrafficReport) {
+	r := ct.Reg
+	for i := range rep.Classes {
+		cl := &rep.Classes[i]
+		lbl := telemetry.L("class", cl.ClassStr)
+		r.Counter("vital_channel_tokens_total", "Tokens through latency-insensitive channels by link class and operation (primed tokens are initialization, never pushes).", lbl, telemetry.L("op", "pushed")).Add(cl.Pushed)
+		r.Counter("vital_channel_tokens_total", "Tokens through latency-insensitive channels by link class and operation (primed tokens are initialization, never pushes).", lbl, telemetry.L("op", "popped")).Add(cl.Popped)
+		r.Counter("vital_channel_tokens_total", "Tokens through latency-insensitive channels by link class and operation (primed tokens are initialization, never pushes).", lbl, telemetry.L("op", "primed")).Add(cl.Primed)
+		r.Counter("vital_channel_gated_cycles_total", "Channel-cycles with zero credits (producer would be clock-gated by back-pressure).", lbl).Add(cl.GatedCycles)
+		r.Gauge("vital_channel_peak_occupancy", "Deepest receive-buffer occupancy seen in the latest execution, by link class.", lbl).Set(float64(cl.PeakOccupancy))
+		r.Gauge("vital_channel_effective_gbps", "Delivered payload bandwidth of the latest execution, by link class.", lbl).Set(cl.EffectiveGbps)
+		r.Gauge("vital_channel_peak_gbps", "Theoretical bandwidth of the instantiated channels, by link class.", lbl).Set(cl.PeakGbps)
+
+		ct.dp.popped.Add(cl.Popped)
+		ct.dp.gatedCycles.Add(cl.GatedCycles)
+		ct.dp.chanCycles.Add(rep.Cycles * uint64(cl.Channels))
+	}
+	r.Counter("vital_execute_cycles_total", "Simulated interconnect cycles executed.").Add(rep.Cycles)
+	r.Counter("vital_actor_gated_cycles_total", "Block-cycles user logic spent clock-gated waiting on the interface.").Add(rep.ActorGatedCycles)
+	r.Counter("vital_actor_firings_total", "Completed dataflow firings across all virtual blocks.").Add(rep.ActorFirings)
+	for _, sg := range rep.Segments {
+		dir := "ccw"
+		if sg.Clockwise {
+			dir = "cw"
+		}
+		segLbl := telemetry.L("segment", strconv.Itoa(sg.Segment))
+		dirLbl := telemetry.L("dir", dir)
+		r.Counter("vital_ring_segment_busy_bits_total", "Bits of ring-segment budget granted, per directed segment.", segLbl, dirLbl).Add(sg.BusyBits)
+		r.Counter("vital_ring_segment_denied_total", "Arbitration refusals charged to the directed segment that ran out of budget.", segLbl, dirLbl).Add(sg.Denied)
+		r.Gauge("vital_ring_segment_utilization", "Fraction of the directed segment's bit budget granted in the latest execution.", segLbl, dirLbl).Set(sg.Utilization)
+	}
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vital/internal/bitstream"
@@ -23,16 +24,33 @@ const (
 	// failed board — either a successful re-placement or the
 	// capacity-insufficient undeploy fallback.
 	EventEvacuate EventKind = "evacuate"
+	// EventAlert records an alert-rule transition (firing or resolved);
+	// App carries the rule name.
+	EventAlert EventKind = "alert"
 )
 
 // allEventKinds enumerates every kind for the vital_events_total series.
 var allEventKinds = []EventKind{
-	EventDeploy, EventUndeploy, EventRelocate, EventDrain, EventFault, EventEvacuate,
+	EventDeploy, EventUndeploy, EventRelocate, EventDrain, EventFault, EventEvacuate, EventAlert,
+}
+
+// validEventKind reports whether s names a known event kind (used to
+// validate the /events/stream ?kind= filter).
+func validEventKind(s string) bool {
+	for _, k := range allEventKinds {
+		if string(k) == s {
+			return true
+		}
+	}
+	return false
 }
 
 // Event is one entry of the controller's audit log: cloud operators need
-// to reconstruct who held which physical blocks when.
+// to reconstruct who held which physical blocks when. Seq is a strictly
+// increasing per-log sequence number; SSE clients use it as the event id
+// and tests use it to assert loss/duplication freedom.
 type Event struct {
+	Seq    uint64    `json:"seq"`
 	At     time.Time `json:"at"`
 	Kind   EventKind `json:"kind"`
 	App    string    `json:"app"`
@@ -54,6 +72,51 @@ type eventLog struct {
 	limit int
 	// counts holds per-kind totals for the metrics endpoint.
 	counts map[EventKind]uint64
+	// seq is the next event's sequence number (first event gets 1).
+	seq uint64
+	// subs are live streaming subscribers; add broadcasts to each with a
+	// non-blocking send, so a stalled client can never stall the
+	// controller — it just starts losing events once its buffer is full.
+	subs []*eventSub
+}
+
+// eventSub is one live event-stream subscription.
+type eventSub struct {
+	ch chan Event
+	// dropped counts events lost to a full buffer (atomic: written under
+	// l.mu, read by the streaming handler without it).
+	dropped atomic.Uint64
+}
+
+// subscribe registers a subscriber with the given buffer capacity. Events
+// appended after subscribe returns are delivered in order; the caller must
+// unsubscribe when done.
+func (l *eventLog) subscribe(buf int) *eventSub {
+	s := &eventSub{ch: make(chan Event, buf)}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, s)
+	return s
+}
+
+// unsubscribe removes a subscriber; its channel stops receiving events.
+func (l *eventLog) unsubscribe(s *eventSub) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, sub := range l.subs {
+		if sub == s {
+			l.subs = append(l.subs[:i], l.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// subscribers returns the number of live subscriptions (tests use it to
+// assert clean disconnects).
+func (l *eventLog) subscribers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.subs)
 }
 
 const defaultEventLimit = 4096
@@ -68,13 +131,21 @@ func (l *eventLog) add(kind EventKind, app, detail string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.counts[kind]++
-	e := Event{At: time.Now(), Kind: kind, App: app, Detail: detail}
+	l.seq++
+	e := Event{Seq: l.seq, At: time.Now(), Kind: kind, App: app, Detail: detail}
 	if len(l.ring) < l.limit {
 		l.ring = append(l.ring, e)
-		return
+	} else {
+		l.ring[l.next] = e
+		l.next = (l.next + 1) % l.limit
 	}
-	l.ring[l.next] = e
-	l.next = (l.next + 1) % l.limit
+	for _, s := range l.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+		}
+	}
 }
 
 // Limit returns the maximum number of retained events.
@@ -143,6 +214,9 @@ type Metrics struct {
 	Boards []BoardHealthInfo `json:"boards"`
 	// Latency maps operation name → histogram summary, in seconds.
 	Latency map[string]telemetry.HistogramSummary `json:"latency_seconds"`
+	// Placement is the cluster-wide placement-quality report (per-app
+	// crossing counts, fragmentation, free-block contiguity).
+	Placement ClusterPlacement `json:"placement"`
 }
 
 // Metrics reports occupancy, health, cache and event counters in one
@@ -169,5 +243,6 @@ func (ct *Controller) Metrics() Metrics {
 			"drain":    ct.lat.drain.Summary(),
 			"evacuate": ct.lat.evacuate.Summary(),
 		},
+		Placement: ct.placementLocked(),
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
+	"time"
 
 	"vital/internal/telemetry"
 )
@@ -14,6 +16,15 @@ import (
 // defaultMemQuota is applied when a deploy request carries no (or a zero)
 // mem_quota_bytes; the response echoes the value actually used.
 const defaultMemQuota uint64 = 1 << 30
+
+// defaultHeartbeat is the SSE keep-alive comment interval of
+// /events/stream (override per request with ?heartbeat=).
+const defaultHeartbeat = 15 * time.Second
+
+// streamBufferEvents is each SSE subscriber's event buffer: within this
+// bound a slow client loses nothing; beyond it, newest events are dropped
+// for that subscriber rather than stalling the controller.
+const streamBufferEvents = 1024
 
 // NewHandler exposes the system controller over HTTP — the API surface a
 // higher-level system (hypervisor, cloud control plane) integrates with
@@ -28,11 +39,22 @@ const defaultMemQuota uint64 = 1 << 30
 //	                          (p50/p90/p99). ?format=prometheus switches to
 //	                          the Prometheus text exposition of the full
 //	                          registry (histograms, gauges, counters).
-//	GET  /traces?app=A&max=N → recent trace summaries, newest first,
-//	                          optionally filtered by the root span's app attr
+//	GET  /traces?app=A&max=N&since=T → recent trace summaries, newest
+//	                          first; ?app= matches the root span's app attr
+//	                          exactly or by prefix, ?since= is an RFC 3339
+//	                          time or a lookback duration (5m)
 //	GET  /trace/{id}        → one complete trace (all spans) by ID
 //	GET  /events?max=N      → recent audit log (N clamped to the log limit;
 //	                          negative or non-numeric N is a 400)
+//	GET  /events/stream     → live events over SSE (id: is the event seq,
+//	                          event: the kind, data: the JSON event);
+//	                          ?kind= filters, ?heartbeat= tunes keep-alive
+//	                          comments
+//	GET  /placement         → cluster placement-quality report (crossings,
+//	                          fragmentation, contiguity); ?app= scores one
+//	                          deployment (404 if not deployed)
+//	GET  /alerts            → evaluate alert rules now and report each
+//	                          rule's state (inactive/pending/firing)
 //	GET  /apps              → deployed applications
 //	GET  /health            → per-board health report
 //	GET  /cache             → compile-cache hit/miss counters
@@ -81,11 +103,29 @@ func NewHandler(ct *Controller) http.Handler {
 			}
 			max = v
 		}
+		// ?since= accepts an RFC 3339 timestamp or a Go duration (lookback
+		// from now): traces that started before the cutoff are dropped.
+		var since time.Time
+		if s := r.URL.Query().Get("since"); s != "" {
+			if t, err := time.Parse(time.RFC3339, s); err == nil {
+				since = t
+			} else if d, err := time.ParseDuration(s); err == nil && d >= 0 {
+				since = time.Now().Add(-d)
+			} else {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q: want RFC 3339 or a non-negative duration like 5m", s))
+				return
+			}
+		}
+		// ?app= matches the root span's app attribute exactly or by prefix,
+		// so ?app=lenet covers lenet-S and lenet-M.
 		app := r.URL.Query().Get("app")
 		all := ct.Tracer.Recent(0)
 		traces := make([]telemetry.TraceSummary, 0, len(all))
 		for _, ts := range all {
-			if app != "" && ts.Attrs["app"] != app {
+			if app != "" && !strings.HasPrefix(ts.Attrs["app"], app) {
+				continue
+			}
+			if !since.IsZero() && ts.Start.Before(since) {
 				continue
 			}
 			if max > 0 && len(traces) == max {
@@ -121,6 +161,85 @@ func NewHandler(ct *Controller) http.Handler {
 			max = limit
 		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{"events": ct.Events(max), "max": max})
+	})
+
+	handle("GET /events/stream", func(w http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("kind")
+		if kind != "" && !validEventKind(kind) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad kind %q: want one of %v", kind, allEventKinds))
+			return
+		}
+		heartbeat := defaultHeartbeat
+		if s := r.URL.Query().Get("heartbeat"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad heartbeat %q: want a positive duration like 15s", s))
+				return
+			}
+			heartbeat = d
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+			return
+		}
+		// Subscribe before writing headers: events appended from here on
+		// are delivered in order (a stalled client loses events only once
+		// its buffer of streamBufferEvents fills).
+		sub := ct.log.subscribe(streamBufferEvents)
+		defer ct.log.unsubscribe(sub)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		// An immediate comment so clients observe the open stream without
+		// waiting for the first event or heartbeat.
+		fmt.Fprint(w, ": stream open\n\n")
+		fl.Flush()
+		ticker := time.NewTicker(heartbeat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-ticker.C:
+				fmt.Fprint(w, ": heartbeat\n\n")
+				fl.Flush()
+			case ev := <-sub.ch:
+				if kind != "" && string(ev.Kind) != kind {
+					continue
+				}
+				data, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+				fl.Flush()
+			}
+		}
+	})
+
+	handle("GET /placement", func(w http.ResponseWriter, r *http.Request) {
+		if app := r.URL.Query().Get("app"); app != "" {
+			sc, err := ct.PlacementScore(app)
+			if err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, sc)
+			return
+		}
+		writeJSON(w, http.StatusOK, ct.Placement())
+	})
+
+	handle("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		// Reading alerts evaluates them: transitions land in the audit log
+		// (and the SSE stream) even without the vitald evaluation ticker.
+		ct.EvalAlerts()
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"alerts": ct.AlertStatus(),
+			"firing": ct.Alerts.Firing(),
+		})
 	})
 
 	handle("GET /apps", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"vital/internal/bitstream"
+	"vital/internal/cluster"
+	"vital/internal/fpga"
+)
+
+// ref builds a global block reference for scorer tests.
+func ref(board, die, index int) cluster.GlobalBlockRef {
+	return cluster.GlobalBlockRef{Board: board, BlockRef: fpga.BlockRef{Die: die, Index: index}}
+}
+
+// TestPlacementScorerFloorplan checks the scorer against known Fig. 7
+// floorplan layouts: a placement kept on one die scores zero crossings,
+// and deliberately split placements score the exact expected inter-die and
+// inter-board counts.
+func TestPlacementScorerFloorplan(t *testing.T) {
+	chain := chainEdges(4) // vb0 → vb1 → vb2 → vb3
+
+	// Single-die placement: four consecutive blocks on board 0, die 0 —
+	// the Fig. 7 "optimal" layout keeps the whole pipeline on-die.
+	single := []cluster.GlobalBlockRef{ref(0, 0, 0), ref(0, 0, 1), ref(0, 0, 2), ref(0, 0, 3)}
+	sc := ScorePlacement("single", chain, single)
+	if sc.Edges != 3 || sc.IntraDie != 3 || sc.InterDie != 0 || sc.InterBoard != 0 {
+		t.Fatalf("single-die: edges=%d intra=%d inter-die=%d inter-board=%d, want 3/3/0/0",
+			sc.Edges, sc.IntraDie, sc.InterDie, sc.InterBoard)
+	}
+	if sc.Quality != 1 {
+		t.Fatalf("single-die quality = %v, want 1", sc.Quality)
+	}
+	if sc.Boards != 1 || sc.Blocks != 4 {
+		t.Fatalf("single-die boards=%d blocks=%d, want 1/4", sc.Boards, sc.Blocks)
+	}
+
+	// Split across dies: vb0,vb1 on die 0 and vb2,vb3 on die 1. Exactly
+	// the vb1→vb2 edge crosses dies.
+	splitDie := []cluster.GlobalBlockRef{ref(0, 0, 0), ref(0, 0, 1), ref(0, 1, 0), ref(0, 1, 1)}
+	sc = ScorePlacement("split-die", chain, splitDie)
+	if sc.IntraDie != 2 || sc.InterDie != 1 || sc.InterBoard != 0 {
+		t.Fatalf("split-die: intra=%d inter-die=%d inter-board=%d, want 2/1/0",
+			sc.IntraDie, sc.InterDie, sc.InterBoard)
+	}
+	if want := 1 - 1.0/6.0; math.Abs(sc.Quality-want) > 1e-12 {
+		t.Fatalf("split-die quality = %v, want %v", sc.Quality, want)
+	}
+
+	// Split across dies and boards: vb0,vb1 on board 0 die 0, vb2 on
+	// board 0 die 1, vb3 on board 1. One intra-die, one inter-die, one
+	// inter-board edge.
+	splitBoard := []cluster.GlobalBlockRef{ref(0, 0, 0), ref(0, 0, 1), ref(0, 1, 0), ref(1, 0, 0)}
+	sc = ScorePlacement("split-board", chain, splitBoard)
+	if sc.IntraDie != 1 || sc.InterDie != 1 || sc.InterBoard != 1 {
+		t.Fatalf("split-board: intra=%d inter-die=%d inter-board=%d, want 1/1/1",
+			sc.IntraDie, sc.InterDie, sc.InterBoard)
+	}
+	// Quality = 1 − (1 + 2·1)/(2·3) = 0.5; board crossings cost double.
+	if math.Abs(sc.Quality-0.5) > 1e-12 {
+		t.Fatalf("split-board quality = %v, want 0.5", sc.Quality)
+	}
+	if sc.Boards != 2 {
+		t.Fatalf("split-board boards = %d, want 2", sc.Boards)
+	}
+
+	// Non-chain topology: a broadcast vb0→{vb1,vb2,vb3} with vb0..vb2 on
+	// die 0 and vb3 on die 1 has exactly one inter-die crossing.
+	bcast := []bitstream.BlockEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}}
+	sc = ScorePlacement("bcast", bcast, splitDie)
+	if sc.Edges != 3 || sc.InterDie != 2 || sc.IntraDie != 1 {
+		t.Fatalf("bcast on splitDie: edges=%d inter-die=%d intra=%d, want 3/2/1",
+			sc.Edges, sc.InterDie, sc.IntraDie)
+	}
+
+	// Out-of-range edges are skipped, not scored or crashed on.
+	bad := []bitstream.BlockEdge{{Src: 0, Dst: 9}, {Src: -1, Dst: 1}, {Src: 0, Dst: 1}}
+	sc = ScorePlacement("bad", bad, single)
+	if sc.Edges != 1 || sc.IntraDie != 1 {
+		t.Fatalf("out-of-range edges: edges=%d intra=%d, want 1/1", sc.Edges, sc.IntraDie)
+	}
+
+	// No edges (single-block app): quality defaults to perfect.
+	sc = ScorePlacement("solo", nil, single[:1])
+	if sc.Edges != 0 || sc.Quality != 1 {
+		t.Fatalf("edgeless app: edges=%d quality=%v, want 0/1", sc.Edges, sc.Quality)
+	}
+}
+
+// TestControllerPlacementReport exercises the controller-level report:
+// per-app scores use the stored channel topology (falling back to the
+// chain), and cluster totals aggregate over deployments.
+func TestControllerPlacementReport(t *testing.T) {
+	ct := NewController(testCluster())
+
+	// Deployment with an explicit stored topology, split across dies.
+	blocksA := []cluster.GlobalBlockRef{ref(0, 0, 0), ref(0, 0, 1), ref(0, 1, 0), ref(0, 1, 1)}
+	if err := ct.DB.Claim("appA", blocksA); err != nil {
+		t.Fatal(err)
+	}
+	ct.Bitstreams.StoreChannels("appA", chainEdges(4))
+	ct.deployed["appA"] = &Deployment{App: "appA", Blocks: blocksA}
+
+	// Deployment without a stored topology, split across boards: the
+	// scorer falls back to the pipeline chain vb0→vb1.
+	blocksB := []cluster.GlobalBlockRef{ref(1, 0, 0), ref(2, 0, 0)}
+	if err := ct.DB.Claim("appB", blocksB); err != nil {
+		t.Fatal(err)
+	}
+	ct.deployed["appB"] = &Deployment{App: "appB", Blocks: blocksB}
+
+	scA, err := ct.PlacementScore("appA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scA.InterDie != 1 || scA.InterBoard != 0 {
+		t.Fatalf("appA inter-die=%d inter-board=%d, want 1/0", scA.InterDie, scA.InterBoard)
+	}
+	scB, err := ct.PlacementScore("appB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scB.Edges != 1 || scB.InterBoard != 1 {
+		t.Fatalf("appB edges=%d inter-board=%d, want 1/1", scB.Edges, scB.InterBoard)
+	}
+	if _, err := ct.PlacementScore("ghost"); err == nil {
+		t.Fatal("PlacementScore for unknown app succeeded")
+	}
+
+	cp := ct.Placement()
+	if cp.InterDieTotal != 1 || cp.InterBoardTotal != 1 {
+		t.Fatalf("cluster totals inter-die=%d inter-board=%d, want 1/1",
+			cp.InterDieTotal, cp.InterBoardTotal)
+	}
+	if len(cp.Apps) != 2 || cp.Apps[0].App != "appA" || cp.Apps[1].App != "appB" {
+		t.Fatalf("apps not sorted: %+v", cp.Apps)
+	}
+	total := ct.Cluster.TotalBlocks()
+	if cp.FreeBlocks != total-6 {
+		t.Fatalf("free blocks = %d, want %d", cp.FreeBlocks, total-6)
+	}
+}
+
+// TestFragmentationIndex checks the free-capacity contiguity metric: an
+// idle cluster scores 0.0 (each die is one perfect run), and knocking a
+// hole into every die drives the index up.
+func TestFragmentationIndex(t *testing.T) {
+	ct := NewController(testCluster())
+	perDie := ct.Cluster.Boards[0].Device.BlocksPerDie
+	if perDie < 4 {
+		t.Fatalf("test assumes >= 4 blocks per die, got %d", perDie)
+	}
+
+	cp := ct.Placement()
+	if cp.FragmentationIndex != 0 {
+		t.Fatalf("idle cluster fragmentation = %v, want 0", cp.FragmentationIndex)
+	}
+	if cp.LongestFreeRun != perDie {
+		t.Fatalf("idle longest run = %d, want %d", cp.LongestFreeRun, perDie)
+	}
+
+	// Claim index 2 of every die on every board: the best run left in any
+	// die is max(2, perDie-3).
+	var holes []cluster.GlobalBlockRef
+	for b, board := range ct.Cluster.Boards {
+		for d := range board.Device.Dies {
+			holes = append(holes, ref(b, d, 2))
+		}
+	}
+	if err := ct.DB.Claim("holes", holes); err != nil {
+		t.Fatal(err)
+	}
+	wantRun := perDie - 3
+	if wantRun < 2 {
+		wantRun = 2
+	}
+	cp = ct.Placement()
+	if cp.LongestFreeRun != wantRun {
+		t.Fatalf("fragmented longest run = %d, want %d", cp.LongestFreeRun, wantRun)
+	}
+	want := 1 - float64(wantRun)/float64(perDie)
+	if math.Abs(cp.FragmentationIndex-want) > 1e-12 {
+		t.Fatalf("fragmentation = %v, want %v", cp.FragmentationIndex, want)
+	}
+	if len(cp.Boards) != len(ct.Cluster.Boards) {
+		t.Fatalf("per-board reports = %d, want %d", len(cp.Boards), len(ct.Cluster.Boards))
+	}
+}

@@ -1,0 +1,339 @@
+package sched
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vital/internal/telemetry"
+)
+
+// newServerFor serves an explicitly constructed controller (tests that
+// need non-default Options).
+func newServerFor(t *testing.T, ct *Controller) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(ct))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// openStream connects an SSE client to /events/stream and consumes the
+// ": stream open" preamble, so events appended after it returns are
+// guaranteed to be delivered.
+func openStream(t *testing.T, url string) (*bufio.Reader, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cancel(); resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading preamble: %v", err)
+		}
+		if strings.HasPrefix(line, ": stream open") {
+			return br, cancel
+		}
+	}
+}
+
+// TestEventStreamConcurrentWraparound drives concurrent producers through
+// a deliberately tiny event-log ring (limit 8, far smaller than the
+// per-subscriber stream buffer) and asserts the SSE client observes every
+// event exactly once, in sequence order, even while the ring wraps many
+// times — then that cancelling the request cleans the subscription up.
+func TestEventStreamConcurrentWraparound(t *testing.T) {
+	ct, srv := newTestServer(t)
+	// Swap in a tiny ring before any events or subscribers exist: the
+	// handler reads ct.log at request time.
+	ct.log = newEventLogWithLimit(8)
+
+	br, cancel := openStream(t, srv.URL+"/events/stream?heartbeat=1h")
+
+	const producers, perProducer = 3, 200
+	const total = producers * perProducer
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				ct.log.add(EventDeploy, fmt.Sprintf("app%d", p), strconv.Itoa(i))
+			}
+		}(p)
+	}
+
+	// The subscriber buffer (1024) exceeds total (600), so no event may be
+	// dropped and ids must be the contiguous sequence 1..600.
+	var next uint64 = 1
+	for next <= total {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read after %d events: %v", next-1, err)
+		}
+		if !strings.HasPrefix(line, "id: ") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, "id: ")), 10, 64)
+		if err != nil {
+			t.Fatalf("bad id line %q: %v", line, err)
+		}
+		if seq != next {
+			t.Fatalf("got seq %d, want %d (dropped or duplicated event)", seq, next)
+		}
+		next++
+	}
+	wg.Wait()
+
+	// The ring itself retains only the last 8 events.
+	if got := len(ct.Events(0)); got != 8 {
+		t.Fatalf("ring retained %d events, want 8", got)
+	}
+	evs := ct.Events(0)
+	if evs[len(evs)-1].Seq != total {
+		t.Fatalf("newest retained seq = %d, want %d", evs[len(evs)-1].Seq, total)
+	}
+
+	// Client disconnect must remove the subscription.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for ct.log.subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber not cleaned up: %d live", ct.log.subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEventStreamKindFilter checks that ?kind= delivers only matching
+// events and that frames carry the kind as the SSE event name.
+func TestEventStreamKindFilter(t *testing.T) {
+	ct, srv := newTestServer(t)
+	br, _ := openStream(t, srv.URL+"/events/stream?kind=fault&heartbeat=1h")
+
+	ct.log.add(EventDeploy, "noise", "")
+	ct.log.add(EventFault, "board0", "fail")
+
+	var event string
+	var ev Event
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad data frame %q: %v", line, err)
+			}
+			break
+		}
+	}
+	if event != "fault" || ev.Kind != EventFault || ev.App != "board0" {
+		t.Fatalf("first delivered frame = %q %+v, want the fault event", event, ev)
+	}
+}
+
+// TestEventStreamHeartbeat checks that an idle stream emits keep-alive
+// comments at the requested cadence.
+func TestEventStreamHeartbeat(t *testing.T) {
+	_, srv := newTestServer(t)
+	br, _ := openStream(t, srv.URL+"/events/stream?heartbeat=10ms")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no heartbeat within 5s")
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		if strings.HasPrefix(line, ": heartbeat") {
+			return
+		}
+	}
+}
+
+// TestEventStreamBadParams checks parameter validation returns 400.
+func TestEventStreamBadParams(t *testing.T) {
+	_, srv := newTestServer(t)
+	for _, q := range []string{"?kind=bogus", "?heartbeat=0s", "?heartbeat=junk", "?heartbeat=-5s"} {
+		resp, err := http.Get(srv.URL + "/events/stream" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestTracesFilters covers /traces ?app= prefix matching and the ?since=
+// cutoff, including rejection of malformed values with 400 (not 500).
+func TestTracesFilters(t *testing.T) {
+	ct, srv := newTestServer(t)
+	for _, app := range []string{"lenet-S", "lenet-M", "vgg"} {
+		sp := ct.Tracer.Start("deploy", telemetry.String("app", app))
+		sp.End()
+	}
+
+	get := func(q string) (int, []telemetry.TraceSummary) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/traces" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Traces []telemetry.TraceSummary `json:"traces"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, body.Traces
+	}
+
+	if code, traces := get("?app=lenet"); code != http.StatusOK || len(traces) != 2 {
+		t.Fatalf("?app=lenet: code=%d traces=%d, want 200/2 (prefix match)", code, len(traces))
+	}
+	if code, traces := get("?app=lenet-S"); code != http.StatusOK || len(traces) != 1 {
+		t.Fatalf("?app=lenet-S: code=%d traces=%d, want 200/1", code, len(traces))
+	}
+	if code, traces := get("?since=1h"); code != http.StatusOK || len(traces) != 3 {
+		t.Fatalf("?since=1h: code=%d traces=%d, want 200/3", code, len(traces))
+	}
+	future := time.Now().Add(time.Hour).UTC().Format(time.RFC3339)
+	if code, traces := get("?since=" + future); code != http.StatusOK || len(traces) != 0 {
+		t.Fatalf("?since=<future>: code=%d traces=%d, want 200/0", code, len(traces))
+	}
+	for _, q := range []string{"?since=bogus", "?since=-5m", "?max=-1", "?max=nope"} {
+		if code, _ := get(q); code != http.StatusBadRequest {
+			t.Fatalf("%s: code=%d, want 400", q, code)
+		}
+	}
+}
+
+// TestPlacementHTTP covers GET /placement for the cluster report, a
+// per-app score, and the 404 for unknown apps.
+func TestPlacementHTTP(t *testing.T) {
+	_, srv := newTestServer(t)
+	if resp := postJSON(t, srv.URL+"/deploy", map[string]interface{}{"app": "app1"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/placement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cp ClusterPlacement
+	if err := json.NewDecoder(resp.Body).Decode(&cp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Apps) != 1 || cp.Apps[0].App != "app1" {
+		t.Fatalf("cluster placement apps = %+v, want [app1]", cp.Apps)
+	}
+	if cp.FreeBlocks == 0 || len(cp.Boards) == 0 {
+		t.Fatalf("cluster placement missing capacity data: %+v", cp)
+	}
+
+	resp2, err := http.Get(srv.URL + "/placement?app=app1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var sc PlacementScore
+	if err := json.NewDecoder(resp2.Body).Decode(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.App != "app1" || sc.Quality < 0 || sc.Quality > 1 {
+		t.Fatalf("app score = %+v", sc)
+	}
+
+	resp3, err := http.Get(srv.URL + "/placement?app=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("?app=ghost status = %d, want 404", resp3.StatusCode)
+	}
+}
+
+// TestAlertsHTTP drives a board fault through a controller whose
+// board-unhealthy rule has no For delay and asserts GET /alerts reports
+// it firing, with the transition recorded as an alert event.
+func TestAlertsHTTP(t *testing.T) {
+	th := DefaultAlertThresholds()
+	th.BoardUnhealthyFor = 0
+	ct := NewControllerWithOptions(testCluster(), Options{Alerts: &th})
+	srv := newServerFor(t, ct)
+
+	if resp := postJSON(t, srv.URL+"/fault", map[string]interface{}{"board": 0, "kind": "fail"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Alerts []telemetry.AlertStatus `json:"alerts"`
+		Firing int                     `json:"firing"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	var found *telemetry.AlertStatus
+	for i := range body.Alerts {
+		if body.Alerts[i].Rule == "board_0_unhealthy" {
+			found = &body.Alerts[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("board_0_unhealthy missing from %+v", body.Alerts)
+	}
+	if found.State != telemetry.AlertFiring {
+		t.Fatalf("board_0_unhealthy state = %q, want firing", found.State)
+	}
+	if body.Firing == 0 {
+		t.Fatal("firing count is zero")
+	}
+
+	foundEvent := false
+	for _, ev := range ct.Events(0) {
+		if ev.Kind == EventAlert && ev.App == "board_0_unhealthy" {
+			foundEvent = true
+		}
+	}
+	if !foundEvent {
+		t.Fatal("alert transition not recorded in the event log")
+	}
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"strconv"
 
+	"vital/internal/memvirt"
 	"vital/internal/telemetry"
 )
 
@@ -84,6 +85,103 @@ func (ct *Controller) registerTelemetry() {
 			return float64(ct.log.Counts()[k])
 		}, telemetry.L("kind", string(k)))
 	}
+	// Placement-quality gauges (DESIGN.md §11): cluster-wide crossing
+	// totals and fragmentation, recomputed live at scrape time.
+	r.GaugeFunc("vital_placement_inter_die_total", "Inter-die channel crossings across all deployments.", func() float64 {
+		return float64(ct.Placement().InterDieTotal)
+	})
+	r.GaugeFunc("vital_placement_inter_board_total", "Inter-board channel crossings across all deployments.", func() float64 {
+		return float64(ct.Placement().InterBoardTotal)
+	})
+	r.GaugeFunc("vital_fragmentation_index", "1 − longest free run / free blocks: 0 when free capacity is contiguous.", func() float64 {
+		return ct.Placement().FragmentationIndex
+	})
+	r.GaugeFunc("vital_free_contiguity_blocks", "Longest run of physically consecutive free blocks cluster-wide.", func() float64 {
+		return float64(ct.Placement().LongestFreeRun)
+	})
+}
+
+// registerAppTelemetry installs scrape-time series for one deployed
+// application: memory-domain traffic, vNIC frame counters, and per-app
+// placement quality. Callbacks resolve the app's live state on every
+// scrape and read zero once it is undeployed (Prometheus counter-reset
+// semantics); redeploying under the same name rebinds the callbacks.
+// Called under ct.mu at deploy time — registration itself only takes the
+// registry lock, the callbacks take ct.mu only at scrape time.
+func (ct *Controller) registerAppTelemetry(app string) {
+	r := ct.Reg
+	lbl := telemetry.L("app", app)
+	domStats := func() memvirt.DomainStats {
+		ct.mu.Lock()
+		dep, ok := ct.deployed[app]
+		var primary int
+		if ok {
+			primary = dep.Primary
+		}
+		ct.mu.Unlock()
+		if !ok {
+			return memvirt.DomainStats{}
+		}
+		d, ok := ct.Cluster.Boards[primary].Mem.Domain(app)
+		if !ok {
+			return memvirt.DomainStats{}
+		}
+		return d.Stats()
+	}
+	r.CounterFunc("vital_mem_read_bytes_total", "Monitored DRAM bytes read through the app's memory domain.", func() float64 {
+		return float64(domStats().BytesRead)
+	}, lbl)
+	r.CounterFunc("vital_mem_written_bytes_total", "Monitored DRAM bytes written through the app's memory domain.", func() float64 {
+		return float64(domStats().BytesWrit)
+	}, lbl)
+	r.CounterFunc("vital_mem_faults_total", "Memory faults (unmapped accesses) in the app's domain.", func() float64 {
+		return float64(domStats().Faults)
+	}, lbl)
+	r.CounterFunc("vital_mem_tlb_hits_total", "TLB hits in the app's memory domain.", func() float64 {
+		return float64(domStats().TLBHits)
+	}, lbl)
+	r.CounterFunc("vital_mem_tlb_misses_total", "TLB misses in the app's memory domain.", func() float64 {
+		return float64(domStats().TLBMisses)
+	}, lbl)
+	r.GaugeFunc("vital_mem_allocated_bytes", "DRAM bytes currently mapped in the app's memory domain.", func() float64 {
+		return float64(domStats().AllocatedBytes)
+	}, lbl)
+	nicStats := func() memvirt.VNICStats {
+		ct.mu.Lock()
+		dep, ok := ct.deployed[app]
+		ct.mu.Unlock()
+		if !ok || dep.VNIC == nil {
+			return memvirt.VNICStats{}
+		}
+		return dep.VNIC.Stats()
+	}
+	r.CounterFunc("vital_vnic_tx_frames_total", "Frames transmitted by the app's virtual NIC.", func() float64 {
+		return float64(nicStats().TxFrames)
+	}, lbl)
+	r.CounterFunc("vital_vnic_rx_frames_total", "Frames received by the app's virtual NIC.", func() float64 {
+		return float64(nicStats().RxFrames)
+	}, lbl)
+	r.GaugeFunc("vital_placement_inter_die_crossings", "Inter-die channel crossings of the app's current placement.", func() float64 {
+		sc, err := ct.PlacementScore(app)
+		if err != nil {
+			return 0
+		}
+		return float64(sc.InterDie)
+	}, lbl)
+	r.GaugeFunc("vital_placement_inter_board_crossings", "Inter-board channel crossings of the app's current placement.", func() float64 {
+		sc, err := ct.PlacementScore(app)
+		if err != nil {
+			return 0
+		}
+		return float64(sc.InterBoard)
+	}, lbl)
+	r.GaugeFunc("vital_placement_quality", "Placement quality in [0,1]: 1 when every channel stays on-die.", func() float64 {
+		sc, err := ct.PlacementScore(app)
+		if err != nil {
+			return 0
+		}
+		return sc.Quality
+	}, lbl)
 }
 
 // finishSpan annotates a span with the operation's error, if any, and ends

@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Alert-rule engine (DESIGN.md §11): a minimal threshold/for-duration
+// evaluator in the style of Prometheus alerting rules, stdlib-only and
+// clock-explicit so tests drive it deterministically. A rule samples a
+// source gauge on every Eval; when the comparison holds it moves
+// inactive → pending, and once it has held for the rule's For duration,
+// pending → firing. Transitions to firing and back to inactive (resolved)
+// are reported to the engine's transition callback — the controller
+// appends them to its audit log and streams them over SSE.
+
+// AlertOp is the comparison direction of a rule.
+type AlertOp string
+
+// Comparison operators.
+const (
+	OpGreater AlertOp = ">"
+	OpLess    AlertOp = "<"
+)
+
+// AlertState is a rule's evaluation state.
+type AlertState string
+
+// Rule states.
+const (
+	AlertInactive AlertState = "inactive"
+	AlertPending  AlertState = "pending"
+	AlertFiring   AlertState = "firing"
+)
+
+// StateValue encodes a state for gauge export: 0 inactive, 1 pending,
+// 2 firing.
+func StateValue(s AlertState) float64 {
+	switch s {
+	case AlertPending:
+		return 1
+	case AlertFiring:
+		return 2
+	}
+	return 0
+}
+
+// AlertRule is one threshold rule. Source is sampled at every Eval; it
+// must not call back into the engine (the engine's lock is held during
+// sampling).
+type AlertRule struct {
+	Name      string
+	Help      string
+	Source    func() float64
+	Op        AlertOp
+	Threshold float64
+	// For is how long the comparison must hold before the rule fires;
+	// zero fires on the first breaching evaluation.
+	For time.Duration
+}
+
+// AlertTransition reports one state change worth announcing: a rule that
+// started firing, or a firing rule that resolved.
+type AlertTransition struct {
+	Rule      string
+	To        AlertState // AlertFiring or AlertInactive (resolved)
+	Value     float64
+	Op        AlertOp
+	Threshold float64
+	At        time.Time
+}
+
+// String renders the transition for audit logs.
+func (t AlertTransition) String() string {
+	if t.To == AlertFiring {
+		return fmt.Sprintf("firing: value %.4g %s threshold %.4g", t.Value, t.Op, t.Threshold)
+	}
+	return fmt.Sprintf("resolved: value %.4g no longer %s threshold %.4g", t.Value, t.Op, t.Threshold)
+}
+
+// AlertStatus is one rule's externally visible state.
+type AlertStatus struct {
+	Rule      string     `json:"rule"`
+	Help      string     `json:"help,omitempty"`
+	State     AlertState `json:"state"`
+	Value     float64    `json:"value"`
+	Op        AlertOp    `json:"op"`
+	Threshold float64    `json:"threshold"`
+	ForSec    float64    `json:"for_seconds"`
+	// Since is when the rule entered its current pending/firing stretch
+	// (omitted while inactive).
+	Since *time.Time `json:"since,omitempty"`
+	// Fired counts lifetime inactive/pending → firing transitions.
+	Fired uint64 `json:"fired"`
+}
+
+type ruleState struct {
+	rule  AlertRule
+	state AlertState
+	since time.Time
+	value float64
+	fired uint64
+}
+
+// AlertEngine evaluates a set of rules on demand.
+type AlertEngine struct {
+	// onTransition is set once at construction and invoked outside the
+	// engine lock, after each Eval, once per transition.
+	onTransition func(AlertTransition)
+
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+// NewAlertEngine builds an engine. onTransition may be nil.
+func NewAlertEngine(onTransition func(AlertTransition)) *AlertEngine {
+	return &AlertEngine{onTransition: onTransition}
+}
+
+// AddRule registers a rule. Rule names must be unique.
+func (e *AlertEngine) AddRule(r AlertRule) error {
+	if r.Name == "" || r.Source == nil {
+		return fmt.Errorf("telemetry: alert rule needs a name and a source")
+	}
+	if r.Op != OpGreater && r.Op != OpLess {
+		return fmt.Errorf("telemetry: alert rule %q: unknown op %q", r.Name, r.Op)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rs := range e.rules {
+		if rs.rule.Name == r.Name {
+			return fmt.Errorf("telemetry: duplicate alert rule %q", r.Name)
+		}
+	}
+	e.rules = append(e.rules, &ruleState{rule: r, state: AlertInactive})
+	return nil
+}
+
+// Eval evaluates every rule against its source at the given time and
+// returns the transitions that occurred (also delivered to the engine's
+// callback, after the lock is released).
+func (e *AlertEngine) Eval(now time.Time) []AlertTransition {
+	e.mu.Lock()
+	var trans []AlertTransition
+	for _, rs := range e.rules {
+		v := rs.rule.Source()
+		rs.value = v
+		breach := (rs.rule.Op == OpGreater && v > rs.rule.Threshold) ||
+			(rs.rule.Op == OpLess && v < rs.rule.Threshold)
+		switch rs.state {
+		case AlertInactive:
+			if breach {
+				rs.since = now
+				if rs.rule.For <= 0 { // no hold time: fire immediately
+					rs.state = AlertFiring
+					rs.fired++
+					trans = append(trans, e.transitionLocked(rs, now))
+				} else {
+					rs.state = AlertPending
+				}
+			}
+		case AlertPending:
+			switch {
+			case !breach:
+				// A pending rule never fired, so resolving it is silent.
+				rs.state = AlertInactive
+			case now.Sub(rs.since) >= rs.rule.For:
+				rs.state = AlertFiring
+				rs.fired++
+				trans = append(trans, e.transitionLocked(rs, now))
+			}
+		case AlertFiring:
+			if !breach {
+				rs.state = AlertInactive
+				trans = append(trans, e.transitionLocked(rs, now))
+			}
+		}
+	}
+	cb := e.onTransition
+	e.mu.Unlock()
+	if cb != nil {
+		for _, t := range trans {
+			cb(t)
+		}
+	}
+	return trans
+}
+
+// transitionLocked snapshots a rule's state change; the caller holds e.mu.
+func (e *AlertEngine) transitionLocked(rs *ruleState, now time.Time) AlertTransition {
+	return AlertTransition{
+		Rule:      rs.rule.Name,
+		To:        rs.state,
+		Value:     rs.value,
+		Op:        rs.rule.Op,
+		Threshold: rs.rule.Threshold,
+		At:        now,
+	}
+}
+
+// Status reports every rule's current state, sorted by rule name.
+func (e *AlertEngine) Status() []AlertStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]AlertStatus, 0, len(e.rules))
+	for _, rs := range e.rules {
+		st := AlertStatus{
+			Rule:      rs.rule.Name,
+			Help:      rs.rule.Help,
+			State:     rs.state,
+			Value:     rs.value,
+			Op:        rs.rule.Op,
+			Threshold: rs.rule.Threshold,
+			ForSec:    rs.rule.For.Seconds(),
+			Fired:     rs.fired,
+		}
+		if rs.state != AlertInactive {
+			since := rs.since
+			st.Since = &since
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	return out
+}
+
+// StateValueOf returns a rule's state encoded for gauge export (0/1/2),
+// or 0 for unknown rules.
+func (e *AlertEngine) StateValueOf(rule string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rs := range e.rules {
+		if rs.rule.Name == rule {
+			return StateValue(rs.state)
+		}
+	}
+	return 0
+}
+
+// Firing returns the number of rules currently firing.
+func (e *AlertEngine) Firing() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, rs := range e.rules {
+		if rs.state == AlertFiring {
+			n++
+		}
+	}
+	return n
+}

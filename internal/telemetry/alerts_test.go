@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAlertRuleForDuration(t *testing.T) {
+	val := 0.0
+	var fired, resolved []AlertTransition
+	eng := NewAlertEngine(func(tr AlertTransition) {
+		if tr.To == AlertFiring {
+			fired = append(fired, tr)
+		} else {
+			resolved = append(resolved, tr)
+		}
+	})
+	if err := eng.AddRule(AlertRule{
+		Name: "frag_high", Source: func() float64 { return val },
+		Op: OpGreater, Threshold: 0.5, For: 30 * time.Second,
+	}); err != nil {
+		t.Fatalf("AddRule: %v", err)
+	}
+
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	if tr := eng.Eval(t0); len(tr) != 0 {
+		t.Fatalf("inactive eval produced transitions: %v", tr)
+	}
+
+	// Breach starts: pending, no transition until For elapses.
+	val = 0.9
+	if tr := eng.Eval(t0.Add(1 * time.Second)); len(tr) != 0 {
+		t.Fatalf("pending should not fire yet: %v", tr)
+	}
+	if st := eng.Status()[0]; st.State != AlertPending || st.Since == nil {
+		t.Fatalf("status = %+v, want pending with Since", st)
+	}
+	if tr := eng.Eval(t0.Add(20 * time.Second)); len(tr) != 0 {
+		t.Fatalf("still inside For window: %v", tr)
+	}
+	tr := eng.Eval(t0.Add(32 * time.Second))
+	if len(tr) != 1 || tr[0].To != AlertFiring || tr[0].Rule != "frag_high" {
+		t.Fatalf("want one firing transition, got %v", tr)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("callback fired %d times, want 1", len(fired))
+	}
+	if got := eng.StateValueOf("frag_high"); got != 2 {
+		t.Fatalf("StateValueOf = %v, want 2", got)
+	}
+	if eng.Firing() != 1 {
+		t.Fatalf("Firing() = %d, want 1", eng.Firing())
+	}
+
+	// Stays firing without re-announcing.
+	if tr := eng.Eval(t0.Add(40 * time.Second)); len(tr) != 0 {
+		t.Fatalf("firing rule re-announced: %v", tr)
+	}
+
+	// Recovery resolves with a transition.
+	val = 0.1
+	tr = eng.Eval(t0.Add(50 * time.Second))
+	if len(tr) != 1 || tr[0].To != AlertInactive {
+		t.Fatalf("want one resolved transition, got %v", tr)
+	}
+	if len(resolved) != 1 {
+		t.Fatalf("callback resolved %d times, want 1", len(resolved))
+	}
+	if st := eng.Status()[0]; st.State != AlertInactive || st.Since != nil || st.Fired != 1 {
+		t.Fatalf("status after resolve = %+v", st)
+	}
+}
+
+func TestAlertPendingRecoversSilently(t *testing.T) {
+	val := 1.0
+	var transitions int
+	eng := NewAlertEngine(func(AlertTransition) { transitions++ })
+	if err := eng.AddRule(AlertRule{
+		Name: "r", Source: func() float64 { return val },
+		Op: OpGreater, Threshold: 0.5, For: time.Minute,
+	}); err != nil {
+		t.Fatalf("AddRule: %v", err)
+	}
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	eng.Eval(t0) // pending
+	val = 0.0
+	eng.Eval(t0.Add(10 * time.Second)) // back to inactive before firing
+	if transitions != 0 {
+		t.Fatalf("pending → inactive must be silent, got %d transitions", transitions)
+	}
+	// A fresh breach restarts the For clock.
+	val = 1.0
+	eng.Eval(t0.Add(20 * time.Second))
+	if tr := eng.Eval(t0.Add(70 * time.Second)); len(tr) != 0 {
+		t.Fatalf("For clock did not restart: %v", tr)
+	}
+	if tr := eng.Eval(t0.Add(81 * time.Second)); len(tr) != 1 {
+		t.Fatalf("want firing after full For from restart, got %v", tr)
+	}
+}
+
+func TestAlertZeroForFiresImmediately(t *testing.T) {
+	eng := NewAlertEngine(nil)
+	if err := eng.AddRule(AlertRule{
+		Name: "lt", Source: func() float64 { return 0.2 }, Op: OpLess, Threshold: 0.5,
+	}); err != nil {
+		t.Fatalf("AddRule: %v", err)
+	}
+	tr := eng.Eval(time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC))
+	if len(tr) != 1 || tr[0].To != AlertFiring {
+		t.Fatalf("zero-For rule should fire on first breach, got %v", tr)
+	}
+}
+
+func TestAlertEngineValidation(t *testing.T) {
+	eng := NewAlertEngine(nil)
+	if err := eng.AddRule(AlertRule{Name: "", Source: func() float64 { return 0 }, Op: OpGreater}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := eng.AddRule(AlertRule{Name: "x", Op: OpGreater}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if err := eng.AddRule(AlertRule{Name: "x", Source: func() float64 { return 0 }, Op: "!="}); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if err := eng.AddRule(AlertRule{Name: "x", Source: func() float64 { return 0 }, Op: OpGreater}); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	if err := eng.AddRule(AlertRule{Name: "x", Source: func() float64 { return 0 }, Op: OpLess}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	// Status is sorted by rule name.
+	_ = eng.AddRule(AlertRule{Name: "a", Source: func() float64 { return 0 }, Op: OpGreater})
+	st := eng.Status()
+	if len(st) != 2 || st[0].Rule != "a" || st[1].Rule != "x" {
+		t.Fatalf("Status not sorted: %+v", st)
+	}
+}

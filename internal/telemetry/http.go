@@ -25,6 +25,14 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so streaming responses (SSE)
+// work through the access-log and instrumentation wrappers.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // AccessLog wraps a handler with an HTTP access log: one line per request
 // (method, path, status, response bytes, latency) through logf — vitald
 // passes log.Printf.
