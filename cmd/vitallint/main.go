@@ -6,8 +6,18 @@
 // Usage:
 //
 //	vitallint ./...
-//	vitallint -analyzers lockcheck,errwrap ./internal/sched
+//	vitallint -analyzers lockorder,goroutineleak ./internal/sched
+//	vitallint -json ./...
+//	vitallint -sarif -out vitallint.sarif ./...
+//	vitallint -baseline .vitallint-baseline.json ./...
 //	vitallint -list
+//
+// Output is the conventional file:line:col text form by default; -json
+// emits one object per finding and -sarif emits a SARIF 2.1.0 log in the
+// shape GitHub code scanning consumes. -github adds ::error/::warning
+// workflow annotations (enabled automatically when GITHUB_ACTIONS is
+// set). -baseline filters findings through a checked-in baseline file;
+// -write-baseline regenerates that file from the current findings.
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
 // load errors.
@@ -16,62 +26,172 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"vital/internal/lint"
 )
 
 func main() {
-	names := flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
-	list := flag.Bool("list", false, "list available analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: vitallint [-analyzers a,b] [-list] <packages>")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vitallint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	names := fs.String("analyzers", "", "comma-separated analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	github := fs.Bool("github", os.Getenv("GITHUB_ACTIONS") != "", "emit GitHub workflow annotations (default: on under GITHUB_ACTIONS)")
+	outPath := fs.String("out", "", "write the report to this file instead of stdout")
+	baselinePath := fs.String("baseline", "", "filter findings through this baseline file")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the -baseline file from current findings and exit 0")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: vitallint [-analyzers a,b] [-json|-sarif] [-out file] [-baseline file [-write-baseline]] [-github] [-list] <packages>")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "vitallint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "vitallint: -write-baseline requires -baseline")
+		return 2
 	}
 	analyzers, err := lint.ByName(*names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vitallint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vitallint:", err)
+		return 2
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vitallint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vitallint:", err)
+		return 2
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vitallint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vitallint:", err)
+		return 2
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vitallint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vitallint:", err)
+		return 2
 	}
 	if len(pkgs) == 0 {
 		// A typo'd path must not read as a clean run.
-		fmt.Fprintf(os.Stderr, "vitallint: no packages match %v\n", patterns)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "vitallint: no packages match %v\n", patterns)
+		return 2
 	}
+	root := loader.ModuleDir
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *writeBaseline {
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "vitallint:", err)
+			return 2
+		}
+		werr := lint.WriteBaseline(f, root, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "vitallint:", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "vitallint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return 0
+	}
+
+	var suppressed []lint.Diagnostic
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "vitallint:", err)
+			return 2
+		}
+		diags, suppressed = base.Filter(root, diags)
+	}
+
+	out := io.Writer(stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "vitallint:", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+
+	switch {
+	case *sarifOut:
+		if err := lint.WriteSARIF(out, root, diags); err != nil {
+			fmt.Fprintln(stderr, "vitallint:", err)
+			return 2
+		}
+	case *jsonOut:
+		if err := lint.WriteJSON(out, root, diags); err != nil {
+			fmt.Fprintln(stderr, "vitallint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+	if *github {
+		for _, d := range diags {
+			kind := "error"
+			if d.Severity == lint.SeverityWarning {
+				kind = "warning"
+			}
+			// ::error file=...,line=...,col=...::message — GitHub renders
+			// these as inline PR annotations.
+			fmt.Fprintf(stderr, "::%s file=%s,line=%d,col=%d::%s: %s\n",
+				kind, relOrSelf(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, escapeAnnotation(d.Message))
+		}
+	}
+	if len(suppressed) > 0 {
+		fmt.Fprintf(stderr, "vitallint: %d finding(s) suppressed by baseline %s\n", len(suppressed), *baselinePath)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "vitallint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "vitallint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
 	}
+	return 0
+}
+
+// relOrSelf mirrors lint's SARIF path relativization for annotations.
+func relOrSelf(root, path string) string {
+	if rel, ok := strings.CutPrefix(path, root+string(os.PathSeparator)); ok {
+		return rel
+	}
+	return path
+}
+
+// escapeAnnotation applies GitHub's workflow-command data escaping.
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module and chdirs into it, so run()
+// resolves packages exactly as a user invocation would.
+func writeModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmp\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(cwd) })
+}
+
+const cleanSrc = `package p
+
+import "time"
+
+// Tick sleeps with an explicit unit.
+func Tick() { time.Sleep(10 * time.Millisecond) }
+`
+
+const dirtySrc = `package p
+
+import "time"
+
+// Tick passes bare nanoseconds: a durationliteral finding.
+func Tick() { time.Sleep(100) }
+`
+
+// TestExitCodeContract pins the documented exit statuses: 0 clean,
+// 1 findings, 2 load/usage error.
+func TestExitCodeContract(t *testing.T) {
+	t.Run("clean is 0", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": cleanSrc})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+		}
+	})
+	t.Run("findings are 1", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": dirtySrc})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"./..."}, &out, &errOut); code != 1 {
+			t.Fatalf("exit %d, want 1\nstderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "durationliteral") {
+			t.Errorf("text output missing analyzer name: %q", out.String())
+		}
+	})
+	t.Run("load error is 2", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": "package p\n\nfunc {\n"})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"./..."}, &out, &errOut); code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+	})
+	t.Run("no matching packages is 2", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": cleanSrc})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"./nosuch/..."}, &out, &errOut); code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+	})
+	t.Run("unknown analyzer is 2", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": cleanSrc})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-analyzers", "nosuch", "./..."}, &out, &errOut); code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+	})
+	t.Run("conflicting formats are 2", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": cleanSrc})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-json", "-sarif", "./..."}, &out, &errOut); code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+	})
+}
+
+// TestOutputModes exercises -json, -sarif, -github and the baseline
+// lifecycle end to end on a module with one known finding.
+func TestOutputModes(t *testing.T) {
+	t.Run("json", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": dirtySrc})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		var findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, out.String())
+		}
+		if len(findings) != 1 || findings[0].Analyzer != "durationliteral" || findings[0].File != "p/p.go" {
+			t.Errorf("findings = %+v", findings)
+		}
+	})
+	t.Run("sarif to file", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": dirtySrc})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-sarif", "-out", "report.sarif", "./..."}, &out, &errOut); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		data, err := os.ReadFile("report.sarif")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log struct {
+			Version string `json:"version"`
+			Runs    []struct {
+				Results []json.RawMessage `json:"results"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal(data, &log); err != nil {
+			t.Fatalf("bad SARIF: %v", err)
+		}
+		if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+			t.Errorf("sarif = version %q, %d runs", log.Version, len(log.Runs))
+		}
+	})
+	t.Run("github annotations", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": dirtySrc})
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-github", "./..."}, &out, &errOut); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		if !strings.Contains(errOut.String(), "::error file=p/p.go,line=") {
+			t.Errorf("no ::error annotation in stderr: %q", errOut.String())
+		}
+	})
+	t.Run("baseline lifecycle", func(t *testing.T) {
+		writeModule(t, map[string]string{"p/p.go": dirtySrc})
+		var out, errOut bytes.Buffer
+		// Record the debt…
+		if code := run([]string{"-baseline", "base.json", "-write-baseline", "./..."}, &out, &errOut); code != 0 {
+			t.Fatalf("write-baseline exit %d, want 0\n%s", code, errOut.String())
+		}
+		// …and the same findings now pass…
+		out.Reset()
+		errOut.Reset()
+		if code := run([]string{"-baseline", "base.json", "./..."}, &out, &errOut); code != 0 {
+			t.Fatalf("baselined run exit %d, want 0\n%s%s", code, out.String(), errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "suppressed by baseline") {
+			t.Errorf("no suppression notice: %q", errOut.String())
+		}
+		// …while a fresh finding still fails.
+		if err := os.WriteFile(filepath.Join("p", "q.go"),
+			[]byte("package p\n\nimport \"time\"\n\n// Wait passes bare nanoseconds too.\nfunc Wait() { time.Sleep(7) }\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out.Reset()
+		errOut.Reset()
+		if code := run([]string{"-baseline", "base.json", "./..."}, &out, &errOut); code != 1 {
+			t.Fatalf("new finding exit %d, want 1", code)
+		}
+	})
+}

@@ -317,7 +317,7 @@ func TestIgnoreDirective(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 8 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("lockcheck, errwrap")

@@ -1,0 +1,63 @@
+package lint
+
+import "testing"
+
+// TestCallGraphFixture pins the node set, edge counts and per-site
+// resolution of the cg fixture, so a change in graph construction shows
+// up as a concrete diff rather than a silently different analysis.
+func TestCallGraphFixture(t *testing.T) {
+	pkgs, _ := loadCase(t, "cg")
+	g := BuildCallGraph(pkgs)
+
+	wantNodes := []string{"cg.A", "cg.B", "cg.C", "cg.(T).M", "cg.(T).N", "cg.Dyn"}
+	nodes := g.Nodes()
+	if len(nodes) != len(wantNodes) {
+		t.Fatalf("got %d nodes, want %d", len(nodes), len(wantNodes))
+	}
+	byName := map[string]*CallNode{}
+	for i, n := range nodes {
+		if n.Name() != wantNodes[i] {
+			t.Errorf("node %d = %s, want %s (declaration order)", i, n.Name(), wantNodes[i])
+		}
+		byName[n.Name()] = n
+	}
+
+	type edge struct {
+		callee   string // "" for unresolved
+		goStmt   bool
+		deferred bool
+	}
+	wantEdges := map[string][]edge{
+		"cg.A":     {{callee: "cg.B"}, {callee: "cg.B", goStmt: true}, {callee: "cg.C", deferred: true}},
+		"cg.B":     {{callee: "cg.C"}, {callee: "cg.C"}},
+		"cg.C":     nil,
+		"cg.(T).M": {{callee: "cg.A"}},
+		"cg.(T).N": {{callee: "cg.(T).M"}},
+		"cg.Dyn":   {{callee: ""}},
+	}
+	total := 0
+	for name, want := range wantEdges {
+		n := byName[name]
+		if n == nil {
+			t.Fatalf("missing node %s", name)
+		}
+		if len(n.Calls) != len(want) {
+			t.Fatalf("%s: got %d call sites, want %d", name, len(n.Calls), len(want))
+		}
+		for i, w := range want {
+			got := n.Calls[i]
+			gotCallee := ""
+			if got.Callee != nil {
+				gotCallee = got.Callee.Name()
+			}
+			if gotCallee != w.callee || got.Go != w.goStmt || got.Deferred != w.deferred {
+				t.Errorf("%s call %d = (%q, go=%v, defer=%v), want (%q, go=%v, defer=%v)",
+					name, i, gotCallee, got.Go, got.Deferred, w.callee, w.goStmt, w.deferred)
+			}
+		}
+		total += len(want)
+	}
+	if total != 8 {
+		t.Errorf("fixture edge total = %d, want 8", total)
+	}
+}

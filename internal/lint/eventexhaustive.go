@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EventExhaustive requires every switch over an enum-like named type
+// declared in this module — the audit EventKind, AlertState, BoardHealth
+// and friends — to either cover all of the type's declared constants or
+// carry a default case. Without it, adding EventCheckpoint/EventMigrate
+// (the SYNERGY-style preemption arc in PAPERS.md) silently drops the new
+// kind in /events/stream filters, alert rules and vitalctl watch: the
+// compiler accepts a partial switch, and the missing arm is only noticed
+// when an event disappears.
+//
+// A type is enum-like when it is a defined type in one of the analyzed
+// packages with a basic underlying type (string or integer) and at least
+// two package-level constants of exactly that type. Switches with any
+// non-constant case expression are skipped (the set of handled values is
+// not statically known); type switches are out of scope.
+var EventExhaustive = &Analyzer{
+	Name:       "eventexhaustive",
+	Doc:        "switches over module enum types must cover every constant or have a default",
+	RunProgram: runEventExhaustive,
+}
+
+func runEventExhaustive(pass *ProgramPass) {
+	// Only enums declared inside the analyzed module count; switches over
+	// stdlib types (reflect.Kind, time.Month) follow stdlib rules, not ours.
+	modulePkgs := map[*types.Package]bool{}
+	for _, pkg := range pass.Program.Packages {
+		modulePkgs[pkg.Types] = true
+	}
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(pass, pkg.Info, modulePkgs, sw)
+				return true
+			})
+		}
+	}
+}
+
+func checkSwitch(pass *ProgramPass, info *types.Info, modulePkgs map[*types.Package]bool, sw *ast.SwitchStmt) {
+	tv, ok := info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil || !modulePkgs[named.Obj().Pkg()] {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsString|types.IsInteger) == 0 {
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return
+	}
+	var covered []constant.Value
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default case: the switch is total by construction
+		}
+		for _, e := range cc.List {
+			v, ok := info.Types[e]
+			if !ok || v.Value == nil {
+				return // non-constant case: handled set not statically known
+			}
+			covered = append(covered, v.Value)
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		hit := false
+		for _, v := range covered {
+			if constant.Compare(v, token.EQL, c.Val()) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	typeName := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	pass.Reportf(sw.Pos(), "switch on %s does not cover %s (add the missing cases or a default)",
+		typeName, strings.Join(missing, ", "))
+}
+
+// enumConstants returns the package-level constants declared with exactly
+// the named type, in declaration-name order.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts = append(consts, c)
+	}
+	return consts
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak flags `go` statements that start a goroutine with no
+// termination path. The ROADMAP's gossip prober and async admission queue
+// will add long-lived goroutines; this check forces each one to carry an
+// explicit exit — a return or loop-targeting break inside its unbounded
+// loops, typically from a ctx.Done()/quit-channel select case.
+//
+// A goroutine leaks when its body contains an unbounded loop — `for` with
+// no condition, or `range` over a channel (which only ends if the sender
+// closes the channel, a protocol this analyzer cannot verify) — with no
+// way out: no return, no break targeting that loop, no goto, and no
+// process-exit call (panic, os.Exit, log.Fatal*, runtime.Goexit). An
+// empty `select {}` is reported for the same reason. Bodies resolve
+// through the call graph, so `go worker(ctx)` is checked against worker's
+// declaration; dynamic launches (`go fn()` through a func value) are
+// opaque and trusted.
+//
+// The check is a heuristic (a daemon's main service loop is often meant
+// to outlive everything), so its findings are warnings; intentional
+// forever-goroutines take a reasoned //lint:ignore.
+var GoroutineLeak = &Analyzer{
+	Name:       "goroutineleak",
+	Doc:        "goroutines must have a termination path (return/break out of unbounded loops)",
+	Severity:   SeverityWarning,
+	RunProgram: runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *ProgramPass) {
+	graph := pass.Program.CallGraph()
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, info := goroutineBody(pkg.Info, graph, gs)
+				if body == nil {
+					return true
+				}
+				for _, l := range findLeaks(info, body) {
+					pass.Reportf(gs.Pos(), "goroutine never terminates: %s at %s has no return, break, or exit path",
+						l.what, shortPos(pass.Program.Fset.Position(l.pos)))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// goroutineBody resolves the body the `go` statement runs: a literal's
+// body, or the declaration of a statically resolved callee.
+func goroutineBody(info *types.Info, graph *CallGraph, gs *ast.GoStmt) (*ast.BlockStmt, *types.Info) {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, info
+	}
+	if node := graph.NodeOf(CalleeObject(info, gs.Call)); node != nil && node.Decl.Body != nil {
+		return node.Decl.Body, node.Pkg.Info
+	}
+	return nil, nil
+}
+
+type leak struct {
+	what string
+	pos  token.Pos
+}
+
+// findLeaks returns every unbounded construct in body with no exit path.
+// Nested function literals belong to other goroutines (or run-sites) and
+// are not descended into.
+func findLeaks(info *types.Info, body *ast.BlockStmt) []leak {
+	var leaks []leak
+	labels := map[ast.Stmt]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.LabeledStmt); ok {
+			labels[l.Stmt] = l.Label.Name
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !hasExit(info, n.Body, labels[n]) {
+				leaks = append(leaks, leak{"unbounded for loop", n.Pos()})
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[n.X]; ok && t.Type != nil {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan && !hasExit(info, n.Body, labels[n]) {
+					leaks = append(leaks, leak{"range over channel", n.Pos()})
+				}
+			}
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				leaks = append(leaks, leak{"empty select (blocks forever)", n.Pos()})
+			}
+		}
+		return true
+	})
+	return leaks
+}
+
+// hasExit reports whether the loop body can leave the loop: a return, a
+// break that targets the loop (plain break not captured by an inner
+// for/switch/select, or a labeled break naming the loop's label), a goto,
+// or a call that ends the process.
+func hasExit(info *types.Info, body *ast.BlockStmt, label string) bool {
+	found := false
+	// inner tracks whether a plain break would bind to a nested
+	// breakable construct instead of our loop.
+	var walk func(n ast.Node, inner bool)
+	walk = func(n ast.Node, inner bool) {
+		if n == nil || found {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				found = true
+				return false
+			case *ast.BranchStmt:
+				switch n.Tok {
+				case token.BREAK:
+					if n.Label != nil {
+						found = label != "" && n.Label.Name == label
+					} else {
+						found = !inner
+					}
+				case token.GOTO:
+					// A goto can jump past the loop; trust it.
+					found = true
+				}
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				// Plain breaks inside bind to this construct, not our loop.
+				for _, c := range children(n) {
+					walk(c, true)
+				}
+				return false
+			case *ast.CallExpr:
+				if isProcessExit(info, n) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for _, stmt := range body.List {
+		walk(stmt, false)
+	}
+	return found
+}
+
+// children returns the walkable parts of a nested breakable statement.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	add := func(parts ...ast.Node) {
+		for _, p := range parts {
+			switch v := p.(type) {
+			case ast.Stmt:
+				if v != nil {
+					out = append(out, v)
+				}
+			case ast.Expr:
+				if v != nil {
+					out = append(out, v)
+				}
+			case *ast.BlockStmt:
+				if v != nil {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		add(n.Init, n.Cond, n.Post, n.Body)
+	case *ast.RangeStmt:
+		add(n.X, n.Body)
+	case *ast.SwitchStmt:
+		add(n.Init, n.Tag, n.Body)
+	case *ast.TypeSwitchStmt:
+		add(n.Init, n.Assign, n.Body)
+	case *ast.SelectStmt:
+		add(n.Body)
+	}
+	return out
+}
+
+// isProcessExit recognizes calls that never return: panic, os.Exit,
+// runtime.Goexit, and log.Fatal*.
+func isProcessExit(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	pkg, name, ok := calleeOf(info, call)
+	if !ok {
+		return false
+	}
+	switch {
+	case pkg == "os" && name == "Exit":
+		return true
+	case pkg == "runtime" && name == "Goexit":
+		return true
+	case pkg == "log" && strings.HasPrefix(name, "Fatal"):
+		return true
+	}
+	return false
+}

@@ -4,6 +4,14 @@
 // offline), plus the project-specific analyzers that guard ViTAL's
 // domain invariants.
 //
+// Analyzers come in two shapes. Per-package analyzers (Run) see one
+// type-checked package at a time. Whole-program analyzers (RunProgram) see
+// every loaded package plus a type-aware cross-package call graph
+// (callgraph.go), which is what the concurrency checks need: a deadlock is
+// a property of the lock-acquisition order across internal/sched,
+// internal/telemetry, internal/memvirt and internal/interconnect, not of
+// any one function.
+//
 // The analyzers encode properties the rest of the repo depends on but the
 // compiler cannot check:
 //
@@ -19,6 +27,18 @@
 //   - durationliteral: bare integer literals must not be used as
 //     time.Duration values — 100 means 100 nanoseconds, which is never
 //     what the reconfiguration/timing models intend.
+//   - lockorder: the cross-package lock-acquisition graph must be acyclic,
+//     and no lock may be held across a blocking operation (channel send,
+//     select without default, http.ResponseWriter write, Flush, Sleep).
+//   - goroutineleak: every `go` statement needs a termination path — a
+//     ctx/done-channel select, a return/break out of its loop, or
+//     WaitGroup management.
+//   - eventexhaustive: switches over enum-like constant sets (the audit
+//     EventKind and friends) must cover every declared constant or carry
+//     a default, so new kinds cannot be silently dropped.
+//   - metrichygiene: vital_* metric names must be declared once with one
+//     type and help string, follow the Prometheus suffix conventions, and
+//     every reference must resolve to a declaration.
 package lint
 
 import (
@@ -30,14 +50,39 @@ import (
 	"strings"
 )
 
-// Analyzer is one static check.
+// Severity ranks a finding for report output (SARIF level, GitHub
+// annotation kind). Every severity is still a finding: vitallint exits 1
+// on warnings too, so CI can never silently accumulate them.
+type Severity string
+
+// Severities.
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
+)
+
+// Analyzer is one static check. Exactly one of Run (per-package) or
+// RunProgram (whole-program) is set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore comments.
 	Name string
 	// Doc is a one-line description.
 	Doc string
+	// Severity classifies the analyzer's findings (empty means error).
+	Severity Severity
 	// Run inspects one package and reports diagnostics through the pass.
 	Run func(*Pass)
+	// RunProgram inspects the whole program (all loaded packages plus the
+	// call graph) and reports diagnostics through the pass.
+	RunProgram func(*ProgramPass)
+}
+
+// severity returns the analyzer's severity, defaulting to error.
+func (a *Analyzer) severity() Severity {
+	if a.Severity == "" {
+		return SeverityError
+	}
+	return a.Severity
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -56,6 +101,67 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.severity(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Program is the whole-program view handed to RunProgram analyzers: every
+// loaded package (sharing one FileSet, so positions are comparable) plus
+// the lazily built cross-package call graph.
+type Program struct {
+	Packages []*Package
+	Fset     *token.FileSet
+
+	graph *CallGraph
+}
+
+// NewProgram assembles a program over the loaded packages.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Packages: pkgs}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	} else {
+		p.Fset = token.NewFileSet()
+	}
+	return p
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.graph == nil {
+		p.graph = BuildCallGraph(p.Packages)
+	}
+	return p.graph
+}
+
+// InfoFor returns the types.Info of the package declaring pos's file, so
+// program analyzers can resolve expressions in any package.
+func (p *Program) InfoFor(file *ast.File) *types.Info {
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			if f == file {
+				return pkg.Info
+			}
+		}
+	}
+	return nil
+}
+
+// ProgramPass carries the whole program through one analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Program  *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Program.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.severity(),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -64,6 +170,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Severity Severity
 	Message  string
 }
 
@@ -74,7 +181,10 @@ func (d Diagnostic) String() string {
 
 // All returns every project analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{LockCheck, MapDeterminism, ErrWrap, DurationLiteral}
+	return []*Analyzer{
+		LockCheck, MapDeterminism, ErrWrap, DurationLiteral,
+		LockOrder, GoroutineLeak, EventExhaustive, MetricHygiene,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list; an empty list means all.
@@ -99,15 +209,24 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // Run applies the analyzers to every package and returns the findings
-// sorted by position. Findings on lines carrying (or directly following) a
-// "//vitallint:ignore <name>" comment are dropped — every such suppression
-// is grep-able, so "fix, don't suppress" stays reviewable.
+// sorted by position. Per-package analyzers run once per package;
+// whole-program analyzers run once over all packages (with the shared call
+// graph). Findings on lines carrying (or directly following) a
+// "//lint:ignore <analyzer> <reason>" comment (or the legacy
+// "//vitallint:ignore <analyzer>") are dropped — every suppression is
+// grep-able, so "fix, don't suppress" stays reviewable. A lint:ignore
+// directive without a reason is itself a finding: an unexplained
+// suppression is exactly the drift the linter exists to stop.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	ignores := ignoreSet{}
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
+		collectIgnores(pkg, ignores, &diags)
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -118,13 +237,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
-		for _, d := range pkgDiags {
-			if ignores.match(d) {
-				continue
-			}
-			diags = append(diags, d)
-		}
+		diags = append(diags, pkgDiags...)
 	}
+	prog := NewProgram(pkgs)
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: a, Program: prog, diags: &diags}
+		a.RunProgram(pass)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignores.match(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -133,7 +263,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags
 }
@@ -142,6 +275,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 type ignoreSet map[string]map[string]bool
 
 func (s ignoreSet) match(d Diagnostic) bool {
+	if d.Analyzer == ignoreAnalyzerName {
+		return false // malformed-directive findings cannot self-suppress
+	}
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, line)
 		if names, ok := s[key]; ok && (names[d.Analyzer] || names["all"]) {
@@ -151,33 +287,67 @@ func (s ignoreSet) match(d Diagnostic) bool {
 	return false
 }
 
-const ignoreDirective = "vitallint:ignore"
+const (
+	legacyIgnoreDirective = "vitallint:ignore"
+	ignoreDirective       = "lint:ignore"
+	ignoreAnalyzerName    = "ignoredirective"
+)
 
-func collectIgnores(pkg *Package) ignoreSet {
-	set := ignoreSet{}
+// collectIgnores scans a package's comments for suppression directives.
+// The canonical form is "//lint:ignore <analyzer>[,<analyzer>] <reason>";
+// the PR 1 form "//vitallint:ignore <analyzer>..." is still honored.
+// Malformed lint:ignore directives (no analyzer, or no reason) are
+// reported as findings rather than silently not suppressing.
+func collectIgnores(pkg *Package, set ignoreSet, diags *[]Diagnostic) {
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		*diags = append(*diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: ignoreAnalyzerName,
+			Severity: SeverityError,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	add := func(pos token.Pos, names ...string) {
+		p := pkg.Fset.Position(pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		if set[key] == nil {
+			set[key] = map[string]bool{}
+		}
+		for _, n := range names {
+			set[key][n] = true
+		}
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, ignoreDirective) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				if set[key] == nil {
-					set[key] = map[string]bool{}
-				}
-				if rest == "" {
-					set[key]["all"] = true
-					continue
-				}
-				for _, n := range strings.Fields(rest) {
-					set[key][strings.TrimSuffix(n, ",")] = true
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				switch {
+				case strings.HasPrefix(text, ignoreDirective):
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						report(c.Pos(), "lint:ignore without an analyzer name (want //lint:ignore <analyzer> <reason>)")
+						continue
+					}
+					if len(fields) < 2 {
+						report(c.Pos(), "lint:ignore %s without a reason (want //lint:ignore <analyzer> <reason>)", fields[0])
+						continue
+					}
+					add(c.Pos(), strings.Split(fields[0], ",")...)
+				case strings.HasPrefix(text, legacyIgnoreDirective):
+					rest := strings.TrimSpace(strings.TrimPrefix(text, legacyIgnoreDirective))
+					if rest == "" {
+						add(c.Pos(), "all")
+						continue
+					}
+					var names []string
+					for _, n := range strings.Fields(rest) {
+						names = append(names, strings.TrimSuffix(n, ","))
+					}
+					add(c.Pos(), names...)
 				}
 			}
 		}
 	}
-	return set
 }

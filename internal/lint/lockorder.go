@@ -1,0 +1,679 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the whole-program lock-acquisition graph and reports
+// two hazard classes the ROADMAP's scale-out arc (per-shard scheduler
+// locks, gossip federation, async admission) multiplies:
+//
+//   - cycles: lock class A is acquired while B is held on one path and B
+//     while A is held on another — a potential deadlock the race detector
+//     cannot see (it needs the unlucky interleaving; the cycle is there
+//     either way). Re-acquiring a held class is the degenerate cycle and
+//     is reported directly (sync.Mutex is not reentrant).
+//   - blocking under a lock: a mutex held across an operation of unbounded
+//     latency — a channel send or receive outside a select with default, a
+//     select without default, a range over a channel, an
+//     http.ResponseWriter write or Flush, a WaitGroup/Cond Wait, or
+//     time.Sleep. The SSE broadcast path is the motivating case: one
+//     stalled subscriber must never wedge every controller operation
+//     behind ct.mu.
+//
+// Locks are classified by declaration site — "pkg.Type.field" for a mutex
+// field, "pkg.var" for a package-level mutex — so every instance of a type
+// shares one class. Held regions are tracked in source order within each
+// function (defer Unlock holds to function end; an explicit Unlock
+// releases at its statement — the snapshot-then-release idiom of
+// telemetry.Registry.collect stays clean), and propagate through the call
+// graph: a lock held at a call site is held across everything the
+// callee's transitive static callees do. Escaping function literals (HTTP
+// handlers, scrape-time metric callbacks) and `go`-launched literals are
+// analyzed as independent roots with an empty lockset; dynamic calls
+// (interface methods, func values) are opaque. Sends and receives inside
+// a select that has a default case are non-blocking by construction and
+// exempt.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "cross-package lock-acquisition graph must be acyclic; no lock held across a blocking operation",
+	RunProgram: runLockOrder,
+}
+
+// lockClass identifies a mutex by declaration site.
+type lockClass string
+
+// lockEvent is one entry of a function's source-ordered event trace.
+type lockEvent struct {
+	kind    lockEventKind
+	class   lockClass // lock/unlock events
+	call    *CallNode // call events (nil for dynamic calls)
+	what    string    // blocking events: human-readable operation
+	pos     ast.Node
+	rlocked bool // acquisition was RLock
+}
+
+type lockEventKind int
+
+const (
+	evLock lockEventKind = iota
+	evUnlock
+	evDeferUnlock
+	evCall
+	evBlocking
+)
+
+// fnSummary is a function's transitive concurrency footprint, memoized
+// across the analysis.
+type fnSummary struct {
+	// acquires maps each lock class the function (or a transitive callee)
+	// acquires to one representative call chain for reporting.
+	acquires map[lockClass][]string
+	// blocking maps a blocking-operation description to its call chain.
+	blocking map[string][]string
+}
+
+type lockOrderState struct {
+	pass  *ProgramPass
+	graph *CallGraph
+	// events caches each node's intraprocedural event trace.
+	events map[*CallNode][]lockEvent
+	// summaries memoizes transitive footprints; a nil entry marks a node
+	// currently being summarized (recursion guard).
+	summaries map[*CallNode]*fnSummary
+	// edges is the lock-order graph: held class → acquired class →
+	// witness for reporting.
+	edges map[lockClass]map[lockClass]*lockWitness
+}
+
+type lockWitness struct {
+	pos   ast.Node
+	chain []string
+}
+
+func runLockOrder(pass *ProgramPass) {
+	st := &lockOrderState{
+		pass:      pass,
+		graph:     pass.Program.CallGraph(),
+		events:    map[*CallNode][]lockEvent{},
+		summaries: map[*CallNode]*fnSummary{},
+		edges:     map[lockClass]map[lockClass]*lockWitness{},
+	}
+	// Every declared function is a root (entered with no locks held), and
+	// so is every function literal whose body does not run inline where it
+	// is written: escaping closures (HTTP handlers, metric callbacks) and
+	// `go`-launched literals.
+	for _, node := range st.graph.Nodes() {
+		st.analyze(node.Name(), st.trace(node))
+	}
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			for _, root := range literalRoots(f) {
+				name := fmt.Sprintf("func literal at %s", shortPos(pass.Program.Fset.Position(root.Pos())))
+				st.analyze(name, collectLockEvents(pkg.Info, st.graph, root.Body))
+			}
+		}
+	}
+	st.reportCycles()
+}
+
+func shortPos(p token.Position) string {
+	file := p.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
+// literalRoots returns the function literals in f whose bodies run on
+// their own (goroutines) or at an unknown later point (escaping
+// closures) — everything except literals invoked or deferred where they
+// appear, which collectLockEvents traces inline.
+func literalRoots(f *ast.File) []*ast.FuncLit {
+	inline := map[*ast.FuncLit]bool{}
+	goLaunched := map[*ast.FuncLit]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// `go func(){...}()` runs the body on a fresh goroutine: a
+			// root, even though the literal is the call's Fun. The GoStmt
+			// is visited before its CallExpr child, so the set is ready.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				goLaunched[lit] = true
+			}
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok && !goLaunched[lit] {
+				inline[lit] = true
+			}
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				inline[lit] = true
+			}
+		}
+		return true
+	})
+	var roots []*ast.FuncLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !inline[lit] {
+			roots = append(roots, lit)
+		}
+		return true
+	})
+	return roots
+}
+
+// trace computes (and caches) a node's source-ordered event list.
+func (st *lockOrderState) trace(node *CallNode) []lockEvent {
+	if ev, ok := st.events[node]; ok {
+		return ev
+	}
+	var events []lockEvent
+	if node.Decl.Body != nil {
+		events = collectLockEvents(node.Pkg.Info, st.graph, node.Decl.Body)
+	}
+	st.events[node] = events
+	return events
+}
+
+// analyze walks one root's events, maintaining the held lockset and
+// reporting hazards at each call and blocking operation.
+func (st *lockOrderState) analyze(name string, events []lockEvent) {
+	held := map[lockClass]bool{}
+	var order []lockClass // acquisition order, for edge generation
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			if held[ev.class] && !ev.rlocked {
+				st.pass.Reportf(ev.pos.Pos(), "%s acquires %s while already holding it (non-reentrant; deadlock)",
+					name, ev.class)
+				continue
+			}
+			for _, h := range order {
+				if held[h] && h != ev.class {
+					st.addEdge(h, ev.class, ev.pos, []string{name})
+				}
+			}
+			if !held[ev.class] {
+				held[ev.class] = true
+				order = append(order, ev.class)
+			}
+		case evUnlock:
+			delete(held, ev.class)
+		case evDeferUnlock:
+			// Held until the function returns: the entry simply stays in
+			// the held set for the rest of the trace.
+		case evCall:
+			if len(held) == 0 || ev.call == nil {
+				continue
+			}
+			sum := st.summarize(ev.call)
+			if sum == nil {
+				continue
+			}
+			heldSorted := sortedClasses(held)
+			for _, h := range heldSorted {
+				for _, acquired := range sortedClassKeys(sum.acquires) {
+					chain := sum.acquires[acquired]
+					if acquired == h {
+						st.pass.Reportf(ev.pos.Pos(), "%s holds %s and calls %s, which acquires %s again (non-reentrant; deadlock) [%s]",
+							name, h, ev.call.Name(), h, strings.Join(chain, " → "))
+						continue
+					}
+					st.addEdge(h, acquired, ev.pos, append([]string{name}, chain...))
+				}
+				for _, what := range sortedStringKeys(sum.blocking) {
+					st.pass.Reportf(ev.pos.Pos(), "%s holds %s across a blocking operation: %s [via %s]",
+						name, h, what, strings.Join(append([]string{name}, sum.blocking[what]...), " → "))
+				}
+			}
+		case evBlocking:
+			for _, h := range sortedClasses(held) {
+				st.pass.Reportf(ev.pos.Pos(), "%s holds %s across a blocking operation: %s",
+					name, h, ev.what)
+			}
+		}
+	}
+}
+
+func sortedClasses(held map[lockClass]bool) []lockClass {
+	out := make([]lockClass, 0, len(held))
+	for c := range held {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedClassKeys(m map[lockClass][]string) []lockClass {
+	out := make([]lockClass, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedStringKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// summarize computes a node's transitive footprint: every lock class it
+// or its static callees may acquire, and every blocking operation they
+// may perform. Locks both acquired and released wholly inside a callee
+// still count — the caller's held lock orders against them while they are
+// held.
+func (st *lockOrderState) summarize(node *CallNode) *fnSummary {
+	if sum, ok := st.summaries[node]; ok {
+		return sum // nil while in progress: recursion cut
+	}
+	st.summaries[node] = nil
+	sum := &fnSummary{acquires: map[lockClass][]string{}, blocking: map[string][]string{}}
+	for _, ev := range st.trace(node) {
+		switch ev.kind {
+		case evUnlock, evDeferUnlock:
+			// Releases don't enlarge the footprint: the caller orders
+			// against every class the callee acquires, held or not on exit.
+		case evLock:
+			if _, ok := sum.acquires[ev.class]; !ok {
+				sum.acquires[ev.class] = []string{node.Name()}
+			}
+		case evCall:
+			if ev.call == nil {
+				continue
+			}
+			callee := st.summarize(ev.call)
+			if callee == nil {
+				continue
+			}
+			for class, chain := range callee.acquires {
+				if _, ok := sum.acquires[class]; !ok {
+					sum.acquires[class] = append([]string{node.Name()}, chain...)
+				}
+			}
+			for what, chain := range callee.blocking {
+				if _, ok := sum.blocking[what]; !ok {
+					sum.blocking[what] = append([]string{node.Name()}, chain...)
+				}
+			}
+		case evBlocking:
+			if _, ok := sum.blocking[ev.what]; !ok {
+				sum.blocking[ev.what] = []string{node.Name()}
+			}
+		}
+	}
+	st.summaries[node] = sum
+	return sum
+}
+
+// addEdge records held → acquired in the lock-order graph.
+func (st *lockOrderState) addEdge(held, acquired lockClass, pos ast.Node, chain []string) {
+	if held == acquired {
+		return // same-class reacquisition is reported directly, not as an edge
+	}
+	m := st.edges[held]
+	if m == nil {
+		m = map[lockClass]*lockWitness{}
+		st.edges[held] = m
+	}
+	if _, ok := m[acquired]; !ok {
+		m[acquired] = &lockWitness{pos: pos, chain: chain}
+	}
+}
+
+// reportCycles finds cycles in the lock-order graph and reports each once.
+func (st *lockOrderState) reportCycles() {
+	classes := make([]lockClass, 0, len(st.edges))
+	for c := range st.edges {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+
+	seen := map[string]bool{}
+	for _, start := range classes {
+		path := []lockClass{start}
+		onPath := map[lockClass]bool{start: true}
+		var dfs func(from lockClass)
+		dfs = func(from lockClass) {
+			targets := make([]lockClass, 0, len(st.edges[from]))
+			for t := range st.edges[from] {
+				targets = append(targets, t)
+			}
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			for _, to := range targets {
+				if to == start {
+					st.reportCycle(append(append([]lockClass(nil), path...), start), seen)
+					continue
+				}
+				if onPath[to] {
+					continue // inner cycle; reported from its own start class
+				}
+				onPath[to] = true
+				path = append(path, to)
+				dfs(to)
+				path = path[:len(path)-1]
+				delete(onPath, to)
+			}
+		}
+		dfs(start)
+	}
+}
+
+func (st *lockOrderState) reportCycle(cycle []lockClass, seen map[string]bool) {
+	// Canonicalize: rotate so the smallest class leads, so A→B→A and
+	// B→A→B report once.
+	body := cycle[:len(cycle)-1]
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]lockClass(nil), body[min:]...), body[:min]...)
+	rotated = append(rotated, rotated[0])
+	key := fmt.Sprint(rotated)
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	parts := make([]string, len(rotated))
+	for i, c := range rotated {
+		parts[i] = string(c)
+	}
+	w := st.edges[rotated[0]][rotated[1]]
+	st.pass.Reportf(w.pos.Pos(), "lock-order cycle (potential deadlock): %s [first edge via %s]",
+		strings.Join(parts, " → "), strings.Join(w.chain, " → "))
+}
+
+// collectLockEvents linearizes a function body into lock/unlock/call/
+// blocking events in source order. Control flow is flattened (both arms
+// of an if contribute in order) — an under-approximation that keeps the
+// analysis predictable; explicit mid-function Unlocks are honored.
+func collectLockEvents(info *types.Info, graph *CallGraph, body ast.Node) []lockEvent {
+	var events []lockEvent
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// The spawned goroutine does not hold our locks; only the
+				// argument expressions evaluate here.
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				return false
+			case *ast.DeferStmt:
+				if class, op, rlocked := mutexOp(info, n.Call); class != "" {
+					if op == "unlock" {
+						events = append(events, lockEvent{kind: evDeferUnlock, class: class, pos: n})
+					} else {
+						events = append(events, lockEvent{kind: evLock, class: class, pos: n, rlocked: rlocked})
+					}
+					return false
+				}
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					// The deferred body runs on this goroutine at return,
+					// under whatever locks are then held; approximate by
+					// tracing it at the defer site.
+					walk(lit.Body)
+					return false
+				}
+				events = append(events, callOrBlockingEvent(info, graph, n.Call)...)
+				return false
+			case *ast.SelectStmt:
+				if !selectHasDefault(n) {
+					events = append(events, lockEvent{kind: evBlocking, what: "select without default", pos: n})
+				}
+				// Walk the case bodies either way; with a default the comm
+				// clauses themselves are non-blocking and exempt.
+				for _, clause := range n.Body.List {
+					if comm, ok := clause.(*ast.CommClause); ok {
+						for _, s := range comm.Body {
+							walk(s)
+						}
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				walk(n.Chan)
+				walk(n.Value)
+				events = append(events, lockEvent{kind: evBlocking, what: "channel send", pos: n})
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					walk(n.X)
+					events = append(events, lockEvent{kind: evBlocking, what: "channel receive", pos: n})
+					return false
+				}
+			case *ast.RangeStmt:
+				// Ranging over a channel blocks between elements.
+				if t, ok := info.Types[n.X]; ok && t.Type != nil {
+					if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+						walk(n.X)
+						events = append(events, lockEvent{kind: evBlocking, what: "range over channel", pos: n})
+						walk(n.Body)
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				if class, op, rlocked := mutexOp(info, n); class != "" {
+					kind := evLock
+					if op == "unlock" {
+						kind = evUnlock
+					}
+					events = append(events, lockEvent{kind: kind, class: class, pos: n, rlocked: rlocked})
+					return false
+				}
+				for _, arg := range n.Args {
+					walk(arg)
+				}
+				if lit, ok := n.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body) // immediately invoked: the body runs here
+					return false
+				}
+				walk(n.Fun)
+				events = append(events, callOrBlockingEvent(info, graph, n)...)
+				return false
+			case *ast.FuncLit:
+				return false // escaping literal: analyzed as its own root
+			}
+			return true
+		})
+	}
+	walk(body)
+	return events
+}
+
+// callOrBlockingEvent classifies one (non-mutex) call: a known blocking
+// operation, or a call event for the graph.
+func callOrBlockingEvent(info *types.Info, graph *CallGraph, call *ast.CallExpr) []lockEvent {
+	if what := blockingCall(info, call); what != "" {
+		return []lockEvent{{kind: evBlocking, what: what, pos: call}}
+	}
+	obj := CalleeObject(info, call)
+	return []lockEvent{{kind: evCall, call: graph.NodeOf(obj), pos: call}}
+}
+
+// mutexOp recognizes x.mu.Lock()/RLock()/Unlock()/RUnlock() (and the
+// embedded-mutex x.Lock() forms) and returns the lock class.
+func mutexOp(info *types.Info, call *ast.CallExpr) (class lockClass, op string, rlocked bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+		rlocked = sel.Sel.Name == "RLock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", "", false
+	}
+	t := tv.Type
+	if ptr, okp := t.(*types.Pointer); okp {
+		t = ptr.Elem()
+	}
+	if isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex") {
+		return classOfMutexExpr(info, sel.X), op, rlocked
+	}
+	// x.Lock() on a type embedding sync.Mutex: the selection resolves
+	// through the embedded field, so its index path has more than one hop.
+	if selInfo, okSel := info.Selections[sel]; okSel && len(selInfo.Index()) > 1 {
+		if named := namedOf(tv.Type); named != nil {
+			return classOfEmbedded(named), op, rlocked
+		}
+	}
+	return "", "", false
+}
+
+// classOfMutexExpr names the lock class of the mutex-valued expression x:
+// owner.mu → "pkg.Owner.mu", package-level mu → "pkg.mu".
+func classOfMutexExpr(info *types.Info, x ast.Expr) lockClass {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[x.X]; ok {
+			if named := namedOf(tv.Type); named != nil {
+				return lockClass(named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + x.Sel.Name)
+			}
+		}
+		return lockClass("unknown." + x.Sel.Name)
+	case *ast.Ident:
+		if obj := info.ObjectOf(x); obj != nil && obj.Pkg() != nil {
+			return lockClass(obj.Pkg().Name() + "." + obj.Name())
+		}
+	}
+	return "unknown.mu"
+}
+
+func classOfEmbedded(named *types.Named) lockClass {
+	return lockClass(named.Obj().Pkg().Name() + "." + named.Obj().Name() + ".Mutex")
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	return named
+}
+
+// blockingCall recognizes calls with unbounded latency: time.Sleep,
+// WaitGroup/Cond Wait, writes and flushes to an http.ResponseWriter, and
+// fmt.Fprint* whose first operand is an http.ResponseWriter.
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	if pkg, name, ok := calleeOf(info, call); ok {
+		if pkg == "time" && name == "Sleep" {
+			return "time.Sleep"
+		}
+		if pkg == "fmt" && strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			if isResponseWriter(info, call.Args[0]) {
+				return "fmt." + name + " to http.ResponseWriter"
+			}
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Wait":
+		if isNamedType(tv.Type, "sync", "WaitGroup") {
+			return "sync.WaitGroup.Wait"
+		}
+		if isNamedType(tv.Type, "sync", "Cond") {
+			return "sync.Cond.Wait"
+		}
+	case "Write", "WriteHeader":
+		if isResponseWriterType(tv.Type) {
+			return "http.ResponseWriter." + sel.Sel.Name
+		}
+	case "Flush":
+		if isFlusherType(tv.Type) || isResponseWriterType(tv.Type) {
+			return "Flush of an http streaming writer"
+		}
+	}
+	return ""
+}
+
+func isResponseWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isResponseWriterType(tv.Type)
+}
+
+// isResponseWriterType reports whether t is (or implements)
+// net/http.ResponseWriter.
+func isResponseWriterType(t types.Type) bool {
+	return isNamedType(t, "net/http", "ResponseWriter") || implementsNetHTTP(t, "ResponseWriter")
+}
+
+// isFlusherType reports whether t is net/http.Flusher.
+func isFlusherType(t types.Type) bool {
+	return isNamedType(t, "net/http", "Flusher")
+}
+
+// implementsNetHTTP reports whether t implements the named net/http
+// interface. The interface is located through t's declaring package's
+// imports (the linter never imports net/http itself, so fixture modules
+// without it stay cheap to type-check).
+func implementsNetHTTP(t types.Type, name string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		obj := imp.Scope().Lookup(name)
+		if obj == nil {
+			continue
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// selectHasDefault reports whether a select statement has a default case.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricHygiene keeps the vital_* metric namespace coherent across the
+// JSON /metrics snapshot, the Prometheus exposition and the alert-rule
+// queries. Three surfaces reference the same names by string literal, and
+// nothing but convention keeps them aligned; this analyzer makes the
+// convention checkable:
+//
+//   - every vital_* name must be snake_case ^vital_[a-z0-9_]+$;
+//   - a name must be declared with one metric type and one help string —
+//     re-declaring vital_x as a counter here and a gauge there splits the
+//     series at scrape time;
+//   - Prometheus suffix conventions hold: counters end _total, latency
+//     histograms end _seconds, and gauges must NOT end _total (a _total
+//     suffix promises monotonicity that a gauge cannot keep, which breaks
+//     rate() over the series);
+//   - every vital_* literal that is not itself a declaration (dashboard
+//     expectations, smoke-test scrape lists, alert queries) must resolve —
+//     after stripping a histogram's _bucket/_sum/_count suffix — to a
+//     declared metric, so renames cannot leave dangling references.
+//
+// Declarations are calls to Counter/CounterFunc/Gauge/GaugeFunc/Histogram
+// methods whose first argument is a vital_* string literal (the
+// internal/telemetry Registry API; matched by method name so fixture
+// modules need not import the package).
+var MetricHygiene = &Analyzer{
+	Name:       "metrichygiene",
+	Doc:        "vital_* metrics: one declaration per name, consistent type/help, Prometheus suffix conventions",
+	RunProgram: runMetricHygiene,
+}
+
+var metricNameRE = regexp.MustCompile(`^vital_[a-z0-9_]+$`)
+
+// metricKind is the declared metric type.
+type metricKind string
+
+// declMethods maps Registry method names to the metric kind they declare.
+var declMethods = map[string]metricKind{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+type metricDecl struct {
+	name string
+	kind metricKind
+	help string // empty when the help argument is not a literal
+	pos  token.Pos
+}
+
+func runMetricHygiene(pass *ProgramPass) {
+	var decls []metricDecl
+	declLits := map[*ast.BasicLit]bool{}
+	var refs []*ast.BasicLit
+
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if d, lit := metricDeclOf(call); lit != nil {
+						decls = append(decls, d)
+						declLits[lit] = true
+					}
+				}
+				return true
+			})
+			// Second sweep: every other vital_* literal is a reference.
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING || declLits[lit] {
+					return true
+				}
+				if s, err := strconv.Unquote(lit.Value); err == nil && strings.HasPrefix(s, "vital_") && metricNameRE.MatchString(s) {
+					refs = append(refs, lit)
+				}
+				return true
+			})
+		}
+	}
+
+	declared := map[string]metricDecl{}
+	for _, d := range decls {
+		if !metricNameRE.MatchString(d.name) {
+			pass.Reportf(d.pos, "metric name %q is not snake_case (want ^vital_[a-z0-9_]+$)", d.name)
+			continue
+		}
+		switch d.kind {
+		case "counter":
+			if !strings.HasSuffix(d.name, "_total") {
+				pass.Reportf(d.pos, "counter %s must end in _total (Prometheus counter convention)", d.name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(d.name, "_seconds") {
+				pass.Reportf(d.pos, "histogram %s must end in _seconds (latency histograms are measured in seconds)", d.name)
+			}
+		case "gauge":
+			if strings.HasSuffix(d.name, "_total") {
+				pass.Reportf(d.pos, "gauge %s must not end in _total (_total promises a monotonic counter; rate() over a gauge is wrong)", d.name)
+			}
+		}
+		prev, seen := declared[d.name]
+		if !seen {
+			declared[d.name] = d
+			continue
+		}
+		if prev.kind != d.kind {
+			pass.Reportf(d.pos, "metric %s declared as %s at %s but re-declared here as %s",
+				d.name, prev.kind, shortPos(pass.Program.Fset.Position(prev.pos)), d.kind)
+		}
+		if prev.help != "" && d.help != "" && prev.help != d.help {
+			pass.Reportf(d.pos, "metric %s declared with different help text than at %s (one series, one help string)",
+				d.name, shortPos(pass.Program.Fset.Position(prev.pos)))
+		}
+	}
+
+	for _, lit := range refs {
+		s, _ := strconv.Unquote(lit.Value)
+		base := s
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(s, suffix) {
+				base = strings.TrimSuffix(s, suffix)
+				break
+			}
+		}
+		if _, ok := declared[base]; !ok {
+			pass.Reportf(lit.Pos(), "reference to undeclared metric %q (no Counter/Gauge/Histogram declares it)", s)
+		}
+	}
+}
+
+// metricDeclOf recognizes reg.Counter("vital_x", "help", ...)-shaped calls
+// and returns the declaration plus the name literal (nil when the call is
+// not a metric declaration).
+func metricDeclOf(call *ast.CallExpr) (metricDecl, *ast.BasicLit) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return metricDecl{}, nil
+	}
+	kind, ok := declMethods[sel.Sel.Name]
+	if !ok {
+		return metricDecl{}, nil
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return metricDecl{}, nil
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil || !strings.HasPrefix(name, "vital_") {
+		return metricDecl{}, nil
+	}
+	d := metricDecl{name: name, kind: kind, pos: lit.Pos()}
+	if len(call.Args) > 1 {
+		if h, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && h.Kind == token.STRING {
+			if s, err := strconv.Unquote(h.Value); err == nil {
+				d.help = s
+			}
+		}
+	}
+	return d, lit
+}

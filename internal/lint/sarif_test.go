@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/sched/http.go", Line: 42, Column: 3},
+			Analyzer: "lockorder",
+			Severity: SeverityError,
+			Message:  "holds sched.Controller.mu across a blocking operation: channel send",
+		},
+		{
+			Pos:      token.Position{Filename: "/repo/cmd/vitald/main.go", Line: 70, Column: 3},
+			Analyzer: "goroutineleak",
+			Severity: SeverityWarning,
+			Message:  "goroutine never terminates: 100% stuck",
+		},
+	}
+}
+
+// TestSARIFShape validates the output against the SARIF 2.1.0 shape
+// GitHub code scanning consumes: schema/version headers, a rule per
+// analyzer, and results whose ruleIndex actually points at their rule.
+func TestSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+						DefaultConfiguration struct {
+							Level string `json:"level"`
+						} `json:"defaultConfiguration"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "vitallint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	// One rule per registered analyzer plus the ignoredirective pseudo-rule.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or description", r)
+		}
+		if r.DefaultConfiguration.Level != "error" && r.DefaultConfiguration.Level != "warning" {
+			t.Errorf("rule %s has level %q", r.ID, r.DefaultConfiguration.Level)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	for i, res := range run.Results {
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("result %d: ruleIndex %d resolves to %q, want %q",
+				i, res.RuleIndex, run.Tool.Driver.Rules[res.RuleIndex].ID, res.RuleID)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d has %d locations", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if strings.HasPrefix(loc.ArtifactLocation.URI, "/") || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("uri %q must be repo-relative with forward slashes", loc.ArtifactLocation.URI)
+		}
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Errorf("uriBaseId %q", loc.ArtifactLocation.URIBaseID)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result %d startLine %d", i, loc.Region.StartLine)
+		}
+	}
+	if run.Results[0].Level != "error" || run.Results[1].Level != "warning" {
+		t.Errorf("levels = %q, %q; want error, warning", run.Results[0].Level, run.Results[1].Level)
+	}
+	if run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI != "internal/sched/http.go" {
+		t.Errorf("uri = %q", run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/repo", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var out []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d findings", len(out))
+	}
+	want := jsonFinding{
+		Analyzer: "lockorder", Severity: "error",
+		File: "internal/sched/http.go", Line: 42, Column: 3,
+		Message: "holds sched.Controller.mu across a blocking operation: channel send",
+	}
+	if out[0] != want {
+		t.Errorf("finding[0] = %+v, want %+v", out[0], want)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, "/repo", diags); err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(buf.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("got %d entries", len(b.Entries))
+	}
+
+	// The baseline suppresses the same findings even when line numbers
+	// move.
+	shifted := make([]Diagnostic, len(diags))
+	copy(shifted, diags)
+	shifted[0].Pos.Line += 100
+	kept, suppressed := b.Filter("/repo", shifted)
+	if len(kept) != 0 || len(suppressed) != 2 {
+		t.Fatalf("kept %d suppressed %d, want 0/2", len(kept), len(suppressed))
+	}
+
+	// A new finding is not suppressed.
+	extra := append(shifted, Diagnostic{
+		Pos:      token.Position{Filename: "/repo/x.go", Line: 1},
+		Analyzer: "lockorder", Severity: SeverityError, Message: "new",
+	})
+	kept, suppressed = b.Filter("/repo", extra)
+	if len(kept) != 1 || kept[0].Message != "new" || len(suppressed) != 2 {
+		t.Fatalf("kept %v", kept)
+	}
+
+	// An entry suppresses only as many findings as it appears.
+	dup := []Diagnostic{shifted[0], shifted[0]}
+	kept, suppressed = b.Filter("/repo", dup)
+	if len(kept) != 1 || len(suppressed) != 1 {
+		t.Fatalf("duplicate handling: kept %d suppressed %d, want 1/1", len(kept), len(suppressed))
+	}
+}

@@ -1,0 +1,31 @@
+// Package cg is the call-graph pinning fixture: every resolution shape
+// in one file, with known node and edge counts.
+package cg
+
+// A calls B directly, launches B on a goroutine, and defers C.
+func A() {
+	B()
+	go B()
+	defer C()
+}
+
+// B calls C twice.
+func B() {
+	C()
+	C()
+}
+
+// C is a leaf.
+func C() {}
+
+// T carries the method-resolution cases.
+type T struct{}
+
+// M resolves a package function from a method.
+func (t T) M() { A() }
+
+// N resolves a method call on a concrete receiver.
+func (t T) N() { t.M() }
+
+// Dyn calls through a func value: an unresolved (dynamic) edge.
+func Dyn(f func()) { f() }

@@ -1,0 +1,61 @@
+// Package exhneg holds switches eventexhaustive must accept.
+package exhneg
+
+// Kind is an enum-like type.
+type Kind string
+
+// Kinds.
+const (
+	KindDeploy Kind = "deploy"
+	KindFault  Kind = "fault"
+)
+
+// Full covers every constant: clean.
+func Full(k Kind) int {
+	switch k {
+	case KindDeploy:
+		return 1
+	case KindFault:
+		return 2
+	}
+	return 0
+}
+
+// Defaulted opts out with a default arm: clean.
+func Defaulted(k Kind) int {
+	switch k {
+	case KindDeploy:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Dynamic has a non-constant case, so the covered set is not statically
+// knowable: clean.
+func Dynamic(k, other Kind) int {
+	switch k {
+	case other:
+		return 1
+	}
+	return 0
+}
+
+// Tagless switches are ordinary if-chains: clean.
+func Tagless(k Kind) int {
+	switch {
+	case k == KindDeploy:
+		return 1
+	}
+	return 0
+}
+
+// Suppressed documents a deliberate partial switch.
+func Suppressed(k Kind) int {
+	//lint:ignore eventexhaustive fixture: deliberate partial switch
+	switch k {
+	case KindDeploy:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+// Package exhpos seeds eventexhaustive findings.
+package exhpos
+
+// Kind is an enum-like audit event type.
+type Kind string
+
+// Kinds.
+const (
+	KindDeploy   Kind = "deploy"
+	KindUndeploy Kind = "undeploy"
+	KindFault    Kind = "fault"
+)
+
+// Describe misses KindFault and has no default: finding.
+func Describe(k Kind) string {
+	switch k {
+	case KindDeploy:
+		return "deploy"
+	case KindUndeploy:
+		return "undeploy"
+	}
+	return ""
+}
+
+// Level is an integer enum.
+type Level int
+
+// Levels.
+const (
+	LevelLow Level = iota
+	LevelHigh
+)
+
+// Rank misses LevelHigh: finding.
+func Rank(l Level) int {
+	switch l {
+	case LevelLow:
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,63 @@
+// Package leakneg holds goroutines with legitimate termination paths:
+// all clean.
+package leakneg
+
+import "sync"
+
+// Worker exits when done closes: the return inside the select counts.
+func Worker(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Pool ranges a channel but returns on a sentinel value.
+func Pool(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			if v < 0 {
+				return
+			}
+		}
+	}()
+}
+
+// Bounded loops terminate by construction.
+func Bounded(ch chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// Escape leaves the loop with a labeled break from inside the select.
+func Escape(done chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-done:
+				break loop
+			}
+		}
+	}()
+}
+
+// Daemon is intentionally process-lifetime; the suppression records why.
+func Daemon(tick chan struct{}) {
+	//lint:ignore goroutineleak fixture: daemon-lifetime loop dies with the process
+	go func() {
+		for range tick {
+		}
+	}()
+}

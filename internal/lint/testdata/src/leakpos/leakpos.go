@@ -1,0 +1,31 @@
+// Package leakpos seeds goroutineleak findings.
+package leakpos
+
+// Spin launches an unbounded loop with no way out: finding.
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// Consume launches a declared worker resolved through the call graph;
+// its channel range has no return or break: finding.
+func Consume(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	_ = total
+}
+
+// Park blocks forever on an empty select: finding.
+func Park() {
+	go func() {
+		select {}
+	}()
+}

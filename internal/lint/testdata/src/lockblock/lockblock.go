@@ -1,0 +1,76 @@
+// Package lockblock seeds lockorder's held-across-blocking findings and
+// the clean idioms that must stay silent.
+package lockblock
+
+import (
+	"sync"
+	"time"
+)
+
+// Q pairs a mutex with a channel, the SSE-broadcast shape.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Send holds mu across a channel send: finding.
+func (q *Q) Send(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v
+}
+
+// Wait holds mu across a select without default: finding.
+func (q *Q) Wait() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.ch:
+		_ = v
+	}
+}
+
+// Nap blocks transitively: the sleep is two calls down the graph.
+func (q *Q) Nap() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	pause()
+}
+
+func pause() { time.Sleep(time.Millisecond) }
+
+// Pump's goroutine body is a literal root: it holds mu across a send on
+// its own stack, so the finding lands there, not in Pump.
+func (q *Q) Pump() {
+	go func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		q.ch <- 1
+	}()
+}
+
+// TrySend uses the non-blocking broadcast idiom: clean.
+func (q *Q) TrySend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+	default:
+	}
+}
+
+// Handoff snapshots under the lock and sends after releasing: clean.
+func (q *Q) Handoff(v int) {
+	q.mu.Lock()
+	x := v + 1
+	q.mu.Unlock()
+	q.ch <- x
+}
+
+// Legacy keeps a reviewed violation under a reasoned suppression.
+func (q *Q) Legacy(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//lint:ignore lockorder fixture: demonstrates a reviewed suppression
+	q.ch <- v
+}

@@ -1,0 +1,44 @@
+// Package lockcycle seeds lockorder's cycle and reacquisition findings.
+package lockcycle
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+)
+
+// AB acquires a then b: one direction of the cycle.
+func AB() {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+// BA acquires b then a: the other direction — together a deadlock cycle.
+func BA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// R owns a non-reentrant mutex.
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Outer holds mu and calls a helper that reacquires it: self-deadlock.
+func (r *R) Outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.relock()
+}
+
+func (r *R) relock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+}

@@ -1,0 +1,17 @@
+// Package inner is the callee side of the cross-package lockorder case.
+package inner
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+// Flush holds its own lock across a sleep: a local finding, and a
+// blocking entry in every caller's transitive summary.
+func Flush() {
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Package locks exercises the cross-package half of lockorder: the
+// blocking operation and the foreign lock live in fixture/locks/inner.
+package locks
+
+import (
+	"sync"
+
+	"fixture/locks/inner"
+)
+
+var mu sync.Mutex
+
+// Report holds mu across inner.Flush, which both takes its own lock
+// (an order edge) and sleeps (a blocking finding through the graph).
+func Report() {
+	mu.Lock()
+	defer mu.Unlock()
+	inner.Flush()
+}

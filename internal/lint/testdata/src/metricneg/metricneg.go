@@ -1,0 +1,33 @@
+// Package metricneg follows every metrichygiene convention: clean.
+package metricneg
+
+type reg struct{}
+
+func (reg) Counter(name, help string) int   { return 0 }
+func (reg) Gauge(name, help string) int     { return 0 }
+func (reg) Histogram(name, help string) int { return 0 }
+
+// Declare repeats a declaration with identical kind and help, which the
+// labeled-series pattern requires.
+func Declare(r reg) {
+	r.Counter("vital_frames_total", "Frames moved.")
+	r.Counter("vital_frames_total", "Frames moved.")
+	r.Gauge("vital_depth", "Current depth.")
+	r.Histogram("vital_deploy_seconds", "Deploy latency.")
+}
+
+// Scrape references declared series, histogram suffixes included.
+func Scrape() []string {
+	return []string{
+		"vital_frames_total",
+		"vital_deploy_seconds_bucket",
+		"vital_deploy_seconds_sum",
+		"vital_deploy_seconds_count",
+	}
+}
+
+// Suppressed keeps a legacy name with a reviewed reason.
+func Suppressed(r reg) {
+	//lint:ignore metrichygiene fixture: legacy series name kept for dashboard compatibility
+	r.Gauge("vital_legacy_total", "Legacy gauge.")
+}

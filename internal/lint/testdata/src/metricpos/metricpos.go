@@ -1,0 +1,27 @@
+// Package metricpos seeds metrichygiene findings. The reg type mimics
+// the telemetry Registry's declaration surface; the analyzer matches by
+// method name, so no real dependency is needed.
+package metricpos
+
+type reg struct{}
+
+func (reg) Counter(name, help string) int   { return 0 }
+func (reg) Gauge(name, help string) int     { return 0 }
+func (reg) Histogram(name, help string) int { return 0 }
+
+// Declare seeds the namespace with one violation per rule.
+func Declare(r reg) {
+	r.Counter("vital_requests", "Requests served.")        // counter without _total
+	r.Gauge("vital_queue_depth_total", "Queue depth.")     // gauge with _total
+	r.Histogram("vital_deploy_latency", "Deploy latency.") // histogram without _seconds
+	r.Counter("vital_Bad-Name_total", "Mixed case.")       // not snake_case
+	r.Gauge("vital_cache_entries", "Entries resident.")
+	r.Gauge("vital_cache_entries", "Entries in the cache.") // help drift
+	r.Gauge("vital_mode", "Mode.")
+	r.Histogram("vital_mode", "Mode.") // kind conflict (and bad suffix)
+}
+
+// Scrape references one declared and one undeclared series.
+func Scrape() []string {
+	return []string{"vital_cache_entries", "vital_missing_series_total"}
+}
