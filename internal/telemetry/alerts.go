@@ -43,8 +43,11 @@ func StateValue(s AlertState) float64 {
 		return 1
 	case AlertFiring:
 		return 2
+	default:
+		// AlertInactive, and anything unrecognized, exports as 0 so a bad
+		// state can never read as an active alert.
+		return 0
 	}
-	return 0
 }
 
 // AlertRule is one threshold rule. Source is sampled at every Eval; it
