@@ -87,10 +87,10 @@ func (ct *Controller) registerTelemetry() {
 	}
 	// Placement-quality gauges (DESIGN.md §11): cluster-wide crossing
 	// totals and fragmentation, recomputed live at scrape time.
-	r.GaugeFunc("vital_placement_inter_die_total", "Inter-die channel crossings across all deployments.", func() float64 {
+	r.GaugeFunc("vital_placement_cluster_inter_die_crossings", "Inter-die channel crossings across all deployments.", func() float64 {
 		return float64(ct.Placement().InterDieTotal)
 	})
-	r.GaugeFunc("vital_placement_inter_board_total", "Inter-board channel crossings across all deployments.", func() float64 {
+	r.GaugeFunc("vital_placement_cluster_inter_board_crossings", "Inter-board channel crossings across all deployments.", func() float64 {
 		return float64(ct.Placement().InterBoardTotal)
 	})
 	r.GaugeFunc("vital_fragmentation_index", "1 − longest free run / free blocks: 0 when free capacity is contiguous.", func() float64 {
