@@ -51,8 +51,9 @@ func (k Kind) String() string {
 		return "BRAM"
 	case KindIO:
 		return "IO"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
-	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
 // CellID indexes a cell within a Netlist. IDs are dense: the cell with

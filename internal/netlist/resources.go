@@ -24,6 +24,9 @@ func (r *Resources) AddCell(k Kind) {
 		r.DSPs++
 	case KindBRAM:
 		r.BRAMKb += BRAMKb
+	default:
+		// KindIO pads bind to the interface rows, not the fabric: they
+		// consume no countable resources.
 	}
 }
 

@@ -58,6 +58,8 @@ func packCLBs(n *netlist.Netlist, cells []netlist.CellID, adj [][]netlist.Edge) 
 			assigned[c] = true
 		case netlist.KindIO:
 			assigned[c] = true // interface-bound, not placed here
+		default:
+			// Soft logic (LUTs, DFFs) is packed by the BFS pass below.
 		}
 	}
 
