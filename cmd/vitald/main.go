@@ -67,6 +67,7 @@ func main() {
 		// Background alert evaluation: rules with a For duration need
 		// periodic sampling to move pending → firing without a client
 		// polling GET /alerts.
+		//lint:ignore goroutineleak the evaluation loop is daemon-lifetime by design; it dies with the process.
 		go func() {
 			ticker := time.NewTicker(*alertInterval)
 			defer ticker.Stop()
