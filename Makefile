@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race faultstress lint bench benchsmoke obssmoke alertsmoke clean
+.PHONY: all build test race faultstress lint lint-sarif bench benchsmoke obssmoke alertsmoke clean
 
 all: build lint test
 
@@ -18,11 +18,21 @@ race:
 faultstress:
 	$(GO) test -race -count=2 -run 'TestFaultStress' ./internal/sched
 
-# vet plus the repo's own domain-aware analyzers (lockcheck,
-# mapdeterminism, errwrap, durationliteral). Fails on any finding.
+# vet plus the repo's own analyzers: the per-package checks (lockcheck,
+# mapdeterminism, errwrap, durationliteral) and the whole-program
+# concurrency suite (lockorder, goroutineleak, eventexhaustive,
+# metrichygiene). Known debt lives in .vitallint-baseline.json (empty
+# today — keep it that way); anything else fails the run. CI calls this
+# target, so the two can't drift.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/vitallint ./...
+	$(GO) run ./cmd/vitallint -baseline .vitallint-baseline.json ./...
+
+# Same findings as `make lint`, rendered as SARIF 2.1.0 for GitHub code
+# scanning. Always writes vitallint.sarif, even when findings fail the
+# run (CI uploads it either way).
+lint-sarif:
+	$(GO) run ./cmd/vitallint -baseline .vitallint-baseline.json -sarif -out vitallint.sarif ./...
 
 # Run the full benchmark suite and record a dated perf trajectory
 # (benchmark → ns/op, B/op, allocs/op, reported metrics) so future PRs
