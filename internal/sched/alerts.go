@@ -25,8 +25,8 @@ type AlertThresholds struct {
 	BoardUnhealthyFor time.Duration
 	// FragmentationMax is the fragmentation-index threshold of
 	// fragmentation_high, held for FragmentationFor.
-	FragmentationMax   float64
-	FragmentationFor   time.Duration
+	FragmentationMax float64
+	FragmentationFor time.Duration
 	// CacheHitRateMin is the compile-cache hit-rate floor of
 	// cache_hit_rate_low, held for CacheFor; the rule stays quiet until
 	// the cache has seen CacheMinLookups lookups.
