@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race faultstress lint lint-sarif bench benchsmoke obssmoke alertsmoke clean
+# Where `make bench` writes its dated perf snapshot. Override to avoid
+# clobbering an existing same-day baseline (e.g. BENCH_OUT=BENCH_20260808b.json).
+BENCH_OUT ?= BENCH_$(shell date +%Y%m%d).json
+
+.PHONY: all build test race faultstress schedsoak lint lint-sarif bench benchsmoke obssmoke alertsmoke clean
 
 all: build lint test
 
@@ -17,6 +21,13 @@ race:
 # recoveries, and invariant audits, twice, under the race detector.
 faultstress:
 	$(GO) test -race -count=2 -run 'TestFaultStress' ./internal/sched
+
+# Scheduler soak under the race detector: two single-board tenants racing
+# for capacity that only exists after a drain (the TOCTOU regression),
+# plus deploy/undeploy churn against the incremental defragmenter with
+# the invariant auditor — free-run index included — running mid-flight.
+schedsoak:
+	$(GO) test -race -count=2 -run 'TestDeploySingleBoardRace|TestConcurrentDefragSoak|TestConcurrentDeployRelocateDefrag' ./internal/sched
 
 # vet plus the repo's own analyzers: the per-package checks (lockcheck,
 # mapdeterminism, errwrap, durationliteral) and the whole-program
@@ -38,12 +49,13 @@ lint-sarif:
 # (benchmark → ns/op, B/op, allocs/op, reported metrics) so future PRs
 # can diff against this baseline.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y%m%d).json
+	$(GO) test -bench=. -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
-# One-iteration compile benchmark: cheap CI guard that the benchmark
-# harness still builds and runs.
+# One-iteration benchmarks: cheap CI guard that the harness still builds
+# and runs, including the 10k-board allocator-scaling benchmark (its
+# sublinearity is asserted from the recorded BENCH_*.json snapshots).
 benchsmoke:
-	$(GO) test -run=NONE -bench='BenchmarkTable2Compile$$|BenchmarkCompileCacheHit' -benchtime=1x .
+	$(GO) test -run=NONE -bench='BenchmarkTable2Compile$$|BenchmarkCompileCacheHit|BenchmarkDeploy10kBoards' -benchtime=1x .
 
 # Observability smoke: boot an in-process vitald, deploy over HTTP, scrape
 # the Prometheus exposition through the strict validator, and fetch the

@@ -8,9 +8,11 @@ package vital_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
+	"vital/internal/cluster"
 	"vital/internal/core"
 	"vital/internal/experiments"
 	"vital/internal/fpga"
@@ -18,6 +20,7 @@ import (
 	"vital/internal/interconnect"
 	"vital/internal/netlist"
 	"vital/internal/partition"
+	"vital/internal/sched"
 	"vital/internal/workload"
 )
 
@@ -300,6 +303,60 @@ func BenchmarkAblationAllocation(b *testing.B) {
 		commAware = r.ScatterBoards - r.CommAwareBoards
 	}
 	b.ReportMetric(commAware, "boards-per-app-saved")
+}
+
+// BenchmarkDeploy10kBoards measures the deploy path's allocation work —
+// Allocate, Claim, ReleaseApp churn against the resource database — across
+// cluster sizes up to 10,000 boards. With the free-run index, single-board
+// placements read a fixed (run, free) cell grid, so ns/op should stay
+// near-flat from 100 to 10k boards (sublinear scaling); a linear-scan
+// allocator would grow ~100×. DRAM is one page per board: the benchmark
+// isolates the scheduler, not the memory model.
+func BenchmarkDeploy10kBoards(b *testing.B) {
+	for _, boards := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("boards=%d", boards), func(b *testing.B) {
+			c, err := cluster.New(cluster.Config{NumBoards: boards, DRAMBytesPerBoard: 2 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			db := sched.NewResourceDB(c)
+			sizes := []int{3, 5, 8, 12, 4, 15, 7, 10}
+			appID := 0
+			var live []string
+			admit := func() error {
+				n := sizes[appID%len(sizes)]
+				refs, err := sched.Allocate(db, n)
+				if err != nil {
+					return err
+				}
+				name := fmt.Sprintf("bench-app-%d", appID)
+				if err := db.Claim(name, refs); err != nil {
+					return err
+				}
+				live = append(live, name)
+				appID++
+				return nil
+			}
+			// Fill half the cluster so churn runs at steady-state occupancy.
+			for target := c.TotalBlocks() / 2; db.UsedBlocks() < target; {
+				if err := admit(); err != nil {
+					break
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.ReleaseApp(live[0])
+				live = live[1:]
+				if err := admit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if problems := db.VerifyIndex(); len(problems) != 0 {
+				b.Fatalf("free-run index drifted: %v", problems)
+			}
+		})
+	}
 }
 
 // BenchmarkRelocationThroughput measures raw bitstream relocation (the

@@ -8,7 +8,7 @@
 //	vitalbench -run table2 -limit 6
 //
 // Experiments: fig1a, table1, table2, table3, table4, fig7, elision, fig8,
-// partition, fig9, fig10, ablation.
+// partition, fig9, fig10, ablation, sched.
 package main
 
 import (
@@ -63,7 +63,7 @@ func main() {
 
 	names := map[string]bool{}
 	if *all || *run == "" {
-		for _, n := range []string{"fig1a", "table1", "table2", "table3", "table4", "fig7", "elision", "fig8", "partition", "fig9", "fig10", "ablation"} {
+		for _, n := range []string{"fig1a", "table1", "table2", "table3", "table4", "fig7", "elision", "fig8", "partition", "fig9", "fig10", "ablation", "sched"} {
 			names[n] = true
 		}
 		if *run == "" && !*all {
@@ -163,6 +163,13 @@ func main() {
 			fail("ablation", err)
 		}
 		fmt.Println(al.Render())
+	}
+	if names["sched"] {
+		r, err := experiments.SchedScale()
+		if err != nil {
+			fail("sched", err)
+		}
+		fmt.Println(r.Render())
 	}
 	if names["fig10"] {
 		r, err := experiments.Fig10()

@@ -30,9 +30,10 @@ func main() {
 	fault := flag.String("fault", "", "initial fault plan, comma-separated board:kind pairs (e.g. 2:fail,3:degrade)")
 	enablePprof := flag.Bool("pprof", false, "expose Go runtime profiles under /debug/pprof/")
 	alertInterval := flag.Duration("alert-interval", 15*time.Second, "alert-rule evaluation period (0 disables the ticker; GET /alerts still evaluates on demand)")
+	defragMoves := flag.Int("defrag-moves", 0, "blocks the incremental defragmenter may relocate per alert evaluation while fragmentation_high fires (0 disables)")
 	flag.Parse()
 
-	stack := core.NewStackWithOptions(nil, sched.Options{VerifyOnDeploy: *verifyOnDeploy})
+	stack := core.NewStackWithOptions(nil, sched.Options{VerifyOnDeploy: *verifyOnDeploy, DefragMoves: *defragMoves})
 	for _, name := range strings.Split(*compile, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

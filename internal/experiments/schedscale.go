@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vital/internal/cluster"
+	"vital/internal/sched"
+)
+
+// Allocator-scaling experiment (DESIGN.md §13). ViTAL's system controller
+// promises ms-scale runtime allocation (Section 3.4); this experiment
+// checks the property that makes that hold at cloud scale: with the
+// free-run index, the cost of one steady-state scheduling cycle (release a
+// tenant, allocate and claim a replacement) is governed by the device
+// shape, not the board count. Each row quadruples the cluster; the ratio
+// column shows how the cycle cost responded, and should stay far below the
+// 4× a linear-scan allocator would exhibit.
+
+// SchedScaleRow is one cluster size's measurement.
+type SchedScaleRow struct {
+	Boards     int     `json:"boards"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// Ratio is NsPerCycle versus the previous (4× smaller) row; zero for
+	// the first row.
+	Ratio float64 `json:"ratio_vs_prev"`
+}
+
+// SchedScaleResult is the allocator-scaling report.
+type SchedScaleResult struct {
+	Rows []SchedScaleRow `json:"rows"`
+}
+
+// SchedScale measures the steady-state scheduling cycle across cluster
+// sizes from 16 to 4096 boards.
+func SchedScale() (*SchedScaleResult, error) {
+	res := &SchedScaleResult{}
+	for _, nb := range []int{16, 64, 256, 1024, 4096} {
+		ns, err := schedChurn(nb, 2000)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sched scale at %d boards: %w", nb, err)
+		}
+		row := SchedScaleRow{Boards: nb, NsPerCycle: ns}
+		if n := len(res.Rows); n > 0 {
+			row.Ratio = ns / res.Rows[n-1].NsPerCycle
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// schedChurn builds a cluster of numBoards boards, fills half of it with
+// mixed-size tenants, then measures the release→allocate→claim cycle.
+// DRAM is configured at one page per board: the experiment exercises the
+// scheduler, and full-size DRAM free lists would dominate setup at 10k
+// boards.
+func schedChurn(numBoards, cycles int) (float64, error) {
+	c, err := cluster.New(cluster.Config{NumBoards: numBoards, DRAMBytesPerBoard: 2 << 20})
+	if err != nil {
+		return 0, err
+	}
+	db := sched.NewResourceDB(c)
+	sizes := []int{3, 5, 8, 12, 4, 15, 7, 10}
+	appID := 0
+	var live []string
+	admit := func() error {
+		n := sizes[appID%len(sizes)]
+		refs, err := sched.Allocate(db, n)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("exp-app-%d", appID)
+		if err := db.Claim(name, refs); err != nil {
+			return err
+		}
+		live = append(live, name)
+		appID++
+		return nil
+	}
+	for target := c.TotalBlocks() / 2; db.UsedBlocks() < target; {
+		if err := admit(); err != nil {
+			break // half-full is a target, not a contract
+		}
+	}
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		db.ReleaseApp(live[0])
+		live = live[1:]
+		if err := admit(); err != nil {
+			return 0, fmt.Errorf("churn cycle %d: %w", i, err)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(cycles), nil
+}
+
+// Render formats the scaling table.
+func (r *SchedScaleResult) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		ratio := "-"
+		if row.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", row.Ratio)
+		}
+		rows[i] = []string{
+			fmt.Sprint(row.Boards),
+			fmt.Sprintf("%.0f", row.NsPerCycle),
+			ratio,
+		}
+	}
+	return "Allocator scaling (free-run index): one release+allocate+claim cycle vs cluster size\n" +
+		Table([]string{"boards", "ns/cycle", "vs prev (4x boards)"}, rows) +
+		"A ratio near 4x would mean the allocator scans the board list; the index keeps\nsingle-board placements on the fixed (run, free) cell grid instead.\n"
+}

@@ -18,6 +18,11 @@ import (
 // Lock ordering: engine.mu → rule source → ct.mu (or DB/cache internal
 // locks). Nothing holding ct.mu may call into the engine.
 
+// fragmentationRule is the alert that drives the incremental
+// defragmenter: while it fires, each EvalAlerts pass runs
+// DefragStep(Options.DefragMoves).
+const fragmentationRule = "fragmentation_high"
+
 // AlertThresholds tunes the controller's built-in alert rules.
 type AlertThresholds struct {
 	// BoardUnhealthyFor is how long a board must stay degraded or failed
@@ -84,8 +89,8 @@ func (ct *Controller) registerAlerts(th AlertThresholds) {
 		})
 	}
 	mustAdd(telemetry.AlertRule{
-		Name:   "fragmentation_high",
-		Help:   "Free capacity is scattered; defragmentation (Drain/CompactApp) is advisable.",
+		Name:   fragmentationRule,
+		Help:   "Free capacity is scattered; the incremental defragmenter (DefragStep) engages when Options.DefragMoves is set.",
 		Source: func() float64 { return ct.Placement().FragmentationIndex },
 		Op:     telemetry.OpGreater, Threshold: th.FragmentationMax, For: th.FragmentationFor,
 	})
@@ -111,8 +116,20 @@ func (ct *Controller) registerAlerts(th AlertThresholds) {
 
 // EvalAlerts evaluates every alert rule now; transitions land in the audit
 // log and are returned. GET /alerts and the vitald ticker call this.
+//
+// When Options.DefragMoves is positive and fragmentation_high is firing
+// after the evaluation, one bounded DefragStep runs — incremental,
+// alert-driven defragmentation instead of stop-the-world drains. The step
+// runs after Eval returns, so the engine → ct.mu lock ordering holds.
 func (ct *Controller) EvalAlerts() []telemetry.AlertTransition {
-	return ct.Alerts.Eval(time.Now())
+	trs := ct.Alerts.Eval(time.Now())
+	if ct.opts.DefragMoves > 0 &&
+		ct.Alerts.StateValueOf(fragmentationRule) == telemetry.StateValue(telemetry.AlertFiring) {
+		if moved, err := ct.DefragStep(ct.opts.DefragMoves); err != nil {
+			ct.log.add(EventDefrag, "", fmt.Sprintf("error after %d moves: %v", moved, err))
+		}
+	}
+	return trs
 }
 
 // AlertStatus reports every rule's current state (without evaluating).

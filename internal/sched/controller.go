@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vital/internal/bitstream"
@@ -43,6 +44,9 @@ type Controller struct {
 	lat             opLatencies
 	alertThresholds AlertThresholds
 	dp              dataPlaneTotals
+	// defragMoves counts blocks relocated by DefragStep (atomic: bumped
+	// under ct.mu, read lock-free at scrape time).
+	defragMoves atomic.Uint64
 
 	mu       sync.Mutex
 	deployed map[string]*Deployment
@@ -58,6 +62,11 @@ type Options struct {
 	// Alerts overrides the built-in alert-rule thresholds (nil selects
 	// DefaultAlertThresholds).
 	Alerts *AlertThresholds
+	// DefragMoves bounds the incremental defragmentation work triggered
+	// when the fragmentation_high alert fires: each EvalAlerts pass with
+	// the rule firing runs DefragStep(DefragMoves). Zero disables the
+	// automatic wiring; DefragStep stays callable directly.
+	DefragMoves int
 }
 
 // Deployment records a running application.
@@ -142,6 +151,13 @@ func (ct *Controller) Deploy(app string, memQuota uint64) (dep *Deployment, err 
 	}()
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
+	return ct.deployLocked(app, memQuota, sp)
+}
+
+// deployLocked is the deployment body; the caller holds ct.mu and owns the
+// span and latency accounting. DeploySingleBoard calls it directly so its
+// capacity check, drain and deploy share one critical section.
+func (ct *Controller) deployLocked(app string, memQuota uint64, sp *telemetry.Span) (*Deployment, error) {
 	if _, exists := ct.deployed[app]; exists {
 		return nil, fmt.Errorf("sched: %q: %w", app, ErrAlreadyDeployed)
 	}
@@ -198,7 +214,7 @@ func (ct *Controller) Deploy(app string, memQuota uint64) (dep *Deployment, err 
 			reconfig = d
 		}
 	}
-	dep = &Deployment{
+	dep := &Deployment{
 		App:          app,
 		Blocks:       refs,
 		Programmed:   programmed,
@@ -277,6 +293,14 @@ func (ct *Controller) verifyLocked() *verify.Report {
 		Owners:       owners,
 		FailedBoards: failed,
 	}))
+	// The free-run index must agree with the owner table: every allocation
+	// decision reads the index, so drift here silently corrupts placement.
+	for _, msg := range ct.DB.VerifyIndex() {
+		rep.Violations = append(rep.Violations, verify.Violation{
+			Invariant: verify.InvariantFreeIndex,
+			Detail:    msg,
+		})
+	}
 	return rep
 }
 

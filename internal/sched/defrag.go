@@ -14,8 +14,10 @@ import (
 // paper leaves as future work (Section 3.4). Because virtual blocks
 // relocate without recompilation (Section 3.3 step 5), the controller can
 // consolidate a fragmented cluster online: draining lightly-used boards
-// re-creates whole-board holes for large applications, and compacting a
-// spanning application onto one board removes its inter-FPGA traffic.
+// re-creates whole-board holes for large applications, compacting a
+// spanning application onto one board removes its inter-FPGA traffic, and
+// DefragStep merges adjacent free runs a bounded number of moves at a time
+// (wired to the fragmentation_high alert via Options.DefragMoves).
 
 // Drain relocates every block off the given board onto free blocks of
 // other boards (preferring boards that already host the same application,
@@ -55,9 +57,9 @@ func (ct *Controller) drainLocked(board int) (int, error) {
 	}
 	// Capacity check: free blocks elsewhere must cover the residents.
 	freeElsewhere := 0
-	for b := range ct.Cluster.Boards {
+	for b, free := range ct.DB.FreeCount() {
 		if b != board {
-			freeElsewhere += len(ct.DB.FreeOnBoard(b))
+			freeElsewhere += free
 		}
 	}
 	if freeElsewhere < len(residents) {
@@ -99,12 +101,8 @@ func (ct *Controller) drainTargetLocked(app string, avoid int) (cluster.GlobalBl
 		}
 	}
 	best, bestFree := -1, 0
-	for b := range ct.Cluster.Boards {
-		if b == avoid {
-			continue
-		}
-		free := len(ct.DB.FreeOnBoard(b))
-		if free == 0 {
+	for b, free := range ct.DB.FreeCount() {
+		if b == avoid || free == 0 {
 			continue
 		}
 		better := best == -1 ||
@@ -123,7 +121,7 @@ func (ct *Controller) drainTargetLocked(app string, avoid int) (cluster.GlobalBl
 // CompactApp relocates a multi-FPGA application onto a single board when
 // one has enough free blocks plus the app's own blocks there — removing
 // its inter-FPGA communication entirely. It returns whether compaction
-// happened.
+// happened; a compaction lands in the audit log as EventCompact.
 func (ct *Controller) CompactApp(app string) (bool, error) {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
@@ -164,6 +162,7 @@ func (ct *Controller) CompactApp(app string) (bool, error) {
 		}
 		fi++
 	}
+	ct.log.add(EventCompact, app, fmt.Sprintf("%d blocks moved onto board %d", fi, best))
 	return true, nil
 }
 
@@ -173,24 +172,30 @@ func (ct *Controller) CompactApp(app string) (bool, error) {
 // the controller defragments first: it drains the occupied board that
 // would then offer enough contiguous room, and retries — the
 // relocation-powered consolidation a static slot system cannot do.
-func (ct *Controller) DeploySingleBoard(app string, memQuota uint64) (*Deployment, error) {
+//
+// The capacity check, the drain and the deployment all run under one ct.mu
+// acquisition: a concurrent Deploy can neither steal the drained hole
+// between drain and deploy, nor leave a speculative drain's relocations
+// committed after a failed final placement check.
+func (ct *Controller) DeploySingleBoard(app string, memQuota uint64) (dep *Deployment, err error) {
+	sp := ct.Tracer.Start("deploy", telemetry.String("app", app), telemetry.String("constraint", "single-board"))
+	start := time.Now()
+	defer func() {
+		finishSpan(sp, err)
+		ct.lat.deploy.ObserveSince(start)
+	}()
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
 	images, ok := ct.Bitstreams.Lookup(app)
 	if !ok {
 		return nil, fmt.Errorf("sched: no compiled bitstreams for %q", app)
 	}
 	n := len(images)
-	fits := func() int {
-		for b := range ct.Cluster.Boards {
-			if len(ct.DB.FreeOnBoard(b)) >= n {
-				return b
-			}
-		}
-		return -1
-	}
-	if fits() == -1 {
+	if ct.DB.SingleBoardFit(n) == -1 {
 		// Find a board whose residents can move elsewhere and whose
 		// capacity covers the request, and drain it.
 		candidate := -1
+		free := ct.DB.FreeCount()
 		for b := range ct.Cluster.Boards {
 			// Only healthy boards qualify: the deployment must land on the
 			// drained board, and FreeOnBoard offers nothing elsewhere.
@@ -203,9 +208,9 @@ func (ct *Controller) DeploySingleBoard(app string, memQuota uint64) (*Deploymen
 				continue
 			}
 			freeElsewhere := 0
-			for o := range ct.Cluster.Boards {
+			for o, f := range free {
 				if o != b {
-					freeElsewhere += len(ct.DB.FreeOnBoard(o))
+					freeElsewhere += f
 				}
 			}
 			if freeElsewhere >= used {
@@ -216,22 +221,129 @@ func (ct *Controller) DeploySingleBoard(app string, memQuota uint64) (*Deploymen
 		if candidate == -1 {
 			return nil, fmt.Errorf("sched: no single board can host %d blocks for %q, even after defragmentation: %w", n, app, ErrNoCapacity)
 		}
-		if _, err := ct.Drain(candidate); err != nil {
+		if _, err := ct.drainLocked(candidate); err != nil {
 			return nil, fmt.Errorf("sched: defragmenting for %q: %w", app, err)
 		}
 	}
-	if fits() == -1 {
+	if ct.DB.SingleBoardFit(n) == -1 {
 		return nil, fmt.Errorf("sched: no single board can host %d blocks for %q: %w", n, app, ErrNoCapacity)
 	}
-	dep, err := ct.Deploy(app, memQuota)
+	dep, err = ct.deployLocked(app, memQuota, sp)
 	if err != nil {
 		return nil, err
 	}
 	if dep.MultiFPGA {
 		// The communication-aware policy prefers single boards, so with a
 		// board known to fit this cannot happen; guard anyway.
-		_ = ct.Undeploy(app)
+		_ = ct.undeployLocked(app)
 		return nil, fmt.Errorf("sched: single-board placement of %q not honored", app)
 	}
 	return dep, nil
+}
+
+// DefragStep is the incremental defragmenter: it relocates at most
+// maxMoves blocks, each move chosen to merge adjacent free runs. A "gap"
+// is the claimed stretch between two consecutive free runs of one die;
+// clearing the smallest gap merges its neighbors into one long run, and
+// every evicted block lands at the start of the shortest free run
+// elsewhere — shrinking that run without splitting anything. The number of
+// free runs in the cluster is strictly decreasing across completed gap
+// clears, so repeated steps converge instead of oscillating. Gaps whose
+// blocks cannot move (no deployment owns them, or no target exists) are
+// skipped.
+//
+// It returns the number of blocks moved. The fragmentation_high alert
+// fires it automatically when Options.DefragMoves is set; operators can
+// call it directly for manual, bounded compaction.
+func (ct *Controller) DefragStep(maxMoves int) (moved int, err error) {
+	if maxMoves <= 0 {
+		return 0, nil
+	}
+	sp := ct.Tracer.Start("defrag", telemetry.Int("max_moves", maxMoves))
+	start := time.Now()
+	defer func() {
+		sp.SetAttr("moved", strconv.Itoa(moved))
+		finishSpan(sp, err)
+		ct.lat.defrag.ObserveSince(start)
+	}()
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.defragStepLocked(maxMoves)
+}
+
+func (ct *Controller) defragStepLocked(maxMoves int) (int, error) {
+	// Reverse map: physical block → the (app, vb) holding it, maintained
+	// across moves so each gap block finds its deployment in O(1).
+	type site struct {
+		app string
+		vb  int
+	}
+	rev := map[cluster.GlobalBlockRef]site{}
+	for app, dep := range ct.deployed {
+		for vb, blk := range dep.Blocks {
+			rev[blk] = site{app, vb}
+		}
+	}
+	moved := 0
+	skipped := map[[3]int]bool{} // (board, die, gap start) that made no progress
+	for moved < maxMoves {
+		gb, gd, gs, gl := ct.smallestGapLocked(skipped)
+		if gb == -1 {
+			break
+		}
+		progressed := false
+		for i := 0; i < gl && moved < maxMoves; i++ {
+			src := blockRef(gb, gd, gs+i)
+			s, ok := rev[src]
+			if !ok {
+				// Claimed outside any deployment (e.g. a raw ResourceDB
+				// claim) — immovable; abandon this gap.
+				break
+			}
+			target, ok := ct.DB.smallestRunTarget(gb, gd)
+			if !ok {
+				break // no free run anywhere else — nothing to merge into
+			}
+			if err := ct.relocateLocked(s.app, s.vb, target); err != nil {
+				return moved, fmt.Errorf("sched: defrag moving %s/vb%d: %w", s.app, s.vb, err)
+			}
+			delete(rev, src)
+			rev[target] = s
+			moved++
+			progressed = true
+		}
+		if !progressed {
+			skipped[[3]int{gb, gd, gs}] = true
+		}
+	}
+	if moved > 0 {
+		ct.defragMoves.Add(uint64(moved))
+		ct.log.add(EventDefrag, "", fmt.Sprintf("%d blocks relocated", moved))
+	}
+	return moved, nil
+}
+
+// smallestGapLocked finds the cheapest merge opportunity: the shortest
+// claimed stretch between two consecutive free runs of one die, across all
+// healthy boards, excluding gaps already marked unworkable. Returns board
+// -1 when none remain.
+func (ct *Controller) smallestGapLocked(skipped map[[3]int]bool) (board, die, start, length int) {
+	board = -1
+	for b := range ct.Cluster.Boards {
+		runs := ct.DB.Runs(b) // nil on non-healthy boards
+		for i := 1; i < len(runs); i++ {
+			if runs[i].Die != runs[i-1].Die {
+				continue
+			}
+			gs := runs[i-1].Start + runs[i-1].Length
+			gl := runs[i].Start - gs
+			if skipped[[3]int{b, runs[i].Die, gs}] {
+				continue
+			}
+			if board == -1 || gl < length {
+				board, die, start, length = b, runs[i].Die, gs, gl
+			}
+		}
+	}
+	return board, die, start, length
 }

@@ -18,6 +18,12 @@ const (
 	EventUndeploy EventKind = "undeploy"
 	EventRelocate EventKind = "relocate"
 	EventDrain    EventKind = "drain"
+	// EventCompact records a CompactApp consolidation: a spanning
+	// application pulled onto a single board; App carries the app name.
+	EventCompact EventKind = "compact"
+	// EventDefrag records one incremental DefragStep pass and how many
+	// blocks it relocated.
+	EventDefrag EventKind = "defrag"
 	// EventFault records a board health transition (InjectFault).
 	EventFault EventKind = "fault"
 	// EventEvacuate records the outcome of moving one application off a
@@ -31,7 +37,7 @@ const (
 
 // allEventKinds enumerates every kind for the vital_events_total series.
 var allEventKinds = []EventKind{
-	EventDeploy, EventUndeploy, EventRelocate, EventDrain, EventFault, EventEvacuate, EventAlert,
+	EventDeploy, EventUndeploy, EventRelocate, EventDrain, EventCompact, EventDefrag, EventFault, EventEvacuate, EventAlert,
 }
 
 // validEventKind reports whether s names a known event kind (used to
@@ -242,6 +248,7 @@ func (ct *Controller) Metrics() Metrics {
 			"relocate": ct.lat.relocate.Summary(),
 			"drain":    ct.lat.drain.Summary(),
 			"evacuate": ct.lat.evacuate.Summary(),
+			"defrag":   ct.lat.defrag.Summary(),
 		},
 		Placement: ct.placementLocked(),
 	}

@@ -1,0 +1,256 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The free-run index (DESIGN.md §13). The flat owner table answers "who
+// holds this block" in O(1) but every capacity question — how much is free
+// where, and how *contiguous* is it — used to rescan all boards × blocks.
+// This file maintains the answers incrementally instead:
+//
+//   - per (board, die): the maximal runs of consecutive free block indices,
+//     kept sorted by start; Claim/Release split or merge at most two runs,
+//     so an update is O(runs on that die) with runs ≤ ⌈blocksPerDie/2⌉.
+//   - per board: cached free-block count and longest free run, derived from
+//     the runs on every update.
+//   - cluster-wide: boards bucketed into (longest-run, free-count) cells of
+//     intrusive doubly-linked lists, so best-fit board selection scans the
+//     cell grid — O(blocksPerDie × blocksPerBoard), a property of the
+//     device shape — rather than the board list. Allocation cost is
+//     independent of cluster size (BenchmarkDeploy10kBoards).
+//
+// Everything here is guarded by ResourceDB.mu; the index is a pure
+// acceleration structure over the owner table, and VerifyIndex rebuilds the
+// expected state from the owner table to prove the two never drift
+// (Controller.Verify reports drift as a free-run-index violation).
+
+// Run is one maximal stretch of consecutive free blocks within a die.
+type Run struct {
+	Die    int `json:"die"`
+	Start  int `json:"start"`
+	Length int `json:"length"`
+}
+
+// run is the in-index representation (the die is the slice position).
+type run struct{ start, length int }
+
+// boardRuns is one board's free-run state. free and maxRun are maintained
+// from the owner table regardless of health; health gating happens at the
+// query layer (an unhealthy board offers nothing) and in the cluster index
+// (unhealthy boards are unlinked from every cell).
+type boardRuns struct {
+	dies   [][]run
+	free   int
+	maxRun int
+}
+
+// newBoardRuns builds the all-free state: one whole-die run per die.
+func newBoardRuns(dies, blocksPerDie int) boardRuns {
+	br := boardRuns{dies: make([][]run, dies)}
+	for d := range br.dies {
+		br.dies[d] = []run{{start: 0, length: blocksPerDie}}
+	}
+	br.free = dies * blocksPerDie
+	br.maxRun = blocksPerDie
+	return br
+}
+
+// recomputeMax rescans the board's runs for the longest one — O(runs),
+// called after every mutation.
+func (br *boardRuns) recomputeMax() {
+	br.maxRun = 0
+	for _, die := range br.dies {
+		for _, r := range die {
+			if r.length > br.maxRun {
+				br.maxRun = r.length
+			}
+		}
+	}
+}
+
+// claim removes one block index from the die's free runs: the containing
+// run shrinks at an end or splits in two.
+func (br *boardRuns) claim(die, idx int) error {
+	runs := br.dies[die]
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].start+runs[i].length > idx })
+	if i == len(runs) || runs[i].start > idx {
+		return fmt.Errorf("sched: free-run index has no free block at die %d index %d", die, idx)
+	}
+	r := runs[i]
+	switch {
+	case r.length == 1:
+		runs = append(runs[:i], runs[i+1:]...)
+	case idx == r.start:
+		runs[i] = run{start: r.start + 1, length: r.length - 1}
+	case idx == r.start+r.length-1:
+		runs[i] = run{start: r.start, length: r.length - 1}
+	default: // interior claim: split into two runs
+		runs = append(runs, run{})
+		copy(runs[i+1:], runs[i:])
+		runs[i] = run{start: r.start, length: idx - r.start}
+		runs[i+1] = run{start: idx + 1, length: r.start + r.length - idx - 1}
+	}
+	br.dies[die] = runs
+	br.free--
+	br.recomputeMax()
+	return nil
+}
+
+// release returns one block index to the die's free runs, merging with an
+// adjacent run on either side.
+func (br *boardRuns) release(die, idx int) error {
+	runs := br.dies[die]
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].start+runs[i].length >= idx })
+	// i is the first run that could touch idx (ends at or after it).
+	touchLeft := i < len(runs) && runs[i].start+runs[i].length == idx
+	if i < len(runs) && runs[i].start <= idx && idx < runs[i].start+runs[i].length {
+		return fmt.Errorf("sched: free-run index already holds die %d index %d", die, idx)
+	}
+	j := i
+	if touchLeft {
+		j = i + 1
+	}
+	touchRight := j < len(runs) && runs[j].start == idx+1
+	switch {
+	case touchLeft && touchRight:
+		runs[i].length += 1 + runs[j].length
+		runs = append(runs[:j], runs[j+1:]...)
+	case touchLeft:
+		runs[i].length++
+	case touchRight:
+		runs[j] = run{start: idx, length: runs[j].length + 1}
+	default:
+		runs = append(runs, run{})
+		copy(runs[j+1:], runs[j:])
+		runs[j] = run{start: idx, length: 1}
+	}
+	br.dies[die] = runs
+	br.free++
+	br.recomputeMax()
+	return nil
+}
+
+// clusterIndex buckets healthy boards by (longest free run, free blocks)
+// into intrusive doubly-linked FIFO lists. Every operation is O(1);
+// best-fit queries scan the fixed cell grid, never the board list. List
+// order is insertion order (boards 0..n−1 at construction), so queries are
+// deterministic for a deterministic operation sequence.
+type clusterIndex struct {
+	runCap  int // max blocksPerDie over all boards
+	freeCap int // max NumBlocks over all boards
+	// fit lists: cell (maxRun, free) → boards, threaded by next/prev.
+	fitHead, fitTail []int
+	next, prev       []int
+	// free lists: cell (free) → boards, threaded by nextF/prevF.
+	freeHead, freeTail []int
+	nextF, prevF       []int
+	member             []bool // board currently linked (healthy)
+}
+
+func newClusterIndex(boards, runCap, freeCap int) *clusterIndex {
+	ci := &clusterIndex{
+		runCap:   runCap,
+		freeCap:  freeCap,
+		fitHead:  make([]int, (runCap+1)*(freeCap+1)),
+		fitTail:  make([]int, (runCap+1)*(freeCap+1)),
+		next:     make([]int, boards),
+		prev:     make([]int, boards),
+		freeHead: make([]int, freeCap+1),
+		freeTail: make([]int, freeCap+1),
+		nextF:    make([]int, boards),
+		prevF:    make([]int, boards),
+		member:   make([]bool, boards),
+	}
+	for i := range ci.fitHead {
+		ci.fitHead[i], ci.fitTail[i] = -1, -1
+	}
+	for i := range ci.freeHead {
+		ci.freeHead[i], ci.freeTail[i] = -1, -1
+	}
+	return ci
+}
+
+func (ci *clusterIndex) cell(maxRun, free int) int { return maxRun*(ci.freeCap+1) + free }
+
+// insert links a board at the tail of its (maxRun, free) fit cell and its
+// free cell.
+func (ci *clusterIndex) insert(b, maxRun, free int) {
+	c := ci.cell(maxRun, free)
+	ci.next[b], ci.prev[b] = -1, ci.fitTail[c]
+	if ci.fitTail[c] != -1 {
+		ci.next[ci.fitTail[c]] = b
+	} else {
+		ci.fitHead[c] = b
+	}
+	ci.fitTail[c] = b
+
+	ci.nextF[b], ci.prevF[b] = -1, ci.freeTail[free]
+	if ci.freeTail[free] != -1 {
+		ci.nextF[ci.freeTail[free]] = b
+	} else {
+		ci.freeHead[free] = b
+	}
+	ci.freeTail[free] = b
+	ci.member[b] = true
+}
+
+// remove unlinks a board from both lists; maxRun/free must be the values it
+// was inserted with.
+func (ci *clusterIndex) remove(b, maxRun, free int) {
+	c := ci.cell(maxRun, free)
+	if ci.prev[b] != -1 {
+		ci.next[ci.prev[b]] = ci.next[b]
+	} else {
+		ci.fitHead[c] = ci.next[b]
+	}
+	if ci.next[b] != -1 {
+		ci.prev[ci.next[b]] = ci.prev[b]
+	} else {
+		ci.fitTail[c] = ci.prev[b]
+	}
+
+	if ci.prevF[b] != -1 {
+		ci.nextF[ci.prevF[b]] = ci.nextF[b]
+	} else {
+		ci.freeHead[free] = ci.nextF[b]
+	}
+	if ci.nextF[b] != -1 {
+		ci.prevF[ci.nextF[b]] = ci.prevF[b]
+	} else {
+		ci.freeTail[free] = ci.prevF[b]
+	}
+	ci.member[b] = false
+}
+
+// bestFitBoard returns the first board of the lowest-populated cell with
+// maxRun ≥ n, minimizing the longest run first (closest contiguous fit —
+// big holes survive) and the free count second (fullest board first).
+func (ci *clusterIndex) bestFitBoard(n int) (int, bool) {
+	if n > ci.runCap {
+		return -1, false
+	}
+	for mr := n; mr <= ci.runCap; mr++ {
+		for fr := mr; fr <= ci.freeCap; fr++ {
+			if h := ci.fitHead[ci.cell(mr, fr)]; h != -1 {
+				return h, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// bestFreeBoard returns the first board with free ≥ n and the fewest free
+// blocks (best fit by capacity, run shape ignored).
+func (ci *clusterIndex) bestFreeBoard(n int) (int, bool) {
+	if n > ci.freeCap {
+		return -1, false
+	}
+	for fr := n; fr <= ci.freeCap; fr++ {
+		if h := ci.freeHead[fr]; h != -1 {
+			return h, true
+		}
+	}
+	return -1, false
+}

@@ -7,11 +7,19 @@ import (
 )
 
 // Allocate implements the communication-aware multi-round policy of
-// Section 3.4: round 1 looks for a single FPGA with enough free blocks
-// (best fit: the fullest board that still fits, to preserve large holes);
-// each following round increases the board count, choosing the
+// Section 3.4, reading the free-run index instead of scanning blocks:
+//
+// Round 1 looks for a single FPGA. First the contiguous best fit — the
+// board whose longest free run is closest to the request (fullest such
+// board on ties), placing into the shortest run that fits, so large holes
+// survive *and* the placement is physically consecutive. If no single run
+// is long enough, it falls back to the fullest single board with enough
+// total free blocks, consuming that board's runs largest-first.
+//
+// Each following round increases the board count, choosing the
 // ring-adjacent window that minimizes inter-FPGA hops. Within a window,
-// fuller boards contribute first, again to preserve holes.
+// fuller boards contribute first and each board's runs are consumed
+// largest-first, again to preserve holes.
 //
 // It returns the chosen blocks without claiming them; callers claim via
 // ResourceDB.Claim.
@@ -19,25 +27,19 @@ func Allocate(db *ResourceDB, n int) ([]cluster.GlobalBlockRef, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sched: allocation of %d blocks", n)
 	}
-	c := db.Cluster()
-	numBoards := len(c.Boards)
-	free := db.FreeCount()
-
-	// Round 1: single FPGA, best fit.
-	best := -1
-	for b := 0; b < numBoards; b++ {
-		if free[b] >= n && (best == -1 || free[b] < free[best]) {
-			best = b
-		}
+	// Round 1a: single FPGA, contiguous best fit over the run index.
+	if refs := db.contiguousAlloc(n); refs != nil {
+		return refs, nil
 	}
-	if best != -1 {
-		// Copy, never alias: handing callers a sub-slice of the free list
-		// leaves spare capacity backed by it, so a later append on the
-		// caller's side would overwrite free-list entries.
-		return append([]cluster.GlobalBlockRef(nil), db.FreeOnBoard(best)[:n]...), nil
+	// Round 1b: single FPGA, best fit by capacity (no run long enough
+	// anywhere — the placement fragments, but stays on one board).
+	if refs := db.packedAlloc(n); refs != nil {
+		return refs, nil
 	}
 
 	// Rounds 2..numBoards: contiguous ring windows of increasing size.
+	numBoards := len(db.Cluster().Boards)
+	free := db.FreeCount()
 	for span := 2; span <= numBoards; span++ {
 		bestStart, bestFree := -1, -1
 		for start := 0; start < numBoards; start++ {
@@ -68,7 +70,7 @@ func Allocate(db *ResourceDB, n int) ([]cluster.GlobalBlockRef, error) {
 		need := n
 		for _, b := range boards {
 			take := min(need, free[b])
-			refs = append(refs, db.FreeOnBoard(b)[:take]...)
+			refs = append(refs, db.windowTake(b, take)...)
 			need -= take
 			if need == 0 {
 				break

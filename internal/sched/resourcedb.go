@@ -14,7 +14,11 @@ import (
 )
 
 // ResourceDB tracks the status of every physical block in the cluster: the
-// resource database of Fig. 6.
+// resource database of Fig. 6. Alongside the owner table it maintains the
+// free-run index (freerun.go): per-die runs of consecutive free blocks and
+// a cluster-wide best-fit board index, updated incrementally on
+// Claim/Release/SetHealth, so capacity and contiguity queries never rescan
+// the owner map.
 type ResourceDB struct {
 	// cluster is set once at construction and never mutated, so it lives
 	// above mu (fields below mu are guarded by it — see lockcheck).
@@ -28,18 +32,36 @@ type ResourceDB struct {
 	// health tracks per-board hardware state; non-healthy boards offer no
 	// free blocks, which makes every placement path health-aware.
 	health []BoardHealth
+	// runs is the per-board free-run state (maintained regardless of
+	// health); idx lists only healthy boards. used counts claimed blocks.
+	runs []boardRuns
+	idx  *clusterIndex
+	used int
 }
 
 // NewResourceDB builds the database with every block free.
 func NewResourceDB(c *cluster.Cluster) *ResourceDB {
+	runCap, freeCap := 0, 0
+	for _, b := range c.Boards {
+		if b.Device.BlocksPerDie > runCap {
+			runCap = b.Device.BlocksPerDie
+		}
+		if b.Device.NumBlocks() > freeCap {
+			freeCap = b.Device.NumBlocks()
+		}
+	}
 	db := &ResourceDB{
 		cluster: c,
 		owner:   make(map[cluster.GlobalBlockRef]string, c.TotalBlocks()),
 		byApp:   map[string][]cluster.GlobalBlockRef{},
 		health:  make([]BoardHealth, len(c.Boards)),
+		runs:    make([]boardRuns, len(c.Boards)),
+		idx:     newClusterIndex(len(c.Boards), runCap, freeCap),
 	}
 	for b := range db.health {
 		db.health[b] = Healthy
+		db.runs[b] = newBoardRuns(len(c.Boards[b].Device.Dies), c.Boards[b].Device.BlocksPerDie)
+		db.idx.insert(b, db.runs[b].maxRun, db.runs[b].free)
 	}
 	for _, ref := range c.AllBlocks() {
 		db.owner[ref] = ""
@@ -49,6 +71,33 @@ func NewResourceDB(c *cluster.Cluster) *ResourceDB {
 
 // Cluster returns the cluster this database manages.
 func (db *ResourceDB) Cluster() *cluster.Cluster { return db.cluster }
+
+// applyLocked routes one block claim (or release) through the free-run
+// index: the board leaves its index cell, its runs split or merge, and it
+// re-enters under the new (maxRun, free) key. The owner table must already
+// have been validated, so an index error means the index drifted from the
+// owner table — a bug, not an operational condition.
+func (db *ResourceDB) applyLocked(ref cluster.GlobalBlockRef, claim bool) {
+	b := ref.Board
+	br := &db.runs[b]
+	if db.health[b] == Healthy {
+		db.idx.remove(b, br.maxRun, br.free)
+	}
+	var err error
+	if claim {
+		err = br.claim(ref.Die, ref.Index)
+		db.used++
+	} else {
+		err = br.release(ref.Die, ref.Index)
+		db.used--
+	}
+	if db.health[b] == Healthy {
+		db.idx.insert(b, br.maxRun, br.free)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("sched: free-run index out of sync with owner table: %v", err))
+	}
+}
 
 // FreeOnBoard returns the free blocks of one board, in (die, index) order.
 func (db *ResourceDB) FreeOnBoard(board int) []cluster.GlobalBlockRef {
@@ -64,38 +113,189 @@ func (db *ResourceDB) freeOnBoardLocked(board int) []cluster.GlobalBlockRef {
 	if db.health[board] != Healthy {
 		return nil
 	}
-	var free []cluster.GlobalBlockRef
-	for _, ref := range db.cluster.Boards[board].Device.Blocks() {
-		g := cluster.GlobalBlockRef{Board: board, BlockRef: ref}
-		if db.owner[g] == "" {
-			free = append(free, g)
+	br := &db.runs[board]
+	free := make([]cluster.GlobalBlockRef, 0, br.free)
+	for d, runs := range br.dies {
+		for _, r := range runs {
+			for i := 0; i < r.length; i++ {
+				free = append(free, blockRef(board, d, r.start+i))
+			}
 		}
 	}
 	return free
 }
 
-// FreeCount returns the number of free blocks per board.
+func blockRef(board, die, index int) cluster.GlobalBlockRef {
+	g := cluster.GlobalBlockRef{Board: board}
+	g.Die, g.Index = die, index
+	return g
+}
+
+// FreeCount returns the number of free blocks per board (zero on
+// non-healthy boards).
 func (db *ResourceDB) FreeCount() []int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	counts := make([]int, len(db.cluster.Boards))
-	for b := range db.cluster.Boards {
-		counts[b] = len(db.freeOnBoardLocked(b))
+	for b := range counts {
+		if db.health[b] == Healthy {
+			counts[b] = db.runs[b].free
+		}
 	}
 	return counts
+}
+
+// FreeContig returns one board's free-block count and longest free run,
+// both zero when the board is not healthy. This is the O(1) index read
+// behind the placement and fragmentation metrics.
+func (db *ResourceDB) FreeContig(board int) (free, longest int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if board < 0 || board >= len(db.runs) || db.health[board] != Healthy {
+		return 0, 0
+	}
+	return db.runs[board].free, db.runs[board].maxRun
+}
+
+// Runs returns one board's free runs in (die, start) order, nil when the
+// board is not healthy. The defragmenter plans moves from this view.
+func (db *ResourceDB) Runs(board int) []Run {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if board < 0 || board >= len(db.runs) || db.health[board] != Healthy {
+		return nil
+	}
+	var out []Run
+	for d, runs := range db.runs[board].dies {
+		for _, r := range runs {
+			out = append(out, Run{Die: d, Start: r.start, Length: r.length})
+		}
+	}
+	return out
 }
 
 // UsedBlocks returns the total number of occupied blocks.
 func (db *ResourceDB) UsedBlocks() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	used := 0
-	for _, app := range db.owner {
-		if app != "" {
-			used++
+	return db.used
+}
+
+// contiguousAlloc finds the best-fit contiguous placement: the healthy
+// board whose longest free run is closest to n (fullest such board on
+// ties), then the shortest run ≥ n on that board. Returns nil when no
+// single run fits anywhere.
+func (db *ResourceDB) contiguousAlloc(n int) []cluster.GlobalBlockRef {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	board, ok := db.idx.bestFitBoard(n)
+	if !ok {
+		return nil
+	}
+	bestDie, bestStart, bestLen := -1, 0, 0
+	for d, runs := range db.runs[board].dies {
+		for _, r := range runs {
+			if r.length >= n && (bestDie == -1 || r.length < bestLen) {
+				bestDie, bestStart, bestLen = d, r.start, r.length
+			}
 		}
 	}
-	return used
+	if bestDie == -1 {
+		panic(fmt.Sprintf("sched: index offered board %d for run %d but no run fits", board, n))
+	}
+	refs := make([]cluster.GlobalBlockRef, n)
+	for i := range refs {
+		refs[i] = blockRef(board, bestDie, bestStart+i)
+	}
+	return refs
+}
+
+// packedAlloc finds the single healthy board with the fewest free blocks
+// that still holds n, and takes its runs largest-first — the non-contiguous
+// single-FPGA fallback when no run is long enough. Returns nil when no
+// board fits.
+func (db *ResourceDB) packedAlloc(n int) []cluster.GlobalBlockRef {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	board, ok := db.idx.bestFreeBoard(n)
+	if !ok {
+		return nil
+	}
+	return db.takeRunsLocked(board, n)
+}
+
+// windowTake takes n blocks from one board, consuming free runs
+// largest-first so the remaining free space stays as contiguous as
+// possible. Returns fewer than n refs if the board lacks capacity.
+func (db *ResourceDB) windowTake(board, n int) []cluster.GlobalBlockRef {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.health[board] != Healthy {
+		return nil
+	}
+	return db.takeRunsLocked(board, n)
+}
+
+// takeRunsLocked materializes n block refs from a board's free runs,
+// largest run first ((die, start) order on ties), each run consumed from
+// its start.
+func (db *ResourceDB) takeRunsLocked(board, n int) []cluster.GlobalBlockRef {
+	type dieRun struct{ die, start, length int }
+	var runs []dieRun
+	for d, rs := range db.runs[board].dies {
+		for _, r := range rs {
+			runs = append(runs, dieRun{die: d, start: r.start, length: r.length})
+		}
+	}
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].length > runs[j].length })
+	refs := make([]cluster.GlobalBlockRef, 0, n)
+	for _, r := range runs {
+		for i := 0; i < r.length && len(refs) < n; i++ {
+			refs = append(refs, blockRef(board, r.die, r.start+i))
+		}
+		if len(refs) == n {
+			break
+		}
+	}
+	return refs
+}
+
+// SingleBoardFit returns a healthy board with at least n free blocks (the
+// one with the fewest, read from the index), or -1 when none fits.
+func (db *ResourceDB) SingleBoardFit(n int) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if b, ok := db.idx.bestFreeBoard(n); ok {
+		return b
+	}
+	return -1
+}
+
+// smallestRunTarget returns the start block of the shortest free run on
+// any healthy board, excluding the given (board, die). Consuming the
+// smallest run elsewhere never splits a run, so the defragmenter's
+// evictions cannot create the fragmentation they are removing.
+func (db *ResourceDB) smallestRunTarget(exBoard, exDie int) (cluster.GlobalBlockRef, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var best cluster.GlobalBlockRef
+	bestLen, found := 0, false
+	for b := range db.runs {
+		if db.health[b] != Healthy {
+			continue
+		}
+		for d, runs := range db.runs[b].dies {
+			if b == exBoard && d == exDie {
+				continue
+			}
+			for _, r := range runs {
+				if !found || r.length < bestLen {
+					best, bestLen, found = blockRef(b, d, r.start), r.length, true
+				}
+			}
+		}
+	}
+	return best, found
 }
 
 // Claim atomically assigns the blocks to the application. If any block is
@@ -125,6 +325,7 @@ func (db *ResourceDB) Claim(app string, refs []cluster.GlobalBlockRef) error {
 	}
 	for _, ref := range refs {
 		db.owner[ref] = app
+		db.applyLocked(ref, true)
 	}
 	db.byApp[app] = append(db.byApp[app], refs...)
 	return nil
@@ -137,6 +338,7 @@ func (db *ResourceDB) ReleaseApp(app string) []cluster.GlobalBlockRef {
 	refs := db.byApp[app]
 	for _, ref := range refs {
 		db.owner[ref] = ""
+		db.applyLocked(ref, false)
 	}
 	delete(db.byApp, app)
 	return refs
@@ -156,6 +358,15 @@ func (db *ResourceDB) SetHealth(board int, h BoardHealth) error {
 	case Healthy, Degraded, Failed:
 	default:
 		return fmt.Errorf("sched: unknown health state %q", h)
+	}
+	// The index lists healthy boards only; crossing the healthy boundary
+	// links or unlinks the board (its runs are maintained either way, so
+	// recovery is O(1)).
+	was, is := db.health[board] == Healthy, h == Healthy
+	if was && !is {
+		db.idx.remove(board, db.runs[board].maxRun, db.runs[board].free)
+	} else if !was && is {
+		db.idx.insert(board, db.runs[board].maxRun, db.runs[board].free)
 	}
 	db.health[board] = h
 	return nil
@@ -184,13 +395,10 @@ func (db *ResourceDB) HealthSnapshot() []BoardHealth {
 func (db *ResourceDB) UsedOnBoard(board int) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	used := 0
-	for ref, app := range db.owner {
-		if app != "" && ref.Board == board {
-			used++
-		}
+	if board < 0 || board >= len(db.runs) {
+		return 0
 	}
-	return used
+	return db.cluster.Boards[board].Device.NumBlocks() - db.runs[board].free
 }
 
 // UnhealthyFree counts free blocks stranded on non-healthy boards —
@@ -201,9 +409,9 @@ func (db *ResourceDB) UnhealthyFree() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	stranded := 0
-	for ref, app := range db.owner {
-		if app == "" && db.health[ref.Board] != Healthy {
-			stranded++
+	for b := range db.runs {
+		if db.health[b] != Healthy {
+			stranded += db.runs[b].free
 		}
 	}
 	return stranded
@@ -245,4 +453,49 @@ func (db *ResourceDB) Apps() []string {
 	}
 	sort.Strings(apps)
 	return apps
+}
+
+// VerifyIndex rebuilds the free-run state every board should have from the
+// owner table and diffs it against the live index: run sets, free counts,
+// longest runs, the used counter, and cluster-index membership. It returns
+// one message per discrepancy — empty means the incremental maintenance
+// has not drifted. Controller.Verify folds these into its report as
+// free-run-index violations.
+func (db *ResourceDB) VerifyIndex() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var problems []string
+	totalUsed := 0
+	for b := range db.cluster.Boards {
+		dev := db.cluster.Boards[b].Device
+		want := newBoardRuns(len(dev.Dies), dev.BlocksPerDie)
+		for _, ref := range dev.Blocks() {
+			g := cluster.GlobalBlockRef{Board: b, BlockRef: ref}
+			if db.owner[g] != "" {
+				totalUsed++
+				if err := want.claim(ref.Die, ref.Index); err != nil {
+					problems = append(problems, fmt.Sprintf("board %d: rebuilding reference runs: %v", b, err))
+				}
+			}
+		}
+		got := &db.runs[b]
+		if got.free != want.free {
+			problems = append(problems, fmt.Sprintf("board %d: index free=%d, owner table says %d", b, got.free, want.free))
+		}
+		if got.maxRun != want.maxRun {
+			problems = append(problems, fmt.Sprintf("board %d: index maxRun=%d, owner table says %d", b, got.maxRun, want.maxRun))
+		}
+		for d := range want.dies {
+			if fmt.Sprint(got.dies[d]) != fmt.Sprint(want.dies[d]) {
+				problems = append(problems, fmt.Sprintf("board %d die %d: index runs %v, owner table says %v", b, d, got.dies[d], want.dies[d]))
+			}
+		}
+		if member := db.idx.member[b]; member != (db.health[b] == Healthy) {
+			problems = append(problems, fmt.Sprintf("board %d: index membership %v but health %v", b, member, db.health[b]))
+		}
+	}
+	if db.used != totalUsed {
+		problems = append(problems, fmt.Sprintf("used counter %d, owner table says %d", db.used, totalUsed))
+	}
+	return problems
 }

@@ -161,8 +161,9 @@ func (ct *Controller) placementLocked() ClusterPlacement {
 		cp.InterBoardTotal += sc.InterBoard
 	}
 	for b := range ct.Cluster.Boards {
-		free := ct.DB.FreeOnBoard(b)
-		bf := BoardFragmentation{Board: b, FreeBlocks: len(free), LongestRun: longestFreeRun(free)}
+		// O(1) index read per board (freerun.go) — no block rescans.
+		free, longest := ct.DB.FreeContig(b)
+		bf := BoardFragmentation{Board: b, FreeBlocks: free, LongestRun: longest}
 		cp.Boards = append(cp.Boards, bf)
 		cp.FreeBlocks += bf.FreeBlocks
 		if bf.LongestRun > cp.LongestFreeRun {

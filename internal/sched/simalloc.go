@@ -20,6 +20,8 @@ type SimAllocator struct {
 	// MultiFPGAOverhead scales service time when an app spans boards.
 	MultiFPGAOverhead float64
 
+	// held records each admitted app's claimed blocks; Release asserts
+	// against it that the database frees exactly what admission claimed.
 	held map[int][]cluster.GlobalBlockRef
 }
 
@@ -68,10 +70,21 @@ func (a *SimAllocator) TryAdmit(app *sim.AppLoad, now float64) (*sim.Admission, 
 	return adm, true
 }
 
-// Release implements sim.Allocator.
+// Release implements sim.Allocator. The held index asserts the release is
+// sound: the app must have been admitted, and the database must free
+// exactly the block set the admission recorded — anything else means the
+// simulator's bookkeeping and the resource database drifted, which would
+// silently skew every utilization number the simulation reports.
 func (a *SimAllocator) Release(appID int, now float64) {
-	a.db.ReleaseApp(simAppKey(appID))
+	held, ok := a.held[appID]
+	if !ok {
+		panic(fmt.Sprintf("sched: sim release of app %d, which holds no blocks", appID))
+	}
 	delete(a.held, appID)
+	freed := a.db.ReleaseApp(simAppKey(appID))
+	if len(freed) != len(held) {
+		panic(fmt.Sprintf("sched: sim release of app %d freed %d blocks, admission recorded %d", appID, len(freed), len(held)))
+	}
 }
 
 // UsedBlocks implements sim.Allocator.

@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"testing"
+
+	"vital/internal/sim"
+)
+
+// mustPanic runs fn and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestSimReleaseAsserted pins the held index as load-bearing: releasing an
+// app the allocator never admitted, or releasing one twice, is simulator
+// bookkeeping drift and must crash loudly instead of skewing utilization.
+func TestSimReleaseAsserted(t *testing.T) {
+	a := NewSimAllocator(testCluster())
+	mustPanic(t, "release of a never-admitted app", func() {
+		a.Release(99, 0)
+	})
+
+	adm, ok := a.TryAdmit(&sim.AppLoad{ID: 7, Blocks: 3}, 0)
+	if !ok {
+		t.Fatal("admission failed on an empty cluster")
+	}
+	if adm.BlocksUsed != 3 {
+		t.Fatalf("admission recorded %d blocks, want 3", adm.BlocksUsed)
+	}
+	a.Release(7, 1)
+	if a.UsedBlocks() != 0 {
+		t.Fatalf("%d blocks still held after release", a.UsedBlocks())
+	}
+	mustPanic(t, "double release", func() {
+		a.Release(7, 2)
+	})
+}

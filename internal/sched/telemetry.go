@@ -17,6 +17,7 @@ type opLatencies struct {
 	relocate *telemetry.Histogram
 	drain    *telemetry.Histogram
 	evacuate *telemetry.Histogram
+	defrag   *telemetry.Histogram
 }
 
 // healthValue encodes board health for the vital_board_health gauge.
@@ -45,6 +46,7 @@ func (ct *Controller) registerTelemetry() {
 		relocate: r.Histogram("vital_relocate_seconds", "Single-block runtime relocation latency.", nil),
 		drain:    r.Histogram("vital_drain_seconds", "Board drain latency (defragmentation).", nil),
 		evacuate: r.Histogram("vital_evacuate_seconds", "Failed-board evacuation latency (all resident apps).", nil),
+		defrag:   r.Histogram("vital_defrag_seconds", "Incremental defragmentation step latency (bounded block moves).", nil),
 	}
 	r.GaugeFunc("vital_deployed_apps", "Applications currently deployed.", func() float64 {
 		ct.mu.Lock()
@@ -69,6 +71,14 @@ func (ct *Controller) registerTelemetry() {
 		r.GaugeFunc("vital_board_health", "Board health: 0 healthy, 1 degraded, 2 failed.", func() float64 {
 			return healthValue(ct.DB.Health(b))
 		}, lbl)
+		// Free-run index reads (freerun.go): contiguity shape per board.
+		r.GaugeFunc("vital_board_longest_free_run", "Longest run of consecutive free blocks on the board (0 when not healthy).", func() float64 {
+			_, longest := ct.DB.FreeContig(b)
+			return float64(longest)
+		}, lbl)
+		r.GaugeFunc("vital_board_free_runs", "Number of free runs on the board — more runs at equal free capacity means more fragmentation.", func() float64 {
+			return float64(len(ct.DB.Runs(b)))
+		}, lbl)
 	}
 	r.CounterFunc("vital_cache_hits_total", "Compile-cache hits.", func() float64 {
 		return float64(ct.Cache.Stats().Hits)
@@ -78,6 +88,9 @@ func (ct *Controller) registerTelemetry() {
 	})
 	r.GaugeFunc("vital_cache_entries", "Compile-cache entries resident.", func() float64 {
 		return float64(ct.Cache.Stats().Entries)
+	})
+	r.CounterFunc("vital_defrag_moves_total", "Blocks relocated by the incremental defragmenter (DefragStep).", func() float64 {
+		return float64(ct.defragMoves.Load())
 	})
 	for _, k := range allEventKinds {
 		k := k

@@ -58,6 +58,13 @@ const (
 	// failed board — the controller must have evacuated (or terminated)
 	// every tenant a board failure stranded.
 	InvariantAvailability Invariant = "board-availability"
+	// InvariantFreeIndex: the scheduler's free-run index (its per-die runs
+	// of consecutive free blocks, free counts, longest-run caches and
+	// best-fit board lists) agrees with the resource database's owner
+	// table. The index is maintained incrementally on every claim, release
+	// and health transition; every allocation decision reads it, so drift
+	// silently corrupts placement long before it corrupts ownership.
+	InvariantFreeIndex Invariant = "free-run-index"
 )
 
 // Violation is one broken invariant instance.
