@@ -4,7 +4,7 @@ GO ?= go
 # clobbering an existing same-day baseline (e.g. BENCH_OUT=BENCH_20260808b.json).
 BENCH_OUT ?= BENCH_$(shell date +%Y%m%d).json
 
-.PHONY: all build test race faultstress schedsoak lint lint-sarif bench benchsmoke obssmoke alertsmoke clean
+.PHONY: all build test race faultstress schedsoak soaksmoke lint lint-sarif bench benchsmoke obssmoke alertsmoke clean
 
 all: build lint test
 
@@ -28,6 +28,15 @@ faultstress:
 # the invariant auditor — free-run index included — running mid-flight.
 schedsoak:
 	$(GO) test -race -count=2 -run 'TestDeploySingleBoardRace|TestConcurrentDefragSoak|TestConcurrentDeployRelocateDefrag' ./internal/sched
+
+# Admission-tier soak, shrunk for CI and run under the race detector:
+# gateway + backend in-process, a few dozen tenants over a skewed design
+# mix, asserting compile dedup, audit parity and queue backpressure. The
+# latency ceilings are relaxed relative to the full acceptance run
+# (`go run ./cmd/vitalsoak` with defaults) because the race detector and
+# shared CI runners tax wall clock, not correctness.
+soaksmoke:
+	$(GO) run -race ./cmd/vitalsoak -tenants 40 -ops 80 -concurrency 8 -p99 50ms -submit-p99 3s
 
 # vet plus the repo's own analyzers: the per-package checks (lockcheck,
 # mapdeterminism, errwrap, durationliteral) and the whole-program

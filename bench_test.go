@@ -7,8 +7,12 @@ package vital_test
 // numbers alongside the timing.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -16,6 +20,7 @@ import (
 	"vital/internal/core"
 	"vital/internal/experiments"
 	"vital/internal/fpga"
+	"vital/internal/gateway"
 	"vital/internal/hls"
 	"vital/internal/interconnect"
 	"vital/internal/netlist"
@@ -356,6 +361,93 @@ func BenchmarkDeploy10kBoards(b *testing.B) {
 				b.Fatalf("free-run index drifted: %v", problems)
 			}
 		})
+	}
+}
+
+// BenchmarkAsyncAdmission measures the async deploy pipeline's admission
+// path in isolation: ticket mint, bounded try-send, table insert. The
+// pipeline is paused so no worker races the measurement, and it is rebuilt
+// whenever the class queue fills so every iteration takes the admitted
+// path, never the shed path. This is the per-request cost behind the
+// soak's p99 admission-latency assertion.
+func BenchmarkAsyncAdmission(b *testing.B) {
+	const depth = 1 << 14
+	var ct *sched.Controller
+	refill := func() {
+		if ct != nil {
+			ct.Close()
+		}
+		ct = sched.NewControllerWithOptions(cluster.Default(), sched.Options{QueueDepth: depth, QueueWorkers: 1})
+		ct.Async().Pause()
+	}
+	refill()
+	defer func() { ct.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%depth == 0 {
+			b.StopTimer()
+			refill()
+			b.StartTimer()
+		}
+		if _, err := ct.Async().Enqueue("bench-app", 0, true, sched.PriorityLatency); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkGatewaySubmitWarm measures the admission gateway's steady-state
+// POST /submit end to end over HTTP: auth, rate-limit bookkeeping, design
+// keying, known-design and known-instance lookups, and the backend's async
+// enqueue — everything except a compile, which the warm path never runs.
+func BenchmarkGatewaySubmitWarm(b *testing.B) {
+	stack := core.NewStack(nil)
+	backend := httptest.NewServer(core.NewStackHandler(stack))
+	defer backend.Close()
+	defer stack.Controller.Close()
+	gw, err := gateway.New(gateway.Config{
+		Backend: backend.URL,
+		Tokens:  map[string]string{"tok": "bench"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	front := httptest.NewServer(gw.Handler())
+	defer front.Close()
+
+	body := []byte(`{"design": "lenet-S"}`)
+	submit := func() (int, error) {
+		req, err := http.NewRequest(http.MethodPost, front.URL+"/submit", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Authorization", "Bearer tok")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	// Cold submission: compiles the design and the tenant instance.
+	if code, err := submit(); err != nil || code != http.StatusAccepted {
+		b.Fatalf("cold submit: code=%d err=%v", code, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, err := submit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 202 is the warm path; 429 means the backend queue filled faster
+		// than its workers failed the duplicate deploys — count neither as
+		// an error, both are admission outcomes.
+		if code != http.StatusAccepted && code != http.StatusTooManyRequests {
+			b.Fatalf("warm submit: unexpected status %d", code)
+		}
 	}
 }
 

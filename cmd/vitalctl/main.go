@@ -16,6 +16,10 @@
 //	vitalctl placement           # placement-quality report (-app for one app)
 //	vitalctl alerts              # evaluate and list alert rules
 //	vitalctl watch               # follow the live event stream (-kind fault to filter)
+//	vitalctl -priority batch submit lenet-M   # async deploy: enqueue, print the ticket
+//	vitalctl queue               # async pipeline dashboard (depth, sheds, wait)
+//	vitalctl -state failed deployments        # async tickets, newest first (-max 10)
+//	vitalctl deployment d-000042 # one ticket by ID
 //
 // Transient failures retry with exponential backoff: connection errors
 // always, 502/503/504 responses only for idempotent (GET) requests — a 503
@@ -54,10 +58,13 @@ func main() {
 	watch := flag.Duration("watch", 0, "for top: refresh interval (0 prints once)")
 	kind := flag.String("kind", "", "for watch: only stream events of this kind (deploy|undeploy|relocate|drain|fault|evacuate|alert)")
 	app := flag.String("app", "", "for placement: score one deployed app instead of the whole cluster")
+	priority := flag.String("priority", "latency", "for submit: queue class (latency|batch)")
+	state := flag.String("state", "", "for deployments: only tickets in this state (queued|running|succeeded|failed)")
+	max := flag.Int("max", 0, "for deployments: at most this many tickets (0 = server default)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|placement|alerts|watch|trace <app>|deploy <app>|undeploy <app>|fault <board> <degrade|fail|recover>")
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|placement|alerts|watch|queue|deployments|trace <app>|deploy <app>|submit <app>|deployment <id>|undeploy <app>|fault <board> <degrade|fail|recover>")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -96,6 +103,36 @@ func main() {
 	case "deploy":
 		requireArg(args, "deploy")
 		post(*addr+"/deploy", map[string]interface{}{"app": args[1], "mem_quota_bytes": *quota})
+	case "submit":
+		// Async deploy: enqueue into the bounded pipeline and print the
+		// ticket (poll it with `vitalctl deployment <id>`). A 429 means the
+		// class queue shed the request — honor Retry-After and resubmit.
+		requireArg(args, "submit")
+		if *priority != "latency" && *priority != "batch" {
+			log.Fatalf("vitalctl: bad -priority %q: want latency or batch", *priority)
+		}
+		post(*addr+"/deploy?async=1&priority="+url.QueryEscape(*priority),
+			map[string]interface{}{"app": args[1], "mem_quota_bytes": *quota})
+	case "queue":
+		printQueue(*addr)
+	case "deployments":
+		q := url.Values{}
+		if *state != "" {
+			q.Set("state", *state)
+		}
+		if *max > 0 {
+			q.Set("max", strconv.Itoa(*max))
+		}
+		u := *addr + "/deployments"
+		if len(q) > 0 {
+			u += "?" + q.Encode()
+		}
+		get(u)
+	case "deployment":
+		if len(args) < 2 {
+			log.Fatalf("vitalctl: deployment needs a ticket ID")
+		}
+		get(*addr + "/deployments/" + url.PathEscape(args[1]))
 	case "undeploy":
 		requireArg(args, "undeploy")
 		post(*addr+"/undeploy", map[string]string{"app": args[1]})
@@ -235,6 +272,33 @@ func top(addr string) {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		fmt.Printf("  %-9s %d\n", k, m.Events[sched.EventKind(k)])
+	}
+}
+
+// printQueue renders the async deploy pipeline snapshot: per-class depth
+// against capacity, admitted/shed/completed counters, and wait/admission
+// latency quantiles.
+func printQueue(addr string) {
+	var st sched.QueueStats
+	getJSON(addr+"/queue", &st)
+	state := "running"
+	if st.Paused {
+		state = "PAUSED"
+	}
+	fmt.Printf("pipeline  %s, %d workers, capacity %d per class, %d tickets retained\n",
+		state, st.Workers, st.CapacityPerClass, st.TicketsRetained)
+	for _, pr := range []sched.Priority{sched.PriorityLatency, sched.PriorityBatch} {
+		w := st.WaitSeconds[pr]
+		fmt.Printf("  %-8s depth %3d/%d  admitted %d  shed %d  ok %d  failed %d",
+			pr, st.Depth[pr], st.CapacityPerClass, st.Enqueued[pr], st.Shed[pr], st.Completed[pr], st.Failed[pr])
+		if w.Count > 0 {
+			fmt.Printf("  wait p50/p99 %.3f/%.3f ms", 1000*w.P50, 1000*w.P99)
+		}
+		fmt.Println()
+	}
+	if st.AdmissionSeconds.Count > 0 {
+		fmt.Printf("admission p50/p99 %.3f/%.3f ms over %d requests\n",
+			1000*st.AdmissionSeconds.P50, 1000*st.AdmissionSeconds.P99, st.AdmissionSeconds.Count)
 	}
 }
 

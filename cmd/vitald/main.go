@@ -31,9 +31,16 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "expose Go runtime profiles under /debug/pprof/")
 	alertInterval := flag.Duration("alert-interval", 15*time.Second, "alert-rule evaluation period (0 disables the ticker; GET /alerts still evaluates on demand)")
 	defragMoves := flag.Int("defrag-moves", 0, "blocks the incremental defragmenter may relocate per alert evaluation while fragmentation_high fires (0 disables)")
+	queueDepth := flag.Int("queue-depth", 0, "async deploy queue capacity per priority class (0 = default 256)")
+	queueWorkers := flag.Int("queue-workers", 0, "async deploy worker count (0 = default 4)")
 	flag.Parse()
 
-	stack := core.NewStackWithOptions(nil, sched.Options{VerifyOnDeploy: *verifyOnDeploy, DefragMoves: *defragMoves})
+	stack := core.NewStackWithOptions(nil, sched.Options{
+		VerifyOnDeploy: *verifyOnDeploy,
+		DefragMoves:    *defragMoves,
+		QueueDepth:     *queueDepth,
+		QueueWorkers:   *queueWorkers,
+	})
 	for _, name := range strings.Split(*compile, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

@@ -5,20 +5,50 @@ import (
 	"fmt"
 
 	"vital/internal/bitstream"
+	"vital/internal/fpga"
 	"vital/internal/hls"
+	"vital/internal/netlist"
 )
 
-// designKey hashes a Programming Layer design plus the stack's compile
-// parameters into a cache key usable *before* synthesis. Synthesis is
-// deterministic in the design's structure, so two designs with the same
-// design key synthesize to structurally identical netlists and therefore
-// share a compile key (bitstream.CompileKey) — the design key is
-// registered as an alias for it, letting a repeat compile skip synthesis
-// entirely. Like the compile key, every name is excluded: the design
-// name and operator names only decorate net names, and loop-nest labels
-// are canonicalized to first-occurrence indices so only the *grouping*
-// of operators into CDFG blocks is hashed, not the label text.
-func (s *Stack) designKey(d *hls.Design) bitstream.CacheKey {
+// CompileParams are the stack parameters that, together with a design's
+// structure, determine the compiled artifacts — everything the design key
+// hashes besides the design itself. The admission gateway fetches them
+// from the backend (GET /compileparams) so it can compute the same
+// content-addressed key the backend's cache uses, without compiling
+// anything.
+type CompileParams struct {
+	BlockCapacity netlist.Resources `json:"block_capacity"`
+	PartitionSeed int64             `json:"partition_seed"`
+	MaxBlocks     int               `json:"max_blocks"`
+	Shape         fpga.BlockShape   `json:"shape"`
+}
+
+// CompileParams returns this stack's compile parameters.
+func (s *Stack) CompileParams() CompileParams {
+	return CompileParams{
+		BlockCapacity: s.BlockCapacity,
+		PartitionSeed: partitionSeed,
+		MaxBlocks:     s.MaxBlocksPerApp,
+		Shape:         s.Grid.Shape,
+	}
+}
+
+// DesignKey hashes a Programming Layer design plus compile parameters into
+// a cache key usable *before* synthesis. Synthesis is deterministic in the
+// design's structure, so two designs with the same design key synthesize
+// to structurally identical netlists and therefore share a compile key
+// (bitstream.CompileKey) — the design key is registered as an alias for
+// it, letting a repeat compile skip synthesis entirely. Like the compile
+// key, every name is excluded: the design name and operator names only
+// decorate net names, and loop-nest labels are canonicalized to
+// first-occurrence indices so only the *grouping* of operators into CDFG
+// blocks is hashed, not the label text.
+//
+// The same property is what makes the key the admission gateway's
+// coalescing handle: N tenants submitting the same accelerator under N
+// different names map onto one key, one in-flight compile, one cache
+// entry.
+func DesignKey(d *hls.Design, p CompileParams) bitstream.CacheKey {
 	h := sha256.New()
 	loopIdx := make(map[string]int)
 	fmt.Fprintf(h, "ops %d\n", len(d.Ops))
@@ -37,13 +67,18 @@ func (s *Stack) designKey(d *hls.Design) bitstream.CacheKey {
 		fmt.Fprintf(h, "c %d %d %d\n", c.From, c.To, c.Width)
 	}
 	fmt.Fprintf(h, "capacity %d %d %d %d\n",
-		s.BlockCapacity.LUTs, s.BlockCapacity.DFFs, s.BlockCapacity.DSPs, s.BlockCapacity.BRAMKb)
-	fmt.Fprintf(h, "seed %d maxblocks %d\n", partitionSeed, s.MaxBlocksPerApp)
-	fmt.Fprintf(h, "shape rows %d\n", s.Grid.Shape.Rows)
-	for _, c := range s.Grid.Shape.Columns {
+		p.BlockCapacity.LUTs, p.BlockCapacity.DFFs, p.BlockCapacity.DSPs, p.BlockCapacity.BRAMKb)
+	fmt.Fprintf(h, "seed %d maxblocks %d\n", p.PartitionSeed, p.MaxBlocks)
+	fmt.Fprintf(h, "shape rows %d\n", p.Shape.Rows)
+	for _, c := range p.Shape.Columns {
 		fmt.Fprintf(h, "col %d %d\n", c.Kind, c.SitesPerDie)
 	}
 	var k bitstream.CacheKey
 	h.Sum(k[:0])
 	return k
+}
+
+// designKey is DesignKey under this stack's own parameters.
+func (s *Stack) designKey(d *hls.Design) bitstream.CacheKey {
+	return DesignKey(d, s.CompileParams())
 }

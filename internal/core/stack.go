@@ -8,8 +8,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"vital/internal/bitstream"
@@ -33,6 +33,20 @@ type Stack struct {
 	Grid          *fpga.Grid
 	// MaxBlocksPerApp bounds the compilation-layer block search.
 	MaxBlocksPerApp int
+
+	// mu guards the fields below — the named-app registry the serving
+	// tier (CompileSpec/ExecuteByName and the HTTP handler) maintains.
+	mu   sync.Mutex
+	apps map[string]*registeredApp
+}
+
+// registeredApp is one named compile the serving tier performed: the
+// compiled artifacts plus the design key they were compiled from, kept so
+// a repeat CompileSpec under the same name can detect whether it is a
+// harmless retry (same design) or a conflict (different design).
+type registeredApp struct {
+	app  *CompiledApp
+	dkey bitstream.CacheKey
 }
 
 // NewStack builds a stack over the given cluster (nil selects the paper's
@@ -55,6 +69,7 @@ func NewStackWithOptions(c *cluster.Cluster, opts sched.Options) *Stack {
 		BlockCapacity:   dev.BlockResources(),
 		Grid:            fpga.NewGrid(dev.BlockShape()),
 		MaxBlocksPerApp: c.TotalBlocks(),
+		apps:            map[string]*registeredApp{},
 	}
 }
 
@@ -444,10 +459,6 @@ func generateInterface(n *netlist.Netlist, part *partition.Result) []ChannelSpec
 	}
 	return specs
 }
-
-// NewStackHandler exposes the stack's system controller over HTTP (the
-// Fig. 6 integration API).
-func NewStackHandler(s *Stack) http.Handler { return sched.NewHandler(s.Controller) }
 
 // Deploy places a compiled application onto the cluster through the system
 // controller (runtime resource allocation, Section 3.4).

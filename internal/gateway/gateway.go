@@ -1,0 +1,481 @@
+// Package gateway is the admission tier in front of a ViTAL backend
+// (vitald): it authenticates tenants, applies per-tenant token-bucket
+// rate limits, coalesces identical compile requests onto one in-flight
+// backend compile (singleflight keyed by the content-addressed design
+// key), and forwards deployments into the backend's bounded async
+// pipeline. N tenants submitting the same Table 2 design pay for one
+// synthesis; everyone else shares the cached bitstream via a rebranding
+// clone.
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vital/internal/bitstream"
+	"vital/internal/core"
+	"vital/internal/httpapi"
+	"vital/internal/telemetry"
+	"vital/internal/workload"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Backend is the base URL of the vitald backend, e.g.
+	// "http://127.0.0.1:9000".
+	Backend string
+	// Tokens maps bearer tokens to tenant names (static credential set;
+	// the admission tier's auth is pluggable in spirit, a token map in
+	// practice).
+	Tokens map[string]string
+	// Rate and Burst shape each tenant's token bucket: Rate submissions
+	// per second sustained, Burst extra in a spike. Zero disables
+	// rate limiting.
+	Rate  float64
+	Burst int
+	// Client overrides the backend HTTP client (nil uses a 30 s-timeout
+	// default).
+	Client *http.Client
+	// Logf, when set, receives an access-log line per request.
+	Logf func(format string, v ...interface{})
+}
+
+// Gateway is the admission front door. Create with New, serve Handler().
+type Gateway struct {
+	cfg    Config
+	client *http.Client
+	// params are the backend's compile parameters, fetched once at
+	// startup so design keys computed here are byte-identical to the
+	// backend compile cache's.
+	params core.CompileParams
+	// Reg is the gateway's own telemetry registry (vital_gateway_*).
+	Reg *telemetry.Registry
+
+	flights flightGroup
+	limits  *limiterSet
+
+	admitHist    *telemetry.Histogram
+	coalesceHits *telemetry.Counter
+	rateLimited  *telemetry.Counter
+	authFailures *telemetry.Counter
+	backendShed  *telemetry.Counter
+
+	// mu guards the fields below.
+	mu sync.Mutex
+	// designs records design keys the backend has compiled (key → spec):
+	// a hit is the warm path — no flight, no backend compile, straight to
+	// the per-tenant instance.
+	designs map[bitstream.CacheKey]string
+	// apps records per-tenant instance app names already compiled on the
+	// backend, so repeat submissions skip the instance compile too.
+	apps map[string]bool
+}
+
+// New builds a gateway over a running backend. It fetches the backend's
+// compile parameters (GET /compileparams) so admission-side design keys
+// match the backend's compile cache exactly.
+func New(cfg Config) (*Gateway, error) {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		client:  client,
+		Reg:     telemetry.NewRegistry(),
+		limits:  newLimiterSet(cfg.Rate, cfg.Burst),
+		designs: map[bitstream.CacheKey]string{},
+		apps:    map[string]bool{},
+	}
+	resp, err := client.Get(cfg.Backend + "/compileparams")
+	if err != nil {
+		return nil, fmt.Errorf("gateway: fetching backend compile params: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("gateway: backend /compileparams: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&g.params); err != nil {
+		return nil, fmt.Errorf("gateway: decoding backend compile params: %w", err)
+	}
+
+	g.admitHist = g.Reg.Histogram("vital_gateway_admission_seconds",
+		"Wall time of POST /submit: auth, rate limit, key, compile (or coalesce), enqueue.", nil)
+	g.coalesceHits = g.Reg.Counter("vital_gateway_coalesce_hits_total",
+		"Submissions that coalesced onto another tenant's in-flight compile of the same design.")
+	g.rateLimited = g.Reg.Counter("vital_gateway_rate_limited_total",
+		"Submissions rejected 429 by the per-tenant token bucket.")
+	g.authFailures = g.Reg.Counter("vital_gateway_auth_failures_total",
+		"Requests rejected 401 for a missing or unknown bearer token.")
+	g.backendShed = g.Reg.Counter("vital_gateway_backend_shed_total",
+		"Deploy forwards the backend's bounded queue shed with 429.")
+	g.Reg.GaugeFunc("vital_gateway_known_designs",
+		"Distinct design keys the gateway has seen compiled on the backend.", func() float64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return float64(len(g.designs))
+		})
+	return g, nil
+}
+
+// tenant resolves the request's bearer token; "" means unauthenticated.
+func (g *Gateway) tenant(r *http.Request) string {
+	tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok {
+		return ""
+	}
+	return g.cfg.Tokens[strings.TrimSpace(tok)]
+}
+
+// submitRequest is the POST /submit body.
+type submitRequest struct {
+	// Design is a Table 2 workload spec, "<benchmark>-<S|M|L>".
+	Design string `json:"design"`
+	// Priority selects the backend queue class, latency (default) or
+	// batch.
+	Priority string `json:"priority"`
+	// MemQuotaBytes is passed through to the deploy (0 = backend
+	// default).
+	MemQuotaBytes uint64 `json:"mem_quota_bytes"`
+	// Tokens, when nonzero, is remembered in the response for the
+	// client's later /execute call; the gateway does not act on it.
+	Tokens uint64 `json:"tokens"`
+}
+
+// submitResponse is the 202 POST /submit answer.
+type submitResponse struct {
+	Tenant    string `json:"tenant"`
+	App       string `json:"app"`
+	Design    string `json:"design"`
+	DesignKey string `json:"design_key"`
+	// ColdCompile reports that this submission waited on any backend
+	// compile round trip — the shared design compile (as leader or
+	// coalesced follower) or the tenant's first instance rebrand; false
+	// is the steady-state path the p99 admission target applies to.
+	ColdCompile bool `json:"cold_compile"`
+	// Coalesced reports this submission shared another caller's
+	// in-flight compile rather than issuing its own.
+	Coalesced bool            `json:"coalesced"`
+	Ticket    json.RawMessage `json:"ticket"`
+}
+
+// compileOnBackend asks the backend to compile spec under appName.
+func (g *Gateway) compileOnBackend(spec, appName string) error {
+	body, _ := json.Marshal(map[string]string{"design": spec, "app": appName})
+	resp, err := g.client.Post(g.cfg.Backend+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("gateway: backend compile of %s: %w", appName, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("gateway: backend compile of %s: %s: %s", appName, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// ensureDesign guarantees the backend has compiled the design behind
+// dkey, issuing at most one in-flight backend compile per key across all
+// tenants. It reports whether this call had to wait for a compile (cold)
+// and whether it shared someone else's (coalesced).
+func (g *Gateway) ensureDesign(spec string, dkey bitstream.CacheKey) (cold, coalesced bool, err error) {
+	g.mu.Lock()
+	_, known := g.designs[dkey]
+	g.mu.Unlock()
+	if known {
+		return false, false, nil
+	}
+	_, err, shared := g.flights.Do(dkey.String(), func() (interface{}, error) {
+		// Leader: the backend compiles the design under its spec name.
+		// The backend's own content-addressed cache makes a lost race
+		// (another gateway, a restart) a cheap rebrand, not a resynthesis.
+		if err := g.compileOnBackend(spec, spec); err != nil {
+			return nil, err
+		}
+		g.mu.Lock()
+		g.designs[dkey] = spec
+		g.mu.Unlock()
+		return nil, nil
+	})
+	if shared {
+		g.coalesceHits.Inc()
+	}
+	return true, shared, err
+}
+
+// ensureInstance guarantees the tenant's named instance of the design is
+// compiled on the backend (a cache hit and a rebranding clone — no tools
+// run). It reports whether a backend round trip happened.
+func (g *Gateway) ensureInstance(spec, appName string) (compiled bool, err error) {
+	g.mu.Lock()
+	known := g.apps[appName]
+	g.mu.Unlock()
+	if known {
+		return false, nil
+	}
+	// Concurrent duplicates for the same instance name are rare (one
+	// tenant racing itself) and harmless: the backend's CompileSpec is
+	// idempotent per (app, design).
+	if err := g.compileOnBackend(spec, appName); err != nil {
+		return false, err
+	}
+	g.mu.Lock()
+	g.apps[appName] = true
+	g.mu.Unlock()
+	return true, nil
+}
+
+// handleSubmit is the admission path.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer g.admitHist.ObserveSince(start)
+
+	tenant := g.tenant(r)
+	if tenant == "" {
+		g.authFailures.Inc()
+		httpapi.WriteError(w, http.StatusUnauthorized, fmt.Errorf("gateway: missing or unknown bearer token"))
+		return
+	}
+	if ok, retry := g.limits.take(tenant, start); !ok {
+		g.rateLimited.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		httpapi.WriteError(w, http.StatusTooManyRequests,
+			fmt.Errorf("gateway: tenant %s over admission rate", tenant))
+		return
+	}
+
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := workload.ParseSpec(req.Design)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, fmt.Errorf("gateway: %w", err))
+		return
+	}
+	priority := req.Priority
+	if priority == "" {
+		priority = "latency"
+	}
+	if priority != "latency" && priority != "batch" {
+		httpapi.WriteError(w, http.StatusBadRequest,
+			fmt.Errorf("gateway: bad priority %q: want latency or batch", req.Priority))
+		return
+	}
+
+	// The coalescing handle: the same content-addressed key the backend's
+	// compile cache aliases, computed without compiling anything.
+	d := workload.BuildDesign(spec)
+	dkey := core.DesignKey(d, g.params)
+
+	cold, coalesced, err := g.ensureDesign(req.Design, dkey)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadGateway, err)
+		return
+	}
+	appName := tenant + "." + req.Design
+	instCompiled, err := g.ensureInstance(req.Design, appName)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadGateway, err)
+		return
+	}
+	cold = cold || instCompiled
+
+	// Hand the deployment to the backend's bounded async pipeline; a shed
+	// (429) propagates to the tenant with the backend's Retry-After.
+	body, _ := json.Marshal(map[string]interface{}{
+		"app":             appName,
+		"mem_quota_bytes": req.MemQuotaBytes,
+	})
+	resp, err := g.client.Post(
+		g.cfg.Backend+"/deploy?async=1&priority="+priority,
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadGateway, fmt.Errorf("gateway: backend deploy: %w", err))
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadGateway, fmt.Errorf("gateway: reading backend deploy response: %w", err))
+		return
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			g.backendShed.Inc()
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(raw)
+		return
+	}
+	var ticketEnvelope struct {
+		Ticket json.RawMessage `json:"ticket"`
+	}
+	if err := json.Unmarshal(raw, &ticketEnvelope); err != nil {
+		httpapi.WriteError(w, http.StatusBadGateway, fmt.Errorf("gateway: decoding backend ticket: %w", err))
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusAccepted, submitResponse{
+		Tenant:      tenant,
+		App:         appName,
+		Design:      req.Design,
+		DesignKey:   dkey.String(),
+		ColdCompile: cold,
+		Coalesced:   coalesced,
+		Ticket:      ticketEnvelope.Ticket,
+	})
+}
+
+// authorizeApp checks the tenant owns the app it is operating on
+// (instances are namespaced "<tenant>.<design>").
+func (g *Gateway) authorizeApp(w http.ResponseWriter, r *http.Request, app string) (string, bool) {
+	tenant := g.tenant(r)
+	if tenant == "" {
+		g.authFailures.Inc()
+		httpapi.WriteError(w, http.StatusUnauthorized, fmt.Errorf("gateway: missing or unknown bearer token"))
+		return "", false
+	}
+	if !strings.HasPrefix(app, tenant+".") {
+		httpapi.WriteError(w, http.StatusForbidden,
+			fmt.Errorf("gateway: tenant %s does not own app %q", tenant, app))
+		return "", false
+	}
+	return tenant, true
+}
+
+// forward relays a request body to a backend POST route and copies the
+// backend's status and JSON body back verbatim.
+func (g *Gateway) forward(w http.ResponseWriter, path string, body interface{}) {
+	raw, _ := json.Marshal(body)
+	resp, err := g.client.Post(g.cfg.Backend+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadGateway, fmt.Errorf("gateway: backend %s: %w", path, err))
+		return
+	}
+	defer resp.Body.Close()
+	copyResponse(w, resp)
+}
+
+// proxyGET relays a backend GET (path plus the caller's query string).
+func (g *Gateway) proxyGET(w http.ResponseWriter, r *http.Request, path string) {
+	url := g.cfg.Backend + path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	resp, err := g.client.Get(url)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadGateway, fmt.Errorf("gateway: backend %s: %w", path, err))
+		return
+	}
+	defer resp.Body.Close()
+	copyResponse(w, resp)
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// Handler returns the gateway's HTTP surface.
+//
+//	POST /submit    {design, priority, mem_quota_bytes} → 202 + ticket;
+//	                auth via Authorization: Bearer <token>; 401 unknown
+//	                token, 429 + Retry-After over the tenant's rate or on
+//	                a backend queue shed, 400 bad spec/priority
+//	POST /undeploy  {app} → tenant-scoped undeploy (403 across tenants)
+//	POST /execute   {app, tokens} → tenant-scoped execute
+//	GET  /deployments, /deployments/{id}, /queue, /status, /alerts
+//	                → proxied backend reads
+//	GET  /metrics   → gateway registry (?format=prometheus for the text
+//	                exposition)
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, telemetry.InstrumentRoute(g.Reg, pattern, h))
+	}
+
+	handle("POST /submit", g.handleSubmit)
+
+	handle("POST /undeploy", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			App string `json:"app"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpapi.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		if _, ok := g.authorizeApp(w, r, req.App); !ok {
+			return
+		}
+		g.forward(w, "/undeploy", map[string]string{"app": req.App})
+	})
+
+	handle("POST /execute", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			App    string `json:"app"`
+			Tokens uint64 `json:"tokens"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpapi.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		if _, ok := g.authorizeApp(w, r, req.App); !ok {
+			return
+		}
+		g.forward(w, "/execute", map[string]interface{}{"app": req.App, "tokens": req.Tokens})
+	})
+
+	handle("GET /deployments", func(w http.ResponseWriter, r *http.Request) {
+		g.proxyGET(w, r, "/deployments")
+	})
+	handle("GET /deployments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		g.proxyGET(w, r, "/deployments/"+r.PathValue("id"))
+	})
+	handle("GET /queue", func(w http.ResponseWriter, r *http.Request) {
+		g.proxyGET(w, r, "/queue")
+	})
+	handle("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		g.proxyGET(w, r, "/status")
+	})
+	handle("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		g.proxyGET(w, r, "/alerts")
+	})
+
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		format, err := httpapi.QueryEnum(r, "format", "prometheus", "json", "prometheus")
+		if err != nil {
+			httpapi.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		if format == "json" {
+			httpapi.WriteJSON(w, http.StatusOK, g.Reg.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		_ = g.Reg.WritePrometheus(w)
+	})
+
+	var h http.Handler = mux
+	if g.cfg.Logf != nil {
+		h = telemetry.AccessLog(g.cfg.Logf, h)
+	}
+	return h
+}

@@ -1,0 +1,80 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is one tenant's admission rate limiter: capacity `burst`
+// tokens refilled at `rate` tokens per second. Zero-valued fields mean
+// unlimited (the gateway skips the limiter entirely).
+type tokenBucket struct {
+	rate  float64
+	burst float64
+
+	// mu guards the fields below.
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take consumes one token if available. When the bucket is empty it
+// reports false plus how long until one token accrues — the Retry-After
+// hint on the 429.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Second
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Second {
+		// Retry-After is whole seconds; round up so the hint is honest.
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// limiterSet hands out one bucket per tenant.
+type limiterSet struct {
+	rate  float64
+	burst int
+
+	// mu guards the fields below.
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newLimiterSet(rate float64, burst int) *limiterSet {
+	return &limiterSet{rate: rate, burst: burst, buckets: map[string]*tokenBucket{}}
+}
+
+// take consumes one admission token for the tenant.
+func (l *limiterSet) take(tenant string, now time.Time) (bool, time.Duration) {
+	if l.rate <= 0 || l.burst <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = newTokenBucket(l.rate, l.burst, now)
+		l.buckets[tenant] = b
+	}
+	l.mu.Unlock()
+	return b.take(now)
+}

@@ -1,0 +1,49 @@
+package gateway
+
+import "sync"
+
+// flightGroup coalesces concurrent calls that share a key onto one
+// execution — the singleflight primitive the gateway keys by design key,
+// so N tenants submitting the same accelerator pay for one synthesis.
+// Reimplemented over the stdlib (the module is dependency-free): the
+// first caller for a key becomes the leader and runs fn; callers arriving
+// while the flight is open block until the leader finishes and share its
+// result verbatim.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	wg  sync.WaitGroup
+	val interface{}
+	err error
+}
+
+// Do runs fn once per key per flight. The third return reports whether
+// this caller coalesced onto another caller's flight (false for the
+// leader) — the gateway's coalesce-hit counter and the soak harness's
+// dedup assertion both hang off it.
+func (g *flightGroup) Do(key string, fn func() (interface{}, error)) (interface{}, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.val, f.err, true
+	}
+	f := new(flight)
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.wg.Done()
+	return f.val, f.err, false
+}

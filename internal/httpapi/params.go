@@ -1,0 +1,101 @@
+// Package httpapi is the shared HTTP plumbing of the control plane's two
+// serving tiers — the system controller's API (internal/sched) and the
+// tenant-facing admission gateway (internal/gateway). It holds the one
+// query-parameter validation helper both use (so every route rejects bad
+// input with the same message shape instead of per-route ad-hoc parsing)
+// and the JSON response writers.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// QueryInt parses an optional non-negative integer query parameter. An
+// absent or empty parameter yields def; a negative or non-numeric value is
+// an error suitable for a 400 response.
+func QueryInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s %q: want a non-negative integer", name, s)
+	}
+	return v, nil
+}
+
+// QueryDuration parses an optional positive Go duration query parameter
+// (e.g. 15s). An absent parameter yields def.
+func QueryDuration(r *http.Request, name string, def time.Duration) (time.Duration, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad %s %q: want a positive duration like 15s", name, s)
+	}
+	return d, nil
+}
+
+// QuerySince parses an optional time cutoff: either an RFC 3339 timestamp
+// or a non-negative duration interpreted as a lookback from now. An absent
+// parameter yields the zero time (no cutoff).
+func QuerySince(r *http.Request, name string) (time.Time, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil && d >= 0 {
+		return time.Now().Add(-d), nil
+	}
+	return time.Time{}, fmt.Errorf("bad %s %q: want RFC 3339 or a non-negative duration like 5m", name, s)
+}
+
+// QueryEnum parses an optional enumerated query parameter. An absent
+// parameter yields def; any other value must match one of allowed.
+func QueryEnum(r *http.Request, name, def string, allowed ...string) (string, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	for _, a := range allowed {
+		if s == a {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("bad %s %q: want one of %v", name, s, allowed)
+}
+
+// QueryBool parses an optional boolean query parameter: absent and "0" and
+// "false" are false; "1" and "true" are true; anything else is an error.
+func QueryBool(r *http.Request, name string) (bool, error) {
+	switch s := r.URL.Query().Get(name); s {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, fmt.Errorf("bad %s %q: want 1, true, 0 or false", name, s)
+	}
+}
+
+// WriteJSON writes v as a JSON response with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes err as the standard {"error": ...} JSON body.
+func WriteError(w http.ResponseWriter, code int, err error) {
+	WriteJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,168 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func req(t *testing.T, query string) *http.Request {
+	t.Helper()
+	r, err := http.NewRequest(http.MethodGet, "/x?"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestQueryInt(t *testing.T) {
+	for _, tc := range []struct {
+		query   string
+		def     int
+		want    int
+		wantErr bool
+	}{
+		{"", 64, 64, false},
+		{"max=0", 64, 0, false},
+		{"max=17", 64, 17, false},
+		{"max=-1", 64, 0, true},
+		{"max=seven", 64, 0, true},
+		{"max=1.5", 64, 0, true},
+	} {
+		got, err := QueryInt(req(t, tc.query), "max", tc.def)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("QueryInt(%q) error = %v, wantErr %v", tc.query, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("QueryInt(%q) = %d, want %d", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestQueryEnum(t *testing.T) {
+	allowed := []string{"latency", "batch"}
+	for _, tc := range []struct {
+		query   string
+		want    string
+		wantErr bool
+	}{
+		{"", "latency", false},
+		{"priority=latency", "latency", false},
+		{"priority=batch", "batch", false},
+		{"priority=Batch", "", true}, // case-sensitive by design
+		{"priority=urgent", "", true},
+	} {
+		got, err := QueryEnum(req(t, tc.query), "priority", "latency", allowed...)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("QueryEnum(%q) error = %v, wantErr %v", tc.query, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("QueryEnum(%q) = %q, want %q", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestQueryBool(t *testing.T) {
+	for _, tc := range []struct {
+		query   string
+		want    bool
+		wantErr bool
+	}{
+		{"", false, false},
+		{"async=0", false, false},
+		{"async=false", false, false},
+		{"async=1", true, false},
+		{"async=true", true, false},
+		{"async=yes", false, true},
+		{"async=TRUE", false, true},
+	} {
+		got, err := QueryBool(req(t, tc.query), "async")
+		if (err != nil) != tc.wantErr {
+			t.Errorf("QueryBool(%q) error = %v, wantErr %v", tc.query, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("QueryBool(%q) = %v, want %v", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestQueryDuration(t *testing.T) {
+	for _, tc := range []struct {
+		query   string
+		want    time.Duration
+		wantErr bool
+	}{
+		{"", 15 * time.Second, false},
+		{"heartbeat=250ms", 250 * time.Millisecond, false},
+		{"heartbeat=0s", 0, true}, // must be positive
+		{"heartbeat=-1s", 0, true},
+		{"heartbeat=soon", 0, true},
+	} {
+		got, err := QueryDuration(req(t, tc.query), "heartbeat", 15*time.Second)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("QueryDuration(%q) error = %v, wantErr %v", tc.query, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("QueryDuration(%q) = %v, want %v", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestQuerySince(t *testing.T) {
+	if got, err := QuerySince(req(t, ""), "since"); err != nil || !got.IsZero() {
+		t.Fatalf("absent since = %v, %v; want zero time, nil", got, err)
+	}
+	stamp := "2026-08-08T12:00:00Z"
+	got, err := QuerySince(req(t, "since="+stamp), "since")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := time.Parse(time.RFC3339, stamp)
+	if !got.Equal(want) {
+		t.Fatalf("since RFC3339 = %v, want %v", got, want)
+	}
+	before := time.Now()
+	got, err = QuerySince(req(t, "since=5m"), "since")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := before.Add(-5*time.Minute), time.Now().Add(-5*time.Minute)
+	if got.Before(lo) || got.After(hi) {
+		t.Fatalf("since 5m lookback = %v, want within [%v, %v]", got, lo, hi)
+	}
+	if _, err := QuerySince(req(t, "since=-5m"), "since"); err == nil {
+		t.Fatal("negative lookback accepted")
+	}
+	if _, err := QuerySince(req(t, "since=yesterday"), "since"); err == nil {
+		t.Fatal("garbage since accepted")
+	}
+}
+
+func TestWriteJSONAndError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusTeapot, map[string]int{"n": 7})
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var body map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["n"] != 7 {
+		t.Fatalf("body = %q (%v)", rec.Body.String(), err)
+	}
+
+	rec = httptest.NewRecorder()
+	WriteError(rec, http.StatusBadRequest, errors.New("bad max"))
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] != "bad max" {
+		t.Fatalf("error body = %q (%v)", rec.Body.String(), err)
+	}
+}

@@ -42,6 +42,11 @@ type AlertThresholds struct {
 	// channel_gated_ratio_high, held for GatedFor.
 	GatedRatioMax float64
 	GatedFor      time.Duration
+	// QueueSaturationMax is the async deploy queue's depth/capacity
+	// ceiling (the fuller priority class) of queue_saturated, held for
+	// QueueSaturationFor.
+	QueueSaturationMax float64
+	QueueSaturationFor time.Duration
 }
 
 // DefaultAlertThresholds returns the shipped thresholds: board unhealthy
@@ -50,14 +55,16 @@ type AlertThresholds struct {
 // for 30 s.
 func DefaultAlertThresholds() AlertThresholds {
 	return AlertThresholds{
-		BoardUnhealthyFor: 30 * time.Second,
-		FragmentationMax:  0.5,
-		FragmentationFor:  60 * time.Second,
-		CacheHitRateMin:   0.5,
-		CacheMinLookups:   32,
-		CacheFor:          60 * time.Second,
-		GatedRatioMax:     0.25,
-		GatedFor:          30 * time.Second,
+		BoardUnhealthyFor:  30 * time.Second,
+		FragmentationMax:   0.5,
+		FragmentationFor:   60 * time.Second,
+		CacheHitRateMin:    0.5,
+		CacheMinLookups:    32,
+		CacheFor:           60 * time.Second,
+		GatedRatioMax:      0.25,
+		GatedFor:           30 * time.Second,
+		QueueSaturationMax: 0.8,
+		QueueSaturationFor: 15 * time.Second,
 	}
 }
 
@@ -111,6 +118,12 @@ func (ct *Controller) registerAlerts(th AlertThresholds) {
 		Help:   "Channels spend too many cycles back-pressured (credits exhausted).",
 		Source: func() float64 { return ct.dp.gatedRatio() },
 		Op:     telemetry.OpGreater, Threshold: th.GatedRatioMax, For: th.GatedFor,
+	})
+	mustAdd(telemetry.AlertRule{
+		Name:   "queue_saturated",
+		Help:   "The async deploy queue's fuller priority class is close to capacity; new tickets are about to shed.",
+		Source: func() float64 { return ct.async.saturation() },
+		Op:     telemetry.OpGreater, Threshold: th.QueueSaturationMax, For: th.QueueSaturationFor,
 	})
 }
 

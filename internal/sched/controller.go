@@ -44,6 +44,9 @@ type Controller struct {
 	lat             opLatencies
 	alertThresholds AlertThresholds
 	dp              dataPlaneTotals
+	// async is the bounded async deploy pipeline (internally synchronized;
+	// its workers call Deploy, which takes ct.mu per ticket).
+	async *AsyncPipeline
 	// defragMoves counts blocks relocated by DefragStep (atomic: bumped
 	// under ct.mu, read lock-free at scrape time).
 	defragMoves atomic.Uint64
@@ -67,6 +70,12 @@ type Options struct {
 	// the rule firing runs DefragStep(DefragMoves). Zero disables the
 	// automatic wiring; DefragStep stays callable directly.
 	DefragMoves int
+	// QueueDepth is the per-priority-class capacity of the async deploy
+	// queue (tickets beyond it are shed with 429 + Retry-After) and
+	// QueueWorkers the number of workers draining it. Zero selects the
+	// defaults (256 and 4).
+	QueueDepth   int
+	QueueWorkers int
 }
 
 // Deployment records a running application.
@@ -115,9 +124,17 @@ func NewControllerWithOptions(c *cluster.Cluster, opts Options) *Controller {
 		ct.alertThresholds = *opts.Alerts
 	}
 	ct.registerTelemetry()
+	// The pipeline must exist before the alert rules: queue_saturated
+	// samples it.
+	ct.async = newAsyncPipeline(ct, opts.QueueDepth, opts.QueueWorkers)
 	ct.registerAlerts(ct.alertThresholds)
 	return ct
 }
+
+// Close stops the controller's background machinery (the async deploy
+// workers). Queued tickets stop draining; the controller's synchronous
+// operations stay usable.
+func (ct *Controller) Close() { ct.async.Close() }
 
 // CacheStats snapshots the compile cache's hit/miss counters.
 func (ct *Controller) CacheStats() bitstream.CacheStats {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"vital/internal/httpapi"
 	"vital/internal/telemetry"
 )
 
@@ -26,11 +27,18 @@ const defaultHeartbeat = 15 * time.Second
 // for that subscriber rather than stalling the controller.
 const streamBufferEvents = 1024
 
+// shedRetryAfterSeconds is the Retry-After hint on a 429 shed: one drain
+// interval is a safe lower bound — the queue turns over well within it
+// unless the cluster is genuinely saturated, in which case the client
+// backs off again.
+const shedRetryAfterSeconds = 1
+
 // NewHandler exposes the system controller over HTTP — the API surface a
-// higher-level system (hypervisor, cloud control plane) integrates with
-// (Fig. 6: "exposes APIs for an easy system integration"). Every route is
-// instrumented with a per-route latency histogram and per-status request
-// counter (vital_http_request_seconds / vital_http_requests_total).
+// higher-level system (hypervisor, cloud control plane, the vitalgw
+// admission gateway) integrates with (Fig. 6: "exposes APIs for an easy
+// system integration"). Every route is instrumented with a per-route
+// latency histogram and per-status request counter
+// (vital_http_request_seconds / vital_http_requests_total).
 //
 //	GET  /status            → cluster occupancy + per-board health
 //	GET  /metrics           → one consistent snapshot: occupancy, per-board
@@ -59,12 +67,24 @@ const streamBufferEvents = 1024
 //	GET  /health            → per-board health report
 //	GET  /cache             → compile-cache hit/miss counters
 //	GET  /verify            → architectural invariant check (409 on violation)
+//	GET  /queue             → async deploy pipeline snapshot: per-class
+//	                          depth/shed/completion counters, wait and
+//	                          admission latency summaries
+//	GET  /deployments       → async deploy tickets, newest first
+//	                          (?state=queued|running|succeeded|failed,
+//	                          ?max=N)
+//	GET  /deployments/{id}  → one ticket by ID (404 once evicted)
 //	POST /deploy   {app, mem_quota_bytes} → deployment summary; a zero or
 //	                          absent quota gets the 1 GiB default, echoed
 //	                          back as mem_quota_bytes with
 //	                          mem_quota_defaulted=true. Errors: 409 for a
 //	                          name conflict, 503 when the healthy cluster
 //	                          lacks capacity, 400 for bad input.
+//	                          ?async=1 enqueues into the bounded deploy
+//	                          pipeline instead and answers 202 with a
+//	                          ticket (?priority=latency|batch selects the
+//	                          class, default latency); a full class queue
+//	                          sheds with 429 + Retry-After.
 //	POST /undeploy {app}
 //	POST /fault    {board, kind} → inject degrade|fail|recover; failing a
 //	                          board returns its evacuation report
@@ -82,39 +102,31 @@ func NewHandler(ct *Controller) http.Handler {
 	})
 
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		switch format := r.URL.Query().Get("format"); format {
-		case "", "json":
-			writeJSON(w, http.StatusOK, ct.Metrics())
-		case "prometheus":
+		format, err := httpapi.QueryEnum(r, "format", "json", "json", "prometheus")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if format == "prometheus" {
 			w.Header().Set("Content-Type", telemetry.ContentType)
 			_ = ct.Reg.WritePrometheus(w)
-		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad format %q: want json or prometheus", format))
+			return
 		}
+		writeJSON(w, http.StatusOK, ct.Metrics())
 	})
 
 	handle("GET /traces", func(w http.ResponseWriter, r *http.Request) {
-		max := 50
-		if s := r.URL.Query().Get("max"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q: want a non-negative integer", s))
-				return
-			}
-			max = v
+		max, err := httpapi.QueryInt(r, "max", 50)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		// ?since= accepts an RFC 3339 timestamp or a Go duration (lookback
 		// from now): traces that started before the cutoff are dropped.
-		var since time.Time
-		if s := r.URL.Query().Get("since"); s != "" {
-			if t, err := time.Parse(time.RFC3339, s); err == nil {
-				since = t
-			} else if d, err := time.ParseDuration(s); err == nil && d >= 0 {
-				since = time.Now().Add(-d)
-			} else {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q: want RFC 3339 or a non-negative duration like 5m", s))
-				return
-			}
+		since, err := httpapi.QuerySince(r, "since")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		// ?app= matches the root span's app attribute exactly or by prefix,
 		// so ?app=lenet covers lenet-S and lenet-M.
@@ -146,14 +158,10 @@ func NewHandler(ct *Controller) http.Handler {
 	})
 
 	handle("GET /events", func(w http.ResponseWriter, r *http.Request) {
-		max := 256
-		if s := r.URL.Query().Get("max"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q: want a non-negative integer", s))
-				return
-			}
-			max = v
+		max, err := httpapi.QueryInt(r, "max", 256)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		// max=0 means "everything"; either way the log's own retention
 		// limit is the ceiling, so Snapshot never over-allocates.
@@ -164,19 +172,15 @@ func NewHandler(ct *Controller) http.Handler {
 	})
 
 	handle("GET /events/stream", func(w http.ResponseWriter, r *http.Request) {
-		kind := r.URL.Query().Get("kind")
-		if kind != "" && !validEventKind(kind) {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad kind %q: want one of %v", kind, allEventKinds))
+		kind, err := httpapi.QueryEnum(r, "kind", "", eventKindNames()...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		heartbeat := defaultHeartbeat
-		if s := r.URL.Query().Get("heartbeat"); s != "" {
-			d, err := time.ParseDuration(s)
-			if err != nil || d <= 0 {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad heartbeat %q: want a positive duration like 15s", s))
-				return
-			}
-			heartbeat = d
+		heartbeat, err := httpapi.QueryDuration(r, "heartbeat", defaultHeartbeat)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		fl, ok := w.(http.Flusher)
 		if !ok {
@@ -278,11 +282,50 @@ func NewHandler(ct *Controller) http.Handler {
 		})
 	})
 
+	handle("GET /queue", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ct.async.Stats())
+	})
+
+	handle("GET /deployments", func(w http.ResponseWriter, r *http.Request) {
+		max, err := httpapi.QueryInt(r, "max", 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		state, err := httpapi.QueryEnum(r, "state", "", ticketStateNames()...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		tickets := ct.async.List(TicketState(state), max)
+		writeJSON(w, http.StatusOK, map[string]interface{}{"deployments": tickets, "max": max})
+	})
+
+	handle("GET /deployments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := ct.async.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no deployment ticket %q (finished tickets are retained up to %d)", r.PathValue("id"), maxRetainedTickets))
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+	})
+
 	type deployReq struct {
 		App           string `json:"app"`
 		MemQuotaBytes uint64 `json:"mem_quota_bytes"`
 	}
 	handle("POST /deploy", func(w http.ResponseWriter, r *http.Request) {
+		async, err := httpapi.QueryBool(r, "async")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		prioName, err := httpapi.QueryEnum(r, "priority", string(PriorityLatency),
+			string(PriorityLatency), string(PriorityBatch))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		var req deployReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
@@ -296,6 +339,24 @@ func NewHandler(ct *Controller) http.Handler {
 		if defaulted {
 			req.MemQuotaBytes = defaultMemQuota
 		}
+		if async {
+			// Fail fast on an app the controller cannot possibly deploy, so
+			// a typo'd name doesn't consume a queue slot and a worker turn.
+			if _, ok := ct.Bitstreams.Lookup(req.App); !ok {
+				writeError(w, http.StatusNotFound, fmt.Errorf("sched: no compiled bitstreams for %q", req.App))
+				return
+			}
+			ticket, err := ct.async.Enqueue(req.App, req.MemQuotaBytes, defaulted, Priority(prioName))
+			if err != nil {
+				// The queue is the backpressure boundary: shed with 429 and
+				// a Retry-After hint instead of buffering without bound.
+				w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
+				writeError(w, http.StatusTooManyRequests, err)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, map[string]interface{}{"ticket": ticket})
+			return
+		}
 		dep, err := ct.Deploy(req.App, req.MemQuotaBytes)
 		if err != nil {
 			// Capacity exhaustion is retryable-later (503); name conflicts
@@ -307,19 +368,7 @@ func NewHandler(ct *Controller) http.Handler {
 			writeError(w, code, err)
 			return
 		}
-		blocks := make([]string, len(dep.Blocks))
-		for i, b := range dep.Blocks {
-			blocks[i] = b.String()
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"app":                 dep.App,
-			"blocks":              blocks,
-			"multi_fpga":          dep.MultiFPGA,
-			"reconfig_time_ms":    float64(dep.ReconfigTime.Microseconds()) / 1000,
-			"vnic_mac":            dep.VNIC.MAC.String(),
-			"mem_quota_bytes":     req.MemQuotaBytes,
-			"mem_quota_defaulted": defaulted,
-		})
+		writeJSON(w, http.StatusOK, summarize(dep, req.MemQuotaBytes, defaulted))
 	})
 
 	type undeployReq struct {
@@ -368,12 +417,28 @@ func NewHandler(ct *Controller) http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+// eventKindNames flattens the event-kind enum for the shared query-param
+// validator.
+func eventKindNames() []string {
+	out := make([]string, len(allEventKinds))
+	for i, k := range allEventKinds {
+		out[i] = string(k)
+	}
+	return out
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// ticketStateNames flattens the ticket-state enum for the shared
+// query-param validator.
+func ticketStateNames() []string {
+	out := make([]string, len(allTicketStates))
+	for i, s := range allTicketStates {
+		out[i] = string(s)
+	}
+	return out
 }
+
+// writeJSON and writeError alias the shared helpers so every route in this
+// package answers with the same shapes as the gateway tier.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) { httpapi.WriteJSON(w, code, v) }
+
+func writeError(w http.ResponseWriter, code int, err error) { httpapi.WriteError(w, code, err) }

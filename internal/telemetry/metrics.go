@@ -246,8 +246,11 @@ func validate(name string, labels []Label) {
 
 // lookup returns the family and series for (name, labels), creating either
 // as needed. A name registered twice with different types is a programming
-// error and panics.
-func (r *Registry) lookup(name, help string, typ MetricType, uppers []float64, labels []Label) (*family, *series, bool) {
+// error and panics. The typed slot (counter, gauge or histogram) is filled
+// in while r.mu is still held: a series must be fully built before any
+// concurrent lookup of the same (name, labels) can observe it, otherwise a
+// second caller races its read of the slot against the creator's write.
+func (r *Registry) lookup(name, help string, typ MetricType, uppers []float64, labels []Label) *series {
 	validate(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -262,18 +265,22 @@ func (r *Registry) lookup(name, help string, typ MetricType, uppers []float64, l
 	s, ok := f.series[sig]
 	if !ok {
 		s = &series{labels: append([]Label(nil), labels...)}
+		switch typ {
+		case TypeCounter:
+			s.counter = &Counter{}
+		case TypeGauge:
+			s.gauge = &Gauge{}
+		case TypeHistogram:
+			s.hist = newHistogram(f.uppers)
+		}
 		f.series[sig] = s
-		return f, s, true
 	}
-	return f, s, false
+	return s
 }
 
 // Counter returns the counter for (name, labels), creating it on first use.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	_, s, fresh := r.lookup(name, help, TypeCounter, nil, labels)
-	if fresh {
-		s.counter = &Counter{}
-	}
+	s := r.lookup(name, help, TypeCounter, nil, labels)
 	if s.counter == nil {
 		panic(fmt.Sprintf("telemetry: metric %q already registered as a callback", name))
 	}
@@ -282,10 +289,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 
 // Gauge returns the gauge for (name, labels), creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	_, s, fresh := r.lookup(name, help, TypeGauge, nil, labels)
-	if fresh {
-		s.gauge = &Gauge{}
-	}
+	s := r.lookup(name, help, TypeGauge, nil, labels)
 	if s.gauge == nil {
 		panic(fmt.Sprintf("telemetry: metric %q already registered as a callback", name))
 	}
@@ -296,9 +300,9 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // given bucket upper bounds (nil selects DefBuckets) on first use. Every
 // series of a family shares the family's bucket ladder.
 func (r *Registry) Histogram(name, help string, uppers []float64, labels ...Label) *Histogram {
-	f, s, fresh := r.lookup(name, help, TypeHistogram, uppers, labels)
-	if fresh {
-		s.hist = newHistogram(f.uppers)
+	s := r.lookup(name, help, TypeHistogram, uppers, labels)
+	if s.hist == nil {
+		panic(fmt.Sprintf("telemetry: metric %q already registered as a callback", name))
 	}
 	return s.hist
 }
@@ -307,7 +311,9 @@ func (r *Registry) Histogram(name, help string, uppers []float64, labels ...Labe
 // evaluated at every exposition and snapshot, so the value is always live
 // and the instrumented code keeps no per-operation bookkeeping.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	_, s, _ := r.lookup(name, help, TypeGauge, nil, labels)
+	s := r.lookup(name, help, TypeGauge, nil, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s.gauge, s.counter = nil, nil
 	s.fn = fn
 }
@@ -315,7 +321,9 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 // CounterFunc registers a scrape-time callback as a counter series; fn must
 // be monotone (it reads an existing counter, e.g. cache hit totals).
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
-	_, s, _ := r.lookup(name, help, TypeCounter, nil, labels)
+	s := r.lookup(name, help, TypeCounter, nil, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s.gauge, s.counter = nil, nil
 	s.fn = fn
 }

@@ -179,3 +179,29 @@ func TestSnapshotDeterministicOrder(t *testing.T) {
 		t.Fatalf("series not sorted by label signature: %+v", snap[2].Series)
 	}
 }
+
+// Regression: the first caller of a (name, labels) pair used to fill in the
+// typed slot after lookup had released the registry mutex, so a concurrent
+// caller of the same series raced its read of s.counter against the
+// creator's write. Lazy creation under parallel HTTP traffic (per-status
+// counters in InstrumentRoute) is exactly this shape.
+func TestRegistryConcurrentLazyCreate(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				reg.Counter("lazy_total", "", L("code", "200")).Inc()
+				reg.Gauge("lazy_depth", "", L("class", "latency")).Set(float64(j))
+				reg.Histogram("lazy_seconds", "", nil, L("route", "/submit")).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("lazy_total", "", L("code", "200")).Value(); got != workers*50 {
+		t.Fatalf("counter = %d, want %d", got, workers*50)
+	}
+}
