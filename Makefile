@@ -4,7 +4,7 @@ GO ?= go
 # clobbering an existing same-day baseline (e.g. BENCH_OUT=BENCH_20260808b.json).
 BENCH_OUT ?= BENCH_$(shell date +%Y%m%d).json
 
-.PHONY: all build test race faultstress schedsoak soaksmoke lint lint-sarif bench benchsmoke obssmoke alertsmoke clean
+.PHONY: all build test race faultstress schedsoak soaksmoke lint lint-sarif bench benchsmoke obssmoke alertsmoke tracesmoke clean
 
 all: build lint test
 
@@ -77,6 +77,14 @@ obssmoke:
 # evacuation and firing alert all arriving over the SSE event stream.
 alertsmoke:
 	$(GO) run ./cmd/obssmoke -phase alerts
+
+# Tracing + SLO smoke: a vitalgw gateway in front of the backend, one
+# submit reassembled as a single contiguous cross-process trace (gateway
+# admission → compile → queue wait → worker deploy), tenant RED/SLO
+# series with exemplars in the exposition, then a backend outage driving
+# a multi-window burn-rate alert to firing on GET /slo.
+tracesmoke:
+	$(GO) run ./cmd/obssmoke -phase trace
 
 clean:
 	$(GO) clean ./...

@@ -26,6 +26,7 @@ import (
 	"vital/internal/netlist"
 	"vital/internal/partition"
 	"vital/internal/sched"
+	"vital/internal/telemetry"
 	"vital/internal/workload"
 )
 
@@ -390,7 +391,7 @@ func BenchmarkAsyncAdmission(b *testing.B) {
 			refill()
 			b.StartTimer()
 		}
-		if _, err := ct.Async().Enqueue("bench-app", 0, true, sched.PriorityLatency); err != nil {
+		if _, err := ct.Async().Enqueue(context.Background(), "bench-app", 0, true, sched.PriorityLatency); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -448,6 +449,42 @@ func BenchmarkGatewaySubmitWarm(b *testing.B) {
 		if code != http.StatusAccepted && code != http.StatusTooManyRequests {
 			b.Fatalf("warm submit: unexpected status %d", code)
 		}
+	}
+}
+
+// BenchmarkTracePropagation measures the cross-process span handoff:
+// serializing a span's context into a traceparent header, then parsing
+// it back — the per-backend-call overhead the gateway adds.
+func BenchmarkTracePropagation(b *testing.B) {
+	tr := telemetry.NewTracer(8)
+	sp := tr.Start("submit")
+	defer sp.End()
+	h := http.Header{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		telemetry.InjectTraceParent(h, sp)
+		sc, ok := telemetry.ExtractTraceParent(h)
+		if !ok || sc.TraceID != sp.TraceID() {
+			b.Fatalf("round trip lost the context: %+v", sc)
+		}
+	}
+}
+
+// BenchmarkTenantMetrics measures the gateway's per-request RED + SLO
+// accounting path: labeled counter bump, exemplar histogram observation,
+// and an error-budget record.
+func BenchmarkTenantMetrics(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	slo := telemetry.NewSLO(telemetry.SLOObjective{}, telemetry.DefaultBurnRateRules())
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("vital_tenant_requests_total", "Tenant requests.",
+			telemetry.L("tenant", "acme"), telemetry.L("route", "POST /submit"),
+			telemetry.L("code", "202")).Inc()
+		reg.Histogram("vital_tenant_latency_seconds", "Tenant latency.", nil,
+			telemetry.L("tenant", "acme")).ObserveExemplar(0.0042, traceID)
+		slo.Record(true)
 	}
 }
 

@@ -19,6 +19,18 @@
 //     evacuation and the alert transition triggered by failing the app's
 //     primary board, and GET /alerts reports the board rule firing.
 //
+// Phase "trace" (`make tracesmoke`):
+//
+//  7. a vitalgw admission gateway boots in front of the backend; one
+//     authenticated submit flows gateway → backend compile → async
+//     queue → worker deploy, and GET /trace/{id} on the gateway returns
+//     that whole journey as ONE contiguous cross-process trace;
+//  8. the gateway's exposition validates strictly and carries the
+//     per-tenant RED, SLO and exemplar series;
+//  9. the backend is torn down and failing submits burn the tenant's
+//     error budget until the multi-window burn-rate rule FIRES on
+//     GET /slo.
+//
 // It exits non-zero on the first failure, so CI fails loudly.
 package main
 
@@ -36,6 +48,7 @@ import (
 	"time"
 
 	"vital/internal/core"
+	"vital/internal/gateway"
 	"vital/internal/sched"
 	"vital/internal/telemetry"
 	"vital/internal/workload"
@@ -44,10 +57,10 @@ import (
 func main() {
 	log.SetPrefix("obssmoke: ")
 	log.SetFlags(0)
-	phase := flag.String("phase", "all", "which assertions to run: all|core|alerts")
+	phase := flag.String("phase", "all", "which assertions to run: all|core|alerts|trace")
 	flag.Parse()
-	if *phase != "all" && *phase != "core" && *phase != "alerts" {
-		log.Fatalf("bad -phase %q: want all, core or alerts", *phase)
+	if *phase != "all" && *phase != "core" && *phase != "alerts" && *phase != "trace" {
+		log.Fatalf("bad -phase %q: want all, core, alerts or trace", *phase)
 	}
 
 	// Zero For-duration on the board rule so the alerts phase sees the
@@ -93,6 +106,9 @@ func main() {
 	}
 	if *phase == "all" || *phase == "alerts" {
 		alertsPhase(base, stack, app)
+	}
+	if *phase == "all" || *phase == "trace" {
+		tracePhase(stack)
 	}
 	fmt.Println("obssmoke: PASS")
 }
@@ -227,6 +243,182 @@ func alertsPhase(base string, stack *core.Stack, app *core.CompiledApp) {
 		}
 	}
 	log.Printf("data-plane exposition OK (%d bytes)", len(expo))
+}
+
+// tracePhase verifies the cross-process tracing and SLO tier: a gateway
+// in front of a dedicated backend listener (over the same stack), one
+// submit reassembling into a single contiguous trace, the tenant RED and
+// exemplar series, and — after the backend listener dies — a firing
+// multi-window burn-rate alert.
+func tracePhase(stack *core.Stack) {
+	// A dedicated backend listener: the phase tears it down later to
+	// induce 502s without disturbing the other phases' server.
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bsrv := &http.Server{Handler: core.NewStackHandler(stack)}
+	go func() { _ = bsrv.Serve(bln) }()
+	backendBase := "http://" + bln.Addr().String()
+
+	// Tiny SLO windows so the burn-rate ladder resolves in smoke-test
+	// time: 90% availability over 2s, alert when both the 500ms and the
+	// 1s windows burn more than 2x.
+	gw, err := gateway.New(gateway.Config{
+		Backend:   backendBase,
+		Tokens:    map[string]string{"smoke-token": "acme"},
+		SLOTarget: 0.9,
+		SLOWindow: 2 * time.Second,
+		BurnRules: []telemetry.BurnRateRule{
+			{Name: "fast_burn", Short: 500 * time.Millisecond, Long: time.Second, Factor: 2},
+		},
+	})
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gsrv := &http.Server{Handler: gw.Handler()}
+	go func() { _ = gsrv.Serve(gln) }()
+	defer gsrv.Close()
+	gbase := "http://" + gln.Addr().String()
+	log.Printf("gateway on %s in front of backend %s", gbase, backendBase)
+
+	// Surface 7: one submit, one trace ID, the whole journey under it.
+	resp := submit(gbase)
+	raw := readAll(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var sub struct {
+		TraceID string `json:"trace_id"`
+		Ticket  struct {
+			ID string `json:"id"`
+		} `json:"ticket"`
+	}
+	if err := json.Unmarshal(raw, &sub); err != nil || sub.TraceID == "" || sub.Ticket.ID == "" {
+		log.Fatalf("submit response lacks trace/ticket (%v): %s", err, raw)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var tk struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		getJSON(gbase+"/deployments/"+sub.Ticket.ID, &tk)
+		if tk.State == "succeeded" {
+			break
+		}
+		if tk.State == "failed" {
+			log.Fatalf("submit ticket failed: %s", tk.Error)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("submit ticket stuck in %q", tk.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var td telemetry.TraceData
+	getJSON(gbase+"/trace/"+sub.TraceID, &td)
+	ids := map[int64]bool{}
+	for _, sp := range td.AllSpans {
+		ids[sp.ID] = true
+	}
+	roots := 0
+	for _, sp := range td.AllSpans {
+		if sp.Parent == 0 {
+			roots++
+		} else if !ids[sp.Parent] {
+			log.Fatalf("trace %s not contiguous: span %q parent %#x missing:\n%s",
+				sub.TraceID, sp.Name, sp.Parent, td.Tree())
+		}
+	}
+	if roots != 1 {
+		log.Fatalf("trace %s has %d roots, want 1:\n%s", sub.TraceID, roots, td.Tree())
+	}
+	for _, want := range []string{"submit", "backend.enqueue", "compile", "deploy.async", "queue.wait", "deploy"} {
+		found := false
+		for _, sp := range td.AllSpans {
+			if sp.Name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("trace %s missing %q span:\n%s", sub.TraceID, want, td.Tree())
+		}
+	}
+	log.Printf("cross-process trace %s OK: %d spans, one contiguous tree", sub.TraceID, len(td.AllSpans))
+
+	// Surface 8: the gateway exposition validates strictly and carries
+	// the tenant RED, SLO and exemplar series.
+	expo := fetchExposition(gbase)
+	for _, want := range []string{
+		"vital_tenant_requests_total",
+		"vital_tenant_latency_seconds_bucket",
+		"vital_tenant_slo_budget_remaining",
+		"vital_tenant_slo_burn_rate",
+		"vital_alert_state",
+		`# {trace_id="`,
+	} {
+		if !bytes.Contains(expo, []byte(want)) {
+			log.Fatalf("gateway exposition missing %s", want)
+		}
+	}
+	log.Printf("gateway exposition OK (%d bytes, exemplars present)", len(expo))
+
+	// Surface 9: kill the backend; failing submits burn acme's error
+	// budget until the burn-rate rule fires.
+	bsrv.Close()
+	fireDeadline := time.Now().Add(15 * time.Second)
+	for {
+		resp := submit(gbase)
+		if raw := readAll(resp); resp.StatusCode != http.StatusBadGateway {
+			log.Fatalf("submit against dead backend: status %d, want 502: %s", resp.StatusCode, raw)
+		}
+		var slo struct {
+			Tenants map[string]telemetry.SLOStatus `json:"tenants"`
+			Alerts  []telemetry.AlertStatus        `json:"alerts"`
+		}
+		getJSON(gbase+"/slo", &slo)
+		firing := ""
+		for _, a := range slo.Alerts {
+			if a.State == telemetry.AlertFiring {
+				firing = a.Rule
+			}
+		}
+		if firing != "" {
+			st := slo.Tenants["acme"]
+			if st.BudgetRemaining >= 1 {
+				log.Fatalf("burn rule %s firing but acme's budget untouched: %+v", firing, st)
+			}
+			log.Printf("burn-rate alert %s firing: acme at %d/%d errors, budget %.2f",
+				firing, st.Errors, st.Total, st.BudgetRemaining)
+			break
+		}
+		if time.Now().After(fireDeadline) {
+			log.Fatalf("no burn-rate rule firing after sustained 502s: %+v", slo.Alerts)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// submit POSTs one authenticated lenet-S submission to the gateway.
+func submit(gbase string) *http.Response {
+	req, err := http.NewRequest(http.MethodPost, gbase+"/submit",
+		strings.NewReader(`{"design":"lenet-S"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer smoke-token")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	return resp
 }
 
 // subscribeSSE connects to the event stream and returns a channel of

@@ -13,6 +13,8 @@
 //	vitalctl verify
 //	vitalctl top                 # formatted cluster dashboard (-watch 2s to repeat)
 //	vitalctl trace lenet-M       # latest compile/deploy trace tree for an app
+//	vitalctl -remote trace 4bf92f3577b34da6a3ce929d0e0e4736  # one trace by ID (point -addr at vitalgw for the merged cross-process tree)
+//	vitalctl -addr http://127.0.0.1:8081 slo  # per-tenant error budgets and burn-rate alerts (gateway only)
 //	vitalctl placement           # placement-quality report (-app for one app)
 //	vitalctl alerts              # evaluate and list alert rules
 //	vitalctl watch               # follow the live event stream (-kind fault to filter)
@@ -61,10 +63,11 @@ func main() {
 	priority := flag.String("priority", "latency", "for submit: queue class (latency|batch)")
 	state := flag.String("state", "", "for deployments: only tickets in this state (queued|running|succeeded|failed)")
 	max := flag.Int("max", 0, "for deployments: at most this many tickets (0 = server default)")
+	remote := flag.Bool("remote", false, "for trace: treat the argument as a trace ID and fetch /trace/{id} directly (works against vitalgw for merged cross-process trees)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|placement|alerts|watch|queue|deployments|trace <app>|deploy <app>|submit <app>|deployment <id>|undeploy <app>|fault <board> <degrade|fail|recover>")
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|placement|alerts|slo|watch|queue|deployments|trace <app>|deploy <app>|submit <app>|deployment <id>|undeploy <app>|fault <board> <degrade|fail|recover>")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -89,7 +92,11 @@ func main() {
 		}
 	case "trace":
 		requireArg(args, "trace")
-		printTrace(*addr, args[1])
+		if *remote {
+			printTraceByID(*addr, args[1])
+		} else {
+			printTrace(*addr, args[1])
+		}
 	case "placement":
 		if *app != "" {
 			get(*addr + "/placement?app=" + url.QueryEscape(*app))
@@ -98,6 +105,8 @@ func main() {
 		}
 	case "alerts":
 		printAlerts(*addr)
+	case "slo":
+		printSLO(*addr)
 	case "watch":
 		watchEvents(*addr, *kind)
 	case "deploy":
@@ -377,6 +386,57 @@ func printTrace(addr, app string) {
 	var td telemetry.TraceData
 	getJSON(addr+"/trace/"+url.PathEscape(list.Traces[0].ID), &td)
 	fmt.Print(td.Tree())
+}
+
+// printTraceByID fetches one trace by its ID and prints the span tree.
+// Pointed at vitalgw it returns the merged cross-process view: the
+// gateway's submit root stitched to the backend's compile, queue-wait
+// and worker deploy segments.
+func printTraceByID(addr, id string) {
+	var td telemetry.TraceData
+	getJSON(addr+"/trace/"+url.PathEscape(id), &td)
+	fmt.Print(td.Tree())
+}
+
+// printSLO renders the gateway's GET /slo report: the shared objective,
+// each tenant's rolling error budget, per-rule burn rates, and the
+// burn-rate alert states.
+func printSLO(addr string) {
+	var body struct {
+		Target        float64                        `json:"target"`
+		WindowSeconds float64                        `json:"window_seconds"`
+		Tenants       map[string]telemetry.SLOStatus `json:"tenants"`
+		Alerts        []telemetry.AlertStatus        `json:"alerts"`
+	}
+	getJSON(addr+"/slo", &body)
+	window := time.Duration(body.WindowSeconds * float64(time.Second))
+	fmt.Printf("objective %.4g%% over %s, %d tenants\n", 100*body.Target, window, len(body.Tenants))
+	tenants := make([]string, 0, len(body.Tenants))
+	for tn := range body.Tenants {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
+	for _, tn := range tenants {
+		st := body.Tenants[tn]
+		fmt.Printf("  %-12s %5d requests, %d errors (%.3f%%), budget %.1f%% remaining\n",
+			tn, st.Total, st.Errors, 100*st.ErrorRate, 100*st.BudgetRemaining)
+		for _, b := range st.Burn {
+			fmt.Printf("    %-12s burn %.3gx (alert at >%gx)\n", b.Name, b.Burn, b.Factor)
+		}
+	}
+	firing := 0
+	for _, a := range body.Alerts {
+		if a.State == telemetry.AlertFiring {
+			firing++
+		}
+	}
+	fmt.Printf("alerts: %d rules, %d firing\n", len(body.Alerts), firing)
+	for _, a := range body.Alerts {
+		if a.State == telemetry.AlertInactive {
+			continue
+		}
+		fmt.Printf("  %-8s %-28s %.4g %s %.4g\n", a.State, a.Rule, a.Value, a.Op, a.Threshold)
+	}
 }
 
 func dump(resp *http.Response) {

@@ -33,6 +33,7 @@ func main() {
 	defragMoves := flag.Int("defrag-moves", 0, "blocks the incremental defragmenter may relocate per alert evaluation while fragmentation_high fires (0 disables)")
 	queueDepth := flag.Int("queue-depth", 0, "async deploy queue capacity per priority class (0 = default 256)")
 	queueWorkers := flag.Int("queue-workers", 0, "async deploy worker count (0 = default 4)")
+	traceLimit := flag.Int("trace-limit", 0, "recent traces retained for GET /trace/{id} (0 = default 256)")
 	flag.Parse()
 
 	stack := core.NewStackWithOptions(nil, sched.Options{
@@ -40,6 +41,7 @@ func main() {
 		DefragMoves:    *defragMoves,
 		QueueDepth:     *queueDepth,
 		QueueWorkers:   *queueWorkers,
+		TraceLimit:     *traceLimit,
 	})
 	for _, name := range strings.Split(*compile, ",") {
 		name = strings.TrimSpace(name)

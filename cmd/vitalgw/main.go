@@ -22,6 +22,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"vital/internal/gateway"
 )
@@ -32,6 +33,8 @@ func main() {
 	tokens := flag.String("tokens", "", "comma-separated token:tenant pairs (e.g. s3cret:alice,t0ken:bob)")
 	rate := flag.Float64("rate", 50, "per-tenant sustained submissions per second (0 = unlimited)")
 	burst := flag.Int("burst", 100, "per-tenant burst size")
+	sloTarget := flag.Float64("slo-target", 0.999, "per-tenant availability objective (fraction of non-5xx responses)")
+	sloWindow := flag.Duration("slo-window", time.Hour, "rolling error-budget window")
 	flag.Parse()
 
 	creds := map[string]string{}
@@ -51,16 +54,18 @@ func main() {
 	}
 
 	gw, err := gateway.New(gateway.Config{
-		Backend: *backend,
-		Tokens:  creds,
-		Rate:    *rate,
-		Burst:   *burst,
-		Logf:    log.Printf,
+		Backend:   *backend,
+		Tokens:    creds,
+		Rate:      *rate,
+		Burst:     *burst,
+		Logf:      log.Printf,
+		SLOTarget: *sloTarget,
+		SLOWindow: *sloWindow,
 	})
 	if err != nil {
 		log.Fatalf("vitalgw: %v", err)
 	}
-	log.Printf("admission gateway for %s listening on %s (%d tenants, %.0f/s burst %d)",
-		*backend, *listen, len(creds), *rate, *burst)
+	log.Printf("admission gateway for %s listening on %s (%d tenants, %.0f/s burst %d, SLO %.4g over %s)",
+		*backend, *listen, len(creds), *rate, *burst, *sloTarget, *sloWindow)
 	log.Fatal(http.ListenAndServe(*listen, gw.Handler()))
 }

@@ -36,7 +36,7 @@ import (
 func NewStackHandler(s *Stack) http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, telemetry.InstrumentRoute(s.Controller.Reg, pattern, h))
+		mux.Handle(pattern, telemetry.InstrumentRoute(s.Controller.Reg, s.Controller.Tracer, pattern, h))
 	}
 
 	handle("GET /compileparams", func(w http.ResponseWriter, r *http.Request) {

@@ -198,7 +198,10 @@ func (s *Stack) Compile(d *hls.Design) (*CompiledApp, error) {
 // wall time in vital_compile_stage_seconds{stage=...}.
 func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts CompileOptions) (out *CompiledApp, err error) {
 	wallStart := time.Now()
-	sp := s.Controller.Tracer.Start("compile",
+	// StartSpan continues the request's trace when ctx carries one (a
+	// gateway submit arriving through the instrumented /compile route);
+	// an untraced caller still gets a fresh root, as before.
+	sp := s.Controller.Tracer.StartSpan(ctx, "compile",
 		telemetry.String("app", d.Name),
 		telemetry.Int("workers", opts.Workers))
 	defer func() {
@@ -210,10 +213,11 @@ func (s *Stack) CompileWithOptions(ctx context.Context, d *hls.Design, opts Comp
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 		}
+		traceID := sp.TraceID()
 		sp.End()
 		s.Controller.Reg.Histogram("vital_compile_seconds",
 			"End-to-end compile wall time by cache outcome.", nil,
-			telemetry.L("cache", result)).ObserveSince(wallStart)
+			telemetry.L("cache", result)).ObserveExemplar(time.Since(wallStart).Seconds(), traceID)
 	}()
 	app := &CompiledApp{Name: d.Name}
 

@@ -10,6 +10,7 @@ package gateway
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -45,6 +46,15 @@ type Config struct {
 	Client *http.Client
 	// Logf, when set, receives an access-log line per request.
 	Logf func(format string, v ...interface{})
+	// SLOTarget is the per-tenant availability objective — the fraction
+	// of tenant requests that must not fail server-side (5xx). Zero
+	// selects 0.999.
+	SLOTarget float64
+	// SLOWindow is the rolling error-budget window. Zero selects 1h.
+	SLOWindow time.Duration
+	// BurnRules overrides the multi-window burn-rate alert ladder (nil
+	// selects telemetry.DefaultBurnRateRules).
+	BurnRules []telemetry.BurnRateRule
 }
 
 // Gateway is the admission front door. Create with New, serve Handler().
@@ -55,8 +65,16 @@ type Gateway struct {
 	// startup so design keys computed here are byte-identical to the
 	// backend compile cache's.
 	params core.CompileParams
-	// Reg is the gateway's own telemetry registry (vital_gateway_*).
+	// Reg is the gateway's own telemetry registry (vital_gateway_* and
+	// the per-tenant vital_tenant_* RED series).
 	Reg *telemetry.Registry
+	// Tracer records the gateway's trace segments; submits start a root
+	// span here and the backend continues it via traceparent.
+	Tracer *telemetry.Tracer
+	// Alerts evaluates the per-tenant SLO burn-rate rules.
+	Alerts *telemetry.AlertEngine
+	// slos holds one error-budget tracker per tenant.
+	slos *telemetry.SLOSet
 
 	flights flightGroup
 	limits  *limiterSet
@@ -90,10 +108,25 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:     cfg,
 		client:  client,
 		Reg:     telemetry.NewRegistry(),
+		Tracer:  telemetry.NewTracer(0),
+		Alerts:  telemetry.NewAlertEngine(nil),
 		limits:  newLimiterSet(cfg.Rate, cfg.Burst),
 		designs: map[bitstream.CacheKey]string{},
 		apps:    map[string]bool{},
 	}
+	objective := telemetry.SLOObjective{Target: cfg.SLOTarget, Window: cfg.SLOWindow}
+	if objective.Target == 0 {
+		objective.Target = 0.999
+	}
+	if objective.Window == 0 {
+		objective.Window = time.Hour
+	}
+	rules := cfg.BurnRules
+	if rules == nil {
+		rules = telemetry.DefaultBurnRateRules()
+	}
+	g.slos = telemetry.NewSLOSet(objective, rules)
+	g.registerSLOs()
 	resp, err := client.Get(cfg.Backend + "/compileparams")
 	if err != nil {
 		return nil, fmt.Errorf("gateway: fetching backend compile params: %w", err)
@@ -164,12 +197,18 @@ type submitResponse struct {
 	// in-flight compile rather than issuing its own.
 	Coalesced bool            `json:"coalesced"`
 	Ticket    json.RawMessage `json:"ticket"`
+	// TraceID names the submit's end-to-end trace: GET /trace/{id} on
+	// the gateway reassembles gateway, backend compile, queue-wait and
+	// worker deploy spans under it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
-// compileOnBackend asks the backend to compile spec under appName.
-func (g *Gateway) compileOnBackend(spec, appName string) error {
+// compileOnBackend asks the backend to compile spec under appName. The
+// request carries ctx's span as a traceparent header, so the backend's
+// compile stages land in the submit's trace.
+func (g *Gateway) compileOnBackend(ctx context.Context, spec, appName string) error {
 	body, _ := json.Marshal(map[string]string{"design": spec, "app": appName})
-	resp, err := g.client.Post(g.cfg.Backend+"/compile", "application/json", bytes.NewReader(body))
+	resp, err := g.postJSON(ctx, "/compile", body)
 	if err != nil {
 		return fmt.Errorf("gateway: backend compile of %s: %w", appName, err)
 	}
@@ -181,11 +220,23 @@ func (g *Gateway) compileOnBackend(spec, appName string) error {
 	return nil
 }
 
+// postJSON POSTs a JSON body to a backend path, injecting the context's
+// span (if any) as a traceparent header.
+func (g *Gateway) postJSON(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.Backend+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	telemetry.InjectTraceParent(req.Header, telemetry.SpanFromContext(ctx))
+	return g.client.Do(req)
+}
+
 // ensureDesign guarantees the backend has compiled the design behind
 // dkey, issuing at most one in-flight backend compile per key across all
 // tenants. It reports whether this call had to wait for a compile (cold)
 // and whether it shared someone else's (coalesced).
-func (g *Gateway) ensureDesign(spec string, dkey bitstream.CacheKey) (cold, coalesced bool, err error) {
+func (g *Gateway) ensureDesign(ctx context.Context, spec string, dkey bitstream.CacheKey) (cold, coalesced bool, err error) {
 	g.mu.Lock()
 	_, known := g.designs[dkey]
 	g.mu.Unlock()
@@ -196,7 +247,9 @@ func (g *Gateway) ensureDesign(spec string, dkey bitstream.CacheKey) (cold, coal
 		// Leader: the backend compiles the design under its spec name.
 		// The backend's own content-addressed cache makes a lost race
 		// (another gateway, a restart) a cheap rebrand, not a resynthesis.
-		if err := g.compileOnBackend(spec, spec); err != nil {
+		// Coalesced followers share the leader's compile — and therefore
+		// the leader's trace; their own traces record the coalesced wait.
+		if err := g.compileOnBackend(ctx, spec, spec); err != nil {
 			return nil, err
 		}
 		g.mu.Lock()
@@ -213,7 +266,7 @@ func (g *Gateway) ensureDesign(spec string, dkey bitstream.CacheKey) (cold, coal
 // ensureInstance guarantees the tenant's named instance of the design is
 // compiled on the backend (a cache hit and a rebranding clone — no tools
 // run). It reports whether a backend round trip happened.
-func (g *Gateway) ensureInstance(spec, appName string) (compiled bool, err error) {
+func (g *Gateway) ensureInstance(ctx context.Context, spec, appName string) (compiled bool, err error) {
 	g.mu.Lock()
 	known := g.apps[appName]
 	g.mu.Unlock()
@@ -223,7 +276,7 @@ func (g *Gateway) ensureInstance(spec, appName string) (compiled bool, err error
 	// Concurrent duplicates for the same instance name are rare (one
 	// tenant racing itself) and harmless: the backend's CompileSpec is
 	// idempotent per (app, design).
-	if err := g.compileOnBackend(spec, appName); err != nil {
+	if err := g.compileOnBackend(ctx, spec, appName); err != nil {
 		return false, err
 	}
 	g.mu.Lock()
@@ -276,13 +329,21 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	d := workload.BuildDesign(spec)
 	dkey := core.DesignKey(d, g.params)
 
-	cold, coalesced, err := g.ensureDesign(req.Design, dkey)
+	ctx := r.Context()
+	csp := telemetry.StartChild(ctx, "ensure.design", telemetry.String("design", req.Design))
+	cold, coalesced, err := g.ensureDesign(ctx, req.Design, dkey)
+	if coalesced {
+		csp.SetAttr("coalesced", "true")
+	}
+	csp.End()
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadGateway, err)
 		return
 	}
 	appName := tenant + "." + req.Design
-	instCompiled, err := g.ensureInstance(req.Design, appName)
+	isp := telemetry.StartChild(ctx, "ensure.instance", telemetry.String("app", appName))
+	instCompiled, err := g.ensureInstance(ctx, req.Design, appName)
+	isp.End()
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadGateway, err)
 		return
@@ -290,14 +351,16 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	cold = cold || instCompiled
 
 	// Hand the deployment to the backend's bounded async pipeline; a shed
-	// (429) propagates to the tenant with the backend's Retry-After.
+	// (429) propagates to the tenant with the backend's Retry-After. The
+	// traceparent on the forward links the backend's ticket segment — and
+	// the worker's eventual deploy — back to this submit.
 	body, _ := json.Marshal(map[string]interface{}{
 		"app":             appName,
 		"mem_quota_bytes": req.MemQuotaBytes,
 	})
-	resp, err := g.client.Post(
-		g.cfg.Backend+"/deploy?async=1&priority="+priority,
-		"application/json", bytes.NewReader(body))
+	dsp := telemetry.StartChild(ctx, "backend.enqueue", telemetry.String("app", appName))
+	resp, err := g.postJSON(ctx, "/deploy?async=1&priority="+priority, body)
+	dsp.End()
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadGateway, fmt.Errorf("gateway: backend deploy: %w", err))
 		return
@@ -335,6 +398,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ColdCompile: cold,
 		Coalesced:   coalesced,
 		Ticket:      ticketEnvelope.Ticket,
+		TraceID:     telemetry.SpanFromContext(ctx).TraceID(),
 	})
 }
 
@@ -356,10 +420,11 @@ func (g *Gateway) authorizeApp(w http.ResponseWriter, r *http.Request, app strin
 }
 
 // forward relays a request body to a backend POST route and copies the
-// backend's status and JSON body back verbatim.
-func (g *Gateway) forward(w http.ResponseWriter, path string, body interface{}) {
+// backend's status and JSON body back verbatim, carrying r's trace
+// context across the hop.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, path string, body interface{}) {
 	raw, _ := json.Marshal(body)
-	resp, err := g.client.Post(g.cfg.Backend+path, "application/json", bytes.NewReader(raw))
+	resp, err := g.postJSON(r.Context(), path, raw)
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadGateway, fmt.Errorf("gateway: backend %s: %w", path, err))
 		return
@@ -402,6 +467,10 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 //	                a backend queue shed, 400 bad spec/priority
 //	POST /undeploy  {app} → tenant-scoped undeploy (403 across tenants)
 //	POST /execute   {app, tokens} → tenant-scoped execute
+//	GET  /slo       → per-tenant error budgets and burn-rate alert states
+//	GET  /trace/{id} → the merged cross-process trace (gateway + backend
+//	                segments under one trace ID)
+//	GET  /traces    → recent gateway trace summaries (?max=)
 //	GET  /deployments, /deployments/{id}, /queue, /status, /alerts
 //	                → proxied backend reads
 //	GET  /metrics   → gateway registry (?format=prometheus for the text
@@ -409,12 +478,17 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, telemetry.InstrumentRoute(g.Reg, pattern, h))
+		mux.Handle(pattern, telemetry.InstrumentRoute(g.Reg, g.Tracer, pattern, h))
+	}
+	// Tenant-facing routes additionally pass through the RED/SLO layer
+	// and get a root span named after the operation.
+	tenantHandle := func(pattern, op string, h http.HandlerFunc) {
+		mux.Handle(pattern, telemetry.InstrumentRoute(g.Reg, g.Tracer, pattern, g.tenantRoute(pattern, op, h)))
 	}
 
-	handle("POST /submit", g.handleSubmit)
+	tenantHandle("POST /submit", "submit", g.handleSubmit)
 
-	handle("POST /undeploy", func(w http.ResponseWriter, r *http.Request) {
+	tenantHandle("POST /undeploy", "undeploy", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			App string `json:"app"`
 		}
@@ -425,10 +499,10 @@ func (g *Gateway) Handler() http.Handler {
 		if _, ok := g.authorizeApp(w, r, req.App); !ok {
 			return
 		}
-		g.forward(w, "/undeploy", map[string]string{"app": req.App})
+		g.forward(w, r, "/undeploy", map[string]string{"app": req.App})
 	})
 
-	handle("POST /execute", func(w http.ResponseWriter, r *http.Request) {
+	tenantHandle("POST /execute", "execute", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			App    string `json:"app"`
 			Tokens uint64 `json:"tokens"`
@@ -440,8 +514,12 @@ func (g *Gateway) Handler() http.Handler {
 		if _, ok := g.authorizeApp(w, r, req.App); !ok {
 			return
 		}
-		g.forward(w, "/execute", map[string]interface{}{"app": req.App, "tokens": req.Tokens})
+		g.forward(w, r, "/execute", map[string]interface{}{"app": req.App, "tokens": req.Tokens})
 	})
+
+	handle("GET /slo", g.handleSLO)
+	handle("GET /trace/{id}", g.handleTrace)
+	handle("GET /traces", g.handleTraces)
 
 	handle("GET /deployments", func(w http.ResponseWriter, r *http.Request) {
 		g.proxyGET(w, r, "/deployments")

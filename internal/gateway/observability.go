@@ -1,0 +1,183 @@
+// The gateway's tenant-scoped observability layer: per-tenant RED
+// metrics (vital_tenant_requests_total / vital_tenant_latency_seconds),
+// rolling error-budget SLO accounting with multi-window burn-rate
+// alerts, and the cross-process trace surface (GET /trace/{id} merges
+// gateway segments with the backend's). Tenant label values come from
+// the static token map plus the single "unknown" bucket, so the series
+// set is bounded — the metrichygiene cardinality guard's contract.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"vital/internal/httpapi"
+	"vital/internal/telemetry"
+)
+
+// tenantUnknown is the RED/SLO bucket for requests that failed auth —
+// one value, so unauthenticated noise cannot mint new series.
+const tenantUnknown = "unknown"
+
+// tenantNames returns the configured tenants, deduplicated and sorted.
+func (g *Gateway) tenantNames() []string {
+	seen := map[string]bool{}
+	for _, tn := range g.cfg.Tokens {
+		seen[tn] = true
+	}
+	names := make([]string, 0, len(seen))
+	for tn := range seen {
+		names = append(names, tn)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// registerSLOs wires one error-budget tracker per configured tenant
+// into the registry and the alert engine: budget and burn-rate gauges,
+// plus one multi-window burn-rate AlertRule per (tenant, rule). Rules
+// exist from startup — a tenant that has never submitted reports a full
+// budget and inactive alerts rather than being absent.
+func (g *Gateway) registerSLOs() {
+	for _, tn := range g.tenantNames() {
+		slo := g.slos.Get(tn)
+		g.Reg.GaugeFunc("vital_tenant_slo_budget_remaining",
+			"Fraction of the tenant's rolling error budget remaining (negative = overspent).",
+			func() float64 { return slo.Status().BudgetRemaining },
+			telemetry.L("tenant", tn))
+		for _, rule := range g.slos.Rules() {
+			rule := rule
+			name := fmt.Sprintf("slo_%s_%s", tn, rule.Name)
+			g.Reg.GaugeFunc("vital_tenant_slo_burn_rate",
+				"Effective burn rate per rule: min of the short- and long-window burns (1.0 drains the budget exactly over the SLO window).",
+				func() float64 { return slo.RuleBurn(rule) },
+				telemetry.L("tenant", tn), telemetry.L("window", rule.Name))
+			if err := g.Alerts.AddRule(telemetry.AlertRule{
+				Name: name,
+				Help: fmt.Sprintf("Tenant %s burns error budget faster than %gx over both the %s and %s windows.",
+					tn, rule.Factor, rule.Short, rule.Long),
+				Source:    func() float64 { return slo.RuleBurn(rule) },
+				Op:        telemetry.OpGreater,
+				Threshold: rule.Factor,
+			}); err != nil {
+				panic(fmt.Sprintf("gateway: registering SLO rule %s: %v", name, err))
+			}
+			g.Reg.GaugeFunc("vital_alert_state", "Alert-rule state: 0 inactive, 1 pending, 2 firing.",
+				func() float64 { return g.Alerts.StateValueOf(name) },
+				telemetry.L("rule", name))
+		}
+	}
+}
+
+// tenantRoute wraps a tenant-facing route with the RED layer and the
+// trace root. Every request gets a span named op (a fresh root, or a
+// child when the caller propagated a traceparent), threaded through the
+// request context so the backend calls continue it; after the response,
+// the span ends and the request lands in the tenant's RED series and
+// error budget (5xx burns budget; 4xx is the tenant's own doing).
+func (g *Gateway) tenantRoute(route, op string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tn := g.tenant(r)
+		if tn == "" {
+			tn = tenantUnknown
+		}
+		sp := g.Tracer.StartSpan(r.Context(), op,
+			telemetry.String("tenant", tn), telemetry.String("route", route))
+		if sp != nil {
+			r = r.WithContext(telemetry.ContextWithSpan(r.Context(), sp))
+		}
+		telemetry.ObserveStatus(next, func(_ *http.Request, status int, d time.Duration) {
+			sp.SetAttr("http.status", strconv.Itoa(status))
+			traceID := sp.TraceID()
+			sp.End()
+			g.Reg.Counter("vital_tenant_requests_total",
+				"Tenant-facing requests by tenant, route and status code.",
+				telemetry.L("tenant", tn), telemetry.L("route", route),
+				telemetry.L("code", strconv.Itoa(status))).Inc()
+			g.Reg.Histogram("vital_tenant_latency_seconds",
+				"Tenant-facing request latency by tenant.", nil,
+				telemetry.L("tenant", tn)).ObserveExemplar(d.Seconds(), traceID)
+			g.slos.Record(tn, status < 500)
+		}).ServeHTTP(w, r)
+	})
+}
+
+// sloResponse is the GET /slo payload: the shared objective, every
+// tenant's budget accounting, and the burn-rate alert states.
+type sloResponse struct {
+	Target        float64                        `json:"target"`
+	WindowSeconds float64                        `json:"window_seconds"`
+	Tenants       map[string]telemetry.SLOStatus `json:"tenants"`
+	Alerts        []telemetry.AlertStatus        `json:"alerts"`
+}
+
+// handleSLO evaluates the burn-rate rules and reports per-tenant error
+// budgets — the `vitalctl slo` surface.
+func (g *Gateway) handleSLO(w http.ResponseWriter, r *http.Request) {
+	g.Alerts.Eval(time.Now())
+	obj := g.slos.Objective()
+	httpapi.WriteJSON(w, http.StatusOK, sloResponse{
+		Target:        obj.Target,
+		WindowSeconds: obj.Window.Seconds(),
+		Tenants:       g.slos.Status(),
+		Alerts:        g.Alerts.Status(),
+	})
+}
+
+// handleTrace reassembles one cross-process trace: the gateway's local
+// segments (the submit root) merged with whatever the backend retained
+// for the same ID (its request segments, the async ticket segment, the
+// worker's deploy). Either side alone still answers — a half-evicted
+// trace degrades to a partial tree, not a 404.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var segs []telemetry.TraceData
+	if local, ok := g.Tracer.Get(id); ok {
+		segs = append(segs, local)
+	}
+	if remote, ok := g.backendTrace(id); ok {
+		segs = append(segs, remote)
+	}
+	if len(segs) == 0 {
+		httpapi.WriteError(w, http.StatusNotFound,
+			fmt.Errorf("no trace %q on the gateway or the backend", id))
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, telemetry.MergeTraces(segs))
+}
+
+// backendTrace fetches the backend's view of a trace, if it has one.
+func (g *Gateway) backendTrace(id string) (telemetry.TraceData, bool) {
+	resp, err := g.client.Get(g.cfg.Backend + "/trace/" + id)
+	if err != nil {
+		return telemetry.TraceData{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return telemetry.TraceData{}, false
+	}
+	var td telemetry.TraceData
+	if err := json.NewDecoder(resp.Body).Decode(&td); err != nil {
+		return telemetry.TraceData{}, false
+	}
+	return td, true
+}
+
+// handleTraces lists the gateway's recent trace segments (submit roots),
+// newest first — the discovery surface for /trace/{id}.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	max, err := httpapi.QueryInt(r, "max", 50)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	traces := g.Tracer.Recent(max)
+	httpapi.WriteJSON(w, http.StatusOK, map[string]interface{}{
+		"traces": traces,
+		"count":  len(traces),
+	})
+}

@@ -25,7 +25,14 @@ import (
 //   - every vital_* literal that is not itself a declaration (dashboard
 //     expectations, smoke-test scrape lists, alert queries) must resolve —
 //     after stripping a histogram's _bucket/_sum/_count suffix — to a
-//     declared metric, so renames cannot leave dangling references.
+//     declared metric, so renames cannot leave dangling references;
+//   - label keys (the L("key", ...) arguments of a declaration) must come
+//     from the reviewed allowlist below — label keys are the cardinality
+//     contract, and a new key mints a new series dimension per value, so
+//     adding one is a review event, not a drive-by;
+//   - the "tenant" key is reserved for the vital_tenant_* namespace: it is
+//     the only per-principal dimension, and confining it keeps every other
+//     series tenant-blind (safe to aggregate, safe to expose).
 //
 // Declarations are calls to Counter/CounterFunc/Gauge/GaugeFunc/Histogram
 // methods whose first argument is a vital_* string literal (the
@@ -38,6 +45,32 @@ var MetricHygiene = &Analyzer{
 }
 
 var metricNameRE = regexp.MustCompile(`^vital_[a-z0-9_]+$`)
+
+// metricLabelAllowlist is the reviewed label-key vocabulary. Every key
+// here has a bounded value set (board indices, priority classes, HTTP
+// routes, configured tenants, ...); extending the list is the reviewed
+// way to add a series dimension.
+var metricLabelAllowlist = map[string]bool{
+	"app":     true,
+	"board":   true,
+	"cache":   true,
+	"class":   true,
+	"code":    true,
+	"dir":     true,
+	"kind":    true,
+	"op":      true,
+	"outcome": true,
+	"route":   true,
+	"rule":    true,
+	"segment": true,
+	"stage":   true,
+	"tenant":  true,
+	"window":  true,
+}
+
+// tenantMetricPrefix is the only namespace allowed to carry the "tenant"
+// label.
+const tenantMetricPrefix = "vital_tenant_"
 
 // metricKind is the declared metric type.
 type metricKind string
@@ -52,10 +85,17 @@ var declMethods = map[string]metricKind{
 }
 
 type metricDecl struct {
-	name string
-	kind metricKind
-	help string // empty when the help argument is not a literal
-	pos  token.Pos
+	name   string
+	kind   metricKind
+	help   string // empty when the help argument is not a literal
+	pos    token.Pos
+	labels []metricLabel
+}
+
+// metricLabel is one literal L("key", ...) argument of a declaration.
+type metricLabel struct {
+	key string
+	pos token.Pos
 }
 
 func runMetricHygiene(pass *ProgramPass) {
@@ -80,7 +120,9 @@ func runMetricHygiene(pass *ProgramPass) {
 				if !ok || lit.Kind != token.STRING || declLits[lit] {
 					return true
 				}
-				if s, err := strconv.Unquote(lit.Value); err == nil && strings.HasPrefix(s, "vital_") && metricNameRE.MatchString(s) {
+				// A trailing underscore marks a namespace prefix (e.g.
+				// "vital_tenant_"), not a series name — skip those.
+				if s, err := strconv.Unquote(lit.Value); err == nil && strings.HasPrefix(s, "vital_") && !strings.HasSuffix(s, "_") && metricNameRE.MatchString(s) {
 					refs = append(refs, lit)
 				}
 				return true
@@ -106,6 +148,14 @@ func runMetricHygiene(pass *ProgramPass) {
 		case "gauge":
 			if strings.HasSuffix(d.name, "_total") {
 				pass.Reportf(d.pos, "gauge %s must not end in _total (_total promises a monotonic counter; rate() over a gauge is wrong)", d.name)
+			}
+		}
+		for _, l := range d.labels {
+			if !metricLabelAllowlist[l.key] {
+				pass.Reportf(l.pos, "metric %s uses label key %q outside the reviewed allowlist (new keys mint series dimensions; extend metricLabelAllowlist after review)", d.name, l.key)
+			}
+			if l.key == "tenant" && !strings.HasPrefix(d.name, tenantMetricPrefix) {
+				pass.Reportf(l.pos, "label \"tenant\" is reserved for %s* series; %s must stay tenant-blind", tenantMetricPrefix, d.name)
 			}
 		}
 		prev, seen := declared[d.name]
@@ -166,5 +216,30 @@ func metricDeclOf(call *ast.CallExpr) (metricDecl, *ast.BasicLit) {
 			}
 		}
 	}
+	for _, arg := range call.Args[1:] {
+		c, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok || len(c.Args) == 0 || callName(c.Fun) != "L" {
+			continue
+		}
+		kl, ok := ast.Unparen(c.Args[0]).(*ast.BasicLit)
+		if !ok || kl.Kind != token.STRING {
+			continue
+		}
+		if key, err := strconv.Unquote(kl.Value); err == nil {
+			d.labels = append(d.labels, metricLabel{key: key, pos: kl.Pos()})
+		}
+	}
 	return d, lit
+}
+
+// callName is the bare name of a call target: L for both L(...) and
+// telemetry.L(...).
+func callName(fn ast.Expr) string {
+	switch e := ast.Unparen(fn).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
 }

@@ -3,17 +3,23 @@ package metricneg
 
 type reg struct{}
 
-func (reg) Counter(name, help string) int   { return 0 }
-func (reg) Gauge(name, help string) int     { return 0 }
-func (reg) Histogram(name, help string) int { return 0 }
+func (reg) Counter(name, help string, labels ...int) int   { return 0 }
+func (reg) Gauge(name, help string, labels ...int) int     { return 0 }
+func (reg) Histogram(name, help string, labels ...int) int { return 0 }
+
+// L mimics the telemetry label constructor.
+func L(key, value string) int { return 0 }
 
 // Declare repeats a declaration with identical kind and help, which the
 // labeled-series pattern requires.
 func Declare(r reg) {
 	r.Counter("vital_frames_total", "Frames moved.")
 	r.Counter("vital_frames_total", "Frames moved.")
-	r.Gauge("vital_depth", "Current depth.")
+	r.Gauge("vital_depth", "Current depth.", L("class", "latency"))
 	r.Histogram("vital_deploy_seconds", "Deploy latency.")
+	// Allowlisted keys, tenant confined to its namespace.
+	r.Counter("vital_tenant_requests_total", "Tenant requests.",
+		L("tenant", "alice"), L("route", "/submit"), L("code", "200"))
 }
 
 // Scrape references declared series, histogram suffixes included.

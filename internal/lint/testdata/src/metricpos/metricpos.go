@@ -5,9 +5,12 @@ package metricpos
 
 type reg struct{}
 
-func (reg) Counter(name, help string) int   { return 0 }
-func (reg) Gauge(name, help string) int     { return 0 }
-func (reg) Histogram(name, help string) int { return 0 }
+func (reg) Counter(name, help string, labels ...int) int   { return 0 }
+func (reg) Gauge(name, help string, labels ...int) int     { return 0 }
+func (reg) Histogram(name, help string, labels ...int) int { return 0 }
+
+// L mimics the telemetry label constructor.
+func L(key, value string) int { return 0 }
 
 // Declare seeds the namespace with one violation per rule.
 func Declare(r reg) {
@@ -18,7 +21,11 @@ func Declare(r reg) {
 	r.Gauge("vital_cache_entries", "Entries resident.")
 	r.Gauge("vital_cache_entries", "Entries in the cache.") // help drift
 	r.Gauge("vital_mode", "Mode.")
-	r.Histogram("vital_mode", "Mode.") // kind conflict (and bad suffix)
+	r.Histogram("vital_mode", "Mode.")                                        // kind conflict (and bad suffix)
+	r.Counter("vital_widgets_total", "Widgets.", L("flavor", "spicy"))        // label key outside the allowlist
+	r.Gauge("vital_queue_len", "Queue length.", L("tenant", "alice"))         // tenant off the vital_tenant_* namespace
+	r.Counter("vital_tenant_hits_total", "Hits.", L("tenant", "alice"),
+		L("shard", "7")) // tenant placement fine, but shard is not reviewed
 }
 
 // Scrape references one declared and one undeclared series.

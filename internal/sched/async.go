@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -106,6 +107,14 @@ type Ticket struct {
 	Error     string         `json:"error,omitempty"`
 	Retryable bool           `json:"retryable,omitempty"`
 	Result    *DeploySummary `json:"result,omitempty"`
+	// TraceID names the trace the ticket's spans land in — the submit's
+	// trace when the enqueueing request carried one, so the worker's
+	// deploy links back to the original gateway submit.
+	TraceID string `json:"trace_id,omitempty"`
+	// span is the ticket's trace segment: opened at admission, ended by
+	// the worker after the deploy. Written before the ticket enters the
+	// queue channel, so the worker's reads are ordered by the channel.
+	span *telemetry.Span
 }
 
 // ErrQueueFull reports that an async deploy was shed because its priority
@@ -252,7 +261,13 @@ func (p *AsyncPipeline) Resume() {
 // Enqueue admits one async deployment: it issues a ticket and places it in
 // the class queue, or sheds with ErrQueueFull when the class is at
 // capacity. The returned Ticket is a snapshot.
-func (p *AsyncPipeline) Enqueue(app string, memQuota uint64, defaulted bool, pr Priority) (Ticket, error) {
+//
+// The ticket opens its own trace segment linked under ctx's span (the
+// gateway submit, via the instrumented request), so the worker's deploy
+// spans share the submit's trace ID even though the HTTP response — and
+// its request span — completes long before the worker runs. A shed
+// ticket's segment is abandoned unended and never commits.
+func (p *AsyncPipeline) Enqueue(ctx context.Context, app string, memQuota uint64, defaulted bool, pr Priority) (Ticket, error) {
 	start := time.Now()
 	defer p.admit.ObserveSince(start)
 	t := &Ticket{
@@ -264,6 +279,9 @@ func (p *AsyncPipeline) Enqueue(app string, memQuota uint64, defaulted bool, pr 
 		MemQuotaDefaulted: defaulted,
 		Enqueued:          start,
 	}
+	t.span = p.ct.Tracer.StartLinked(ctx, "deploy.async",
+		telemetry.String("app", app), telemetry.String("class", string(pr)), telemetry.String("ticket", t.ID))
+	t.TraceID = t.span.TraceID()
 	i := priorityIndex(pr)
 	select {
 	case p.queue(pr) <- t:
@@ -422,12 +440,16 @@ func (p *AsyncPipeline) worker() {
 func (p *AsyncPipeline) run(t *Ticket) {
 	started := time.Now()
 	i := priorityIndex(t.Priority)
-	p.wait[i].Observe(started.Sub(t.Enqueued).Seconds())
+	p.wait[i].ObserveExemplar(started.Sub(t.Enqueued).Seconds(), t.TraceID)
 	p.mu.Lock()
 	t.State = TicketRunning
 	t.Started = &started
 	p.mu.Unlock()
-	dep, err := p.ct.Deploy(t.App, t.MemQuotaBytes)
+	// queue.wait backdates to the enqueue instant, so the trace shows the
+	// ticket's time in the queue as a span rather than a gap.
+	wsp := t.span.ChildAt("queue.wait", t.Enqueued, telemetry.String("class", string(t.Priority)))
+	wsp.End()
+	dep, err := p.ct.DeployCtx(telemetry.ContextWithSpan(context.Background(), t.span), t.App, t.MemQuotaBytes)
 	finished := time.Now()
 	p.mu.Lock()
 	t.Finished = &finished
@@ -440,6 +462,7 @@ func (p *AsyncPipeline) run(t *Ticket) {
 		t.Result = summarize(dep, t.MemQuotaBytes, t.MemQuotaDefaulted)
 	}
 	p.mu.Unlock()
+	finishSpan(t.span, err)
 	if err != nil {
 		p.done[i][1].Inc()
 	} else {

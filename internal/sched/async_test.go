@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -20,7 +21,7 @@ func parkWorkers(t *testing.T, p *AsyncPipeline) {
 	p.Pause()
 	sacrifices := make([]Ticket, 0, p.workers)
 	for i := 0; i < p.workers; i++ {
-		tk, err := p.Enqueue("no-such-app", 0, true, PriorityLatency)
+		tk, err := p.Enqueue(context.Background(), "no-such-app", 0, true, PriorityLatency)
 		if err != nil {
 			t.Fatalf("sacrificial enqueue %d: %v", i, err)
 		}
@@ -63,7 +64,7 @@ func TestAsyncShedsWhenClassFull(t *testing.T) {
 	const flood = depth + workers + 3
 	var shed int
 	for i := 0; i < flood; i++ {
-		_, err := p.Enqueue("no-such-app", 0, true, PriorityBatch)
+		_, err := p.Enqueue(context.Background(), "no-such-app", 0, true, PriorityBatch)
 		if err != nil {
 			if !errors.Is(err, ErrQueueFull) {
 				t.Fatalf("enqueue %d: unexpected error %v", i, err)
@@ -104,11 +105,11 @@ func TestAsyncLatencyDrainsBeforeBatch(t *testing.T) {
 
 	// Batch first, latency second; the worker must still start the
 	// latency ticket first.
-	batch, err := p.Enqueue("app1", 1<<20, false, PriorityBatch)
+	batch, err := p.Enqueue(context.Background(), "app1", 1<<20, false, PriorityBatch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lat, err := p.Enqueue("app2", 1<<20, false, PriorityLatency)
+	lat, err := p.Enqueue(context.Background(), "app2", 1<<20, false, PriorityLatency)
 	if err != nil {
 		t.Fatal(err)
 	}

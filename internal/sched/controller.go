@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -76,6 +77,9 @@ type Options struct {
 	// defaults (256 and 4).
 	QueueDepth   int
 	QueueWorkers int
+	// TraceLimit bounds the tracer's in-memory trace retention (zero
+	// selects telemetry.DefaultTraceLimit).
+	TraceLimit int
 }
 
 // Deployment records a running application.
@@ -114,7 +118,7 @@ func NewControllerWithOptions(c *cluster.Cluster, opts Options) *Controller {
 		Bitstreams: bitstream.NewDatabase(),
 		Cache:      bitstream.NewCompileCache(),
 		Reg:        telemetry.NewRegistry(),
-		Tracer:     telemetry.NewTracer(0),
+		Tracer:     telemetry.NewTracer(opts.TraceLimit),
 		deployed:   map[string]*Deployment{},
 		log:        newEventLog(),
 		opts:       opts,
@@ -160,7 +164,15 @@ func (d *Deployment) clone() *Deployment {
 // its latency recorded in the vital_deploy_seconds histogram — the Fig. 9
 // ms-scale deployment claim, observable per deploy rather than on average.
 func (ct *Controller) Deploy(app string, memQuota uint64) (dep *Deployment, err error) {
-	sp := ct.Tracer.Start("deploy", telemetry.String("app", app))
+	return ct.DeployCtx(context.Background(), app, memQuota)
+}
+
+// DeployCtx is Deploy continuing the trace carried by ctx: the "deploy"
+// span becomes a child of the context's span (an async ticket segment
+// or an instrumented HTTP request) instead of a fresh root, so a submit
+// driven through the gateway reassembles as one cross-process trace.
+func (ct *Controller) DeployCtx(ctx context.Context, app string, memQuota uint64) (dep *Deployment, err error) {
+	sp := ct.Tracer.StartSpan(ctx, "deploy", telemetry.String("app", app))
 	start := time.Now()
 	defer func() {
 		finishSpan(sp, err)

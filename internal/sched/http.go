@@ -94,7 +94,7 @@ func NewHandler(ct *Controller) http.Handler {
 	// and request counter; the route label is the mux pattern, so
 	// /trace/{id} is one series, not one per trace.
 	handle := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, telemetry.InstrumentRoute(ct.Reg, pattern, h))
+		mux.Handle(pattern, telemetry.InstrumentRoute(ct.Reg, ct.Tracer, pattern, h))
 	}
 
 	handle("GET /status", func(w http.ResponseWriter, r *http.Request) {
@@ -346,7 +346,7 @@ func NewHandler(ct *Controller) http.Handler {
 				writeError(w, http.StatusNotFound, fmt.Errorf("sched: no compiled bitstreams for %q", req.App))
 				return
 			}
-			ticket, err := ct.async.Enqueue(req.App, req.MemQuotaBytes, defaulted, Priority(prioName))
+			ticket, err := ct.async.Enqueue(r.Context(), req.App, req.MemQuotaBytes, defaulted, Priority(prioName))
 			if err != nil {
 				// The queue is the backpressure boundary: shed with 429 and
 				// a Retry-After hint instead of buffering without bound.
@@ -357,7 +357,7 @@ func NewHandler(ct *Controller) http.Handler {
 			writeJSON(w, http.StatusAccepted, map[string]interface{}{"ticket": ticket})
 			return
 		}
-		dep, err := ct.Deploy(req.App, req.MemQuotaBytes)
+		dep, err := ct.DeployCtx(r.Context(), req.App, req.MemQuotaBytes)
 		if err != nil {
 			// Capacity exhaustion is retryable-later (503); name conflicts
 			// and every other rejection are the caller's state (409).

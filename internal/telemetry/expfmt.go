@@ -31,11 +31,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case s.hist != nil:
 				writeHistogram(bw, f.name, s)
 			case s.fn != nil:
-				writeSample(bw, f.name, s.labels, nil, s.fn())
+				writeSample(bw, f.name, s.labels, nil, s.fn(), nil)
 			case s.counter != nil:
-				writeSample(bw, f.name, s.labels, nil, float64(s.counter.Value()))
+				writeSample(bw, f.name, s.labels, nil, float64(s.counter.Value()), nil)
 			case s.gauge != nil:
-				writeSample(bw, f.name, s.labels, nil, s.gauge.Value())
+				writeSample(bw, f.name, s.labels, nil, s.gauge.Value(), nil)
 			}
 		}
 	}
@@ -44,23 +44,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func writeHistogram(w io.Writer, name string, s *series) {
 	cum, count, sum := s.hist.snapshot()
+	exemplars := s.hist.Exemplars()
 	for i, upper := range s.hist.uppers {
-		writeSample(w, name+"_bucket", s.labels, &Label{Key: "le", Value: formatFloat(upper)}, float64(cum[i]))
+		writeSample(w, name+"_bucket", s.labels, &Label{Key: "le", Value: formatFloat(upper)}, float64(cum[i]), exemplars[i])
 	}
-	writeSample(w, name+"_bucket", s.labels, &Label{Key: "le", Value: "+Inf"}, float64(cum[len(cum)-1]))
-	writeSample(w, name+"_sum", s.labels, nil, sum)
-	writeSample(w, name+"_count", s.labels, nil, float64(count))
+	writeSample(w, name+"_bucket", s.labels, &Label{Key: "le", Value: "+Inf"}, float64(cum[len(cum)-1]), exemplars[len(exemplars)-1])
+	writeSample(w, name+"_sum", s.labels, nil, sum, nil)
+	writeSample(w, name+"_count", s.labels, nil, float64(count), nil)
 }
 
 // writeSample emits one `name{labels} value` line. extra (the histogram le
-// label) is appended after the series labels.
-func writeSample(w io.Writer, name string, labels []Label, extra *Label, value float64) {
+// label) is appended after the series labels; a non-nil exemplar appends
+// the OpenMetrics-style `# {trace_id="..."} value` suffix linking the
+// bucket to the trace that last landed in it.
+func writeSample(w io.Writer, name string, labels []Label, extra *Label, value float64, ex *Exemplar) {
+	suffix := ""
+	if ex != nil {
+		suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(ex.TraceID), formatFloat(ex.Value))
+	}
 	ls := labels
 	if extra != nil {
 		ls = append(append(make([]Label, 0, len(labels)+1), labels...), *extra)
 	}
 	if len(ls) == 0 {
-		fmt.Fprintf(w, "%s %s\n", name, formatFloat(value))
+		fmt.Fprintf(w, "%s %s%s\n", name, formatFloat(value), suffix)
 		return
 	}
 	sorted := append([]Label(nil), ls...)
@@ -69,7 +76,7 @@ func writeSample(w io.Writer, name string, labels []Label, extra *Label, value f
 	for i, l := range sorted {
 		parts[i] = l.Key + `="` + escapeLabel(l.Value) + `"`
 	}
-	fmt.Fprintf(w, "%s{%s} %s\n", name, strings.Join(parts, ","), formatFloat(value))
+	fmt.Fprintf(w, "%s{%s} %s%s\n", name, strings.Join(parts, ","), formatFloat(value), suffix)
 }
 
 func formatFloat(v float64) string {
@@ -105,7 +112,9 @@ func escapeLabel(s string) string {
 //     metric and label names;
 //   - histogram families have _bucket series with cumulative counts that
 //     are monotone non-decreasing in le, a final le="+Inf" bucket equal to
-//     _count, and a _sum sample.
+//     _count, and a _sum sample;
+//   - `# {...} value` exemplar suffixes appear only on _bucket samples
+//     and carry well-formed labels and a parseable value.
 func ValidateExposition(data []byte) error {
 	v := &expValidator{
 		typed:  map[string]MetricType{},
@@ -201,8 +210,11 @@ func (v *expValidator) sample(line string) error {
 		}
 	}
 	valStr := strings.TrimSpace(rest)
-	// A trailing timestamp is legal; the value is the first field.
+	// A trailing timestamp and/or `# {...} v` exemplar is legal; the
+	// value is the first field.
+	var trailer string
 	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		trailer = strings.TrimSpace(valStr[i+1:])
 		valStr = valStr[:i]
 	}
 	value, err := parseValue(valStr)
@@ -217,8 +229,60 @@ func (v *expValidator) sample(line string) error {
 	if _, ok := v.typed[fam]; !ok {
 		return fmt.Errorf("sample for %q without a preceding TYPE", name)
 	}
+	if trailer != "" {
+		if !strings.HasPrefix(trailer, "#") {
+			// A timestamp, possibly followed by an exemplar.
+			ts := trailer
+			if i := strings.IndexByte(trailer, ' '); i >= 0 {
+				ts, trailer = trailer[:i], strings.TrimSpace(trailer[i+1:])
+			} else {
+				trailer = ""
+			}
+			if _, err := strconv.ParseFloat(ts, 64); err != nil {
+				return fmt.Errorf("sample %q: bad timestamp %q", line, ts)
+			}
+		}
+		if trailer != "" {
+			if base == "" || !strings.HasSuffix(name, "_bucket") {
+				return fmt.Errorf("sample %q: exemplar on a non-bucket sample", line)
+			}
+			if err := validateExemplar(trailer); err != nil {
+				return fmt.Errorf("sample %q: %w", line, err)
+			}
+		}
+	}
 	if base != "" {
 		v.histSample(base, name, labels, value)
+	}
+	return nil
+}
+
+// validateExemplar checks an exemplar suffix: `# {labels} value`, with
+// valid label syntax and a parseable value (an optional exemplar
+// timestamp may follow).
+func validateExemplar(s string) error {
+	s = strings.TrimSpace(strings.TrimPrefix(s, "#"))
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Errorf("exemplar without labels near %q", s)
+	}
+	labels, rest, err := parseLabels(s)
+	if err != nil {
+		return fmt.Errorf("exemplar: %w", err)
+	}
+	if len(labels) == 0 {
+		return fmt.Errorf("exemplar with empty label set")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar needs a value (and at most a timestamp), got %q", rest)
+	}
+	if _, err := parseValue(fields[0]); err != nil {
+		return fmt.Errorf("exemplar: %w", err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("exemplar: bad timestamp %q", fields[1])
+		}
 	}
 	return nil
 }

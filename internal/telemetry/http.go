@@ -50,15 +50,49 @@ func AccessLog(logf func(format string, v ...interface{}), next http.Handler) ht
 // per-status counter (vital_http_requests_total{route=...,code=...}). The
 // route label is the mux pattern, not the raw path, so path parameters
 // (/trace/{id}) don't explode the series cardinality.
-func InstrumentRoute(reg *Registry, route string, next http.Handler) http.Handler {
+//
+// When the request carries a valid traceparent header and tracer is
+// non-nil, the middleware also opens a server span as a remote child of
+// the upstream caller and threads it through the request context, so
+// handler work (compile stages, deploys, async tickets) lands in the
+// caller's trace. Requests without a traceparent start no span — the
+// trace ring would otherwise fill with metrics scrapes and health polls.
+// The server span's trace ID is recorded as the latency exemplar.
+func InstrumentRoute(reg *Registry, tracer *Tracer, route string, next http.Handler) http.Handler {
 	hist := reg.Histogram("vital_http_request_seconds", "HTTP request latency by route.", DefBuckets,
 		L("route", route))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		var sp *Span
+		if sc, ok := ExtractTraceParent(r.Header); ok {
+			sp = tracer.StartRemote("http "+route, sc, String("route", route))
+			if sp != nil {
+				r = r.WithContext(ContextWithSpan(r.Context(), sp))
+			}
+		}
 		next.ServeHTTP(sr, r)
-		hist.ObserveSince(start)
+		if sp != nil {
+			sp.SetAttr("http.status", strconv.Itoa(sr.status))
+			hist.ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
+			sp.End()
+		} else {
+			hist.ObserveSince(start)
+		}
 		reg.Counter("vital_http_requests_total", "HTTP requests by route and status code.",
 			L("route", route), L("code", strconv.Itoa(sr.status))).Inc()
+	})
+}
+
+// ObserveStatus wraps a handler and reports the response status and
+// total latency to fn after the handler returns. The gateway's tenant
+// RED layer builds on this without duplicating the status-capture
+// plumbing.
+func ObserveStatus(next http.Handler, fn func(r *http.Request, status int, d time.Duration)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		fn(r, sr.status, time.Since(start))
 	})
 }

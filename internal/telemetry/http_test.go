@@ -42,10 +42,10 @@ func TestAccessLogDefaultsTo200(t *testing.T) {
 
 func TestInstrumentRoute(t *testing.T) {
 	reg := NewRegistry()
-	ok := InstrumentRoute(reg, "GET /status", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	ok := InstrumentRoute(reg, nil, "GET /status", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "{}")
 	}))
-	fail := InstrumentRoute(reg, "POST /deploy", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	fail := InstrumentRoute(reg, nil, "POST /deploy", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusConflict)
 	}))
 	for i := 0; i < 3; i++ {

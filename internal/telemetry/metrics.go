@@ -68,6 +68,14 @@ var DefBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// Exemplar pins one recent observation to the trace that produced it,
+// surfaced in the Prometheus exposition so a slow bucket links straight
+// to a concrete trace ID.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+}
+
 // Histogram is a fixed-bucket latency histogram. Observations are two
 // atomic adds plus a short bucket scan — cheap enough for every hot path.
 type Histogram struct {
@@ -80,6 +88,10 @@ type Histogram struct {
 	// sum accumulates seconds as float bits via CAS: observations are
 	// per-operation (not per-packet), so contention is negligible.
 	sum atomic.Uint64
+	// exemplars keeps the latest traced observation per bucket (last
+	// writer wins; a torn pair is impossible since the whole Exemplar
+	// swaps atomically).
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(uppers []float64) *Histogram {
@@ -92,8 +104,9 @@ func newHistogram(uppers []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		uppers: append([]float64(nil), uppers...),
-		counts: make([]atomic.Uint64, len(uppers)+1),
+		uppers:    append([]float64(nil), uppers...),
+		counts:    make([]atomic.Uint64, len(uppers)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(uppers)+1),
 	}
 }
 
@@ -108,6 +121,28 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is nonempty, pins
+// it as the bucket's exemplar so the exposition can point at the trace
+// behind the observation.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// Exemplars snapshots the per-bucket exemplars, aligned with the bucket
+// ladder (+Inf last); slots without a traced observation are nil.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // ObserveDuration records d as seconds.

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TraceParentHeader is the HTTP header carrying the serialized span
+// context between processes, following the W3C trace-context shape:
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// vitalgw injects it on every backend call; the instrumentation
+// middleware in vitald extracts it and continues the trace as a remote
+// child segment.
+const TraceParentHeader = "traceparent"
+
+// traceParentVersion is the only version this implementation emits.
+const traceParentVersion = "00"
+
+// SpanContext is the wire-propagatable identity of a span: enough to
+// continue its trace in another process (or across an async boundary in
+// the same process).
+type SpanContext struct {
+	TraceID string // 32 lowercase hex chars, not all-zero
+	SpanID  int64  // nonzero
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool {
+	return validTraceID(sc.TraceID) && sc.SpanID != 0
+}
+
+// TraceParent serializes the context in traceparent form. Invalid
+// contexts serialize to "".
+func (sc SpanContext) TraceParent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("%s-%s-%016x-%s", traceParentVersion, sc.TraceID, uint64(sc.SpanID), flags)
+}
+
+func validTraceID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// ParseTraceParent parses a traceparent header value. It is strict: a
+// malformed value (wrong field count or length, uppercase or non-hex
+// digits, the forbidden version ff, an all-zero trace or span ID, bad
+// flags) returns an error, and callers fall back to starting a fresh
+// root span rather than adopting a corrupt identity.
+func ParseTraceParent(s string) (SpanContext, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 {
+		return SpanContext{}, fmt.Errorf("traceparent: want 4 fields, got %d", len(parts))
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isLowerHex(version) {
+		return SpanContext{}, fmt.Errorf("traceparent: bad version %q", version)
+	}
+	if version == "ff" {
+		return SpanContext{}, fmt.Errorf("traceparent: version ff is forbidden")
+	}
+	if !validTraceID(traceID) {
+		return SpanContext{}, fmt.Errorf("traceparent: bad trace-id %q", traceID)
+	}
+	if len(spanID) != 16 || !isLowerHex(spanID) {
+		return SpanContext{}, fmt.Errorf("traceparent: bad parent-id %q", spanID)
+	}
+	id, err := strconv.ParseUint(spanID, 16, 64)
+	if err != nil || id == 0 {
+		return SpanContext{}, fmt.Errorf("traceparent: bad parent-id %q", spanID)
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return SpanContext{}, fmt.Errorf("traceparent: bad flags %q", flags)
+	}
+	fl, err := strconv.ParseUint(flags, 16, 8)
+	if err != nil {
+		return SpanContext{}, fmt.Errorf("traceparent: bad flags %q", flags)
+	}
+	return SpanContext{TraceID: traceID, SpanID: int64(id), Sampled: fl&0x01 != 0}, nil
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// InjectTraceParent stamps the span's context onto outgoing request
+// headers. A nil span is a no-op, so call sites inject unconditionally.
+func InjectTraceParent(h http.Header, sp *Span) {
+	if sp == nil {
+		return
+	}
+	if tp := sp.Context().TraceParent(); tp != "" {
+		h.Set(TraceParentHeader, tp)
+	}
+}
+
+// ExtractTraceParent parses the incoming traceparent header, reporting
+// ok=false when the header is absent or malformed (the fresh-root
+// fallback).
+func ExtractTraceParent(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceParentHeader)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	sc, err := ParseTraceParent(v)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+type remoteCtxKey struct{}
+
+// ContextWithRemote returns a context carrying a remote span context;
+// downstream spans started with Tracer.StartSpan become remote children
+// of it.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, sc)
+}
+
+// RemoteFromContext returns the remote span context carried by ctx.
+func RemoteFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(remoteCtxKey{}).(SpanContext)
+	return sc, ok
+}

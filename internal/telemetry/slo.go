@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOObjective declares a success-rate target over a rolling
+// error-budget window: "99.9% of requests succeed over any 1h".
+type SLOObjective struct {
+	Target float64       `json:"target"`
+	Window time.Duration `json:"-"`
+}
+
+// BurnRateRule is one multi-window burn-rate alert condition (the
+// Google SRE workbook shape): it trips only when BOTH the short and the
+// long window burn the error budget faster than Factor×. The short
+// window makes the alert reset quickly once the outage ends; the long
+// window keeps a brief blip from paging.
+type BurnRateRule struct {
+	Name   string        `json:"name"`
+	Short  time.Duration `json:"-"`
+	Long   time.Duration `json:"-"`
+	Factor float64       `json:"factor"`
+}
+
+// DefaultBurnRateRules returns the stock two-rule ladder: a fast-burn
+// rule (budget gone in under an hour at the observed rate) and a
+// slow-burn rule (steady leak).
+func DefaultBurnRateRules() []BurnRateRule {
+	return []BurnRateRule{
+		{Name: "fast_burn", Short: 2 * time.Minute, Long: 15 * time.Minute, Factor: 14.4},
+		{Name: "slow_burn", Short: 15 * time.Minute, Long: time.Hour, Factor: 6},
+	}
+}
+
+// sloBucket is one fixed-width time slice of good/bad totals.
+type sloBucket struct {
+	start time.Time
+	good  uint64
+	bad   uint64
+}
+
+// SLO tracks one subject's (one tenant's) good/bad events in a bucketed
+// rolling window and derives error rate, budget consumption and
+// windowed burn rates. Recording is a mutex-guarded bucket bump — cheap
+// enough for the gateway's per-request path.
+type SLO struct {
+	obj   SLOObjective
+	rules []BurnRateRule
+	res   time.Duration
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets []sloBucket
+}
+
+// NewSLO builds a tracker for one subject. Bucket resolution adapts to
+// the narrowest window in play so tiny smoke-test windows (hundreds of
+// milliseconds) resolve as faithfully as production hours.
+func NewSLO(obj SLOObjective, rules []BurnRateRule) *SLO {
+	if obj.Window <= 0 {
+		obj.Window = time.Hour
+	}
+	if obj.Target <= 0 || obj.Target >= 1 {
+		obj.Target = 0.999
+	}
+	narrow, widest := obj.Window, obj.Window
+	for _, r := range rules {
+		if r.Short > 0 && r.Short < narrow {
+			narrow = r.Short
+		}
+		if r.Long > widest {
+			widest = r.Long
+		}
+	}
+	res := narrow / 4
+	if res < time.Millisecond {
+		res = time.Millisecond
+	}
+	n := int(widest/res) + 2
+	return &SLO{
+		obj:     obj,
+		rules:   rules,
+		res:     res,
+		now:     time.Now,
+		buckets: make([]sloBucket, n),
+	}
+}
+
+// Record adds one event outcome.
+func (s *SLO) Record(ok bool) {
+	now := s.now()
+	slot := now.Truncate(s.res)
+	i := int(slot.UnixNano()/int64(s.res)) % len(s.buckets)
+	if i < 0 {
+		i += len(s.buckets)
+	}
+	s.mu.Lock()
+	b := &s.buckets[i]
+	if !b.start.Equal(slot) {
+		*b = sloBucket{start: slot}
+	}
+	if ok {
+		b.good++
+	} else {
+		b.bad++
+	}
+	s.mu.Unlock()
+}
+
+// totals sums the buckets inside [now-window, now].
+func (s *SLO) totals(window time.Duration, now time.Time) (good, bad uint64) {
+	cutoff := now.Add(-window)
+	s.mu.Lock()
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		if b.start.IsZero() || b.start.Before(cutoff.Truncate(s.res)) || b.start.After(now) {
+			continue
+		}
+		good += b.good
+		bad += b.bad
+	}
+	s.mu.Unlock()
+	return good, bad
+}
+
+// burnRate is the windowed error rate divided by the rate the objective
+// allows: 1.0 means the error budget drains exactly over the window,
+// 2.0 means twice as fast. An empty window burns nothing.
+func (s *SLO) burnRate(window time.Duration, now time.Time) float64 {
+	good, bad := s.totals(window, now)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	allowed := 1 - s.obj.Target
+	if allowed <= 0 {
+		return math.Inf(+1)
+	}
+	return (float64(bad) / float64(total)) / allowed
+}
+
+// RuleBurn returns the effective burn for one rule — the minimum of the
+// short- and long-window burns, so both must exceed the factor for the
+// rule to trip. This is the Source an AlertRule wraps.
+func (s *SLO) RuleBurn(rule BurnRateRule) float64 {
+	now := s.now()
+	return math.Min(s.burnRate(rule.Short, now), s.burnRate(rule.Long, now))
+}
+
+// BurnRateStatus reports one rule's current burn readings.
+type BurnRateStatus struct {
+	Name         string  `json:"name"`
+	ShortSeconds float64 `json:"short_seconds"`
+	LongSeconds  float64 `json:"long_seconds"`
+	Factor       float64 `json:"factor"`
+	ShortBurn    float64 `json:"short_burn"`
+	LongBurn     float64 `json:"long_burn"`
+	Burn         float64 `json:"burn"` // min(short, long): what the alert rule sees
+}
+
+// SLOStatus is one subject's full error-budget accounting.
+type SLOStatus struct {
+	Target          float64          `json:"target"`
+	WindowSeconds   float64          `json:"window_seconds"`
+	Total           uint64           `json:"total"`
+	Errors          uint64           `json:"errors"`
+	ErrorRate       float64          `json:"error_rate"`
+	BudgetRemaining float64          `json:"budget_remaining"` // fraction of the error budget left (negative = overspent)
+	Burn            []BurnRateStatus `json:"burn,omitempty"`
+}
+
+// Status computes the subject's current standing over its budget window.
+func (s *SLO) Status() SLOStatus {
+	now := s.now()
+	good, bad := s.totals(s.obj.Window, now)
+	total := good + bad
+	st := SLOStatus{
+		Target:          s.obj.Target,
+		WindowSeconds:   s.obj.Window.Seconds(),
+		Total:           total,
+		Errors:          bad,
+		BudgetRemaining: 1,
+	}
+	if total > 0 {
+		st.ErrorRate = float64(bad) / float64(total)
+		if allowed := float64(total) * (1 - s.obj.Target); allowed > 0 {
+			st.BudgetRemaining = 1 - float64(bad)/allowed
+		} else if bad > 0 {
+			st.BudgetRemaining = math.Inf(-1)
+		}
+	}
+	for _, r := range s.rules {
+		shortBurn := s.burnRate(r.Short, now)
+		longBurn := s.burnRate(r.Long, now)
+		st.Burn = append(st.Burn, BurnRateStatus{
+			Name:         r.Name,
+			ShortSeconds: r.Short.Seconds(),
+			LongSeconds:  r.Long.Seconds(),
+			Factor:       r.Factor,
+			ShortBurn:    shortBurn,
+			LongBurn:     longBurn,
+			Burn:         math.Min(shortBurn, longBurn),
+		})
+	}
+	return st
+}
+
+// SLOSet manages one SLO tracker per subject (per tenant) under a
+// shared objective and rule ladder. Subjects are expected to come from
+// a bounded set (the gateway's static token→tenant map), mirroring the
+// metrichygiene label-cardinality guard.
+type SLOSet struct {
+	obj   SLOObjective
+	rules []BurnRateRule
+
+	mu   sync.Mutex
+	slos map[string]*SLO
+}
+
+// NewSLOSet builds an empty set; trackers materialize on first Record
+// or Get.
+func NewSLOSet(obj SLOObjective, rules []BurnRateRule) *SLOSet {
+	return &SLOSet{obj: obj, rules: rules, slos: map[string]*SLO{}}
+}
+
+// Objective returns the shared objective.
+func (ss *SLOSet) Objective() SLOObjective { return ss.obj }
+
+// Rules returns the shared burn-rate rule ladder.
+func (ss *SLOSet) Rules() []BurnRateRule { return ss.rules }
+
+// Get returns the subject's tracker, creating it on first use.
+func (ss *SLOSet) Get(name string) *SLO {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s, ok := ss.slos[name]
+	if !ok {
+		s = NewSLO(ss.obj, ss.rules)
+		ss.slos[name] = s
+	}
+	return s
+}
+
+// Record adds one event outcome for the subject.
+func (ss *SLOSet) Record(name string, ok bool) { ss.Get(name).Record(ok) }
+
+// Status reports every known subject's standing, keyed by subject name.
+func (ss *SLOSet) Status() map[string]SLOStatus {
+	ss.mu.Lock()
+	slos := make(map[string]*SLO, len(ss.slos))
+	for name, s := range ss.slos {
+		slos[name] = s
+	}
+	ss.mu.Unlock()
+	out := make(map[string]SLOStatus, len(slos))
+	for name, s := range slos {
+		out[name] = s.Status()
+	}
+	return out
+}
+
+// Names returns the known subjects, sorted.
+func (ss *SLOSet) Names() []string {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	names := make([]string, 0, len(ss.slos))
+	for name := range ss.slos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

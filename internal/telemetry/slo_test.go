@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fixedSLO builds a tracker with a synthetic clock so window math is
+// deterministic.
+func fixedSLO(obj SLOObjective, rules []BurnRateRule) (*SLO, *time.Time) {
+	s := NewSLO(obj, rules)
+	now := time.Unix(1700000000, 0)
+	s.now = func() time.Time { return now }
+	return s, &now
+}
+
+func TestSLOBudgetAccounting(t *testing.T) {
+	s, _ := fixedSLO(SLOObjective{Target: 0.9, Window: time.Minute}, nil)
+
+	st := s.Status()
+	if st.Total != 0 || st.BudgetRemaining != 1 {
+		t.Fatalf("empty status = %+v, want full budget", st)
+	}
+
+	// 100 requests at a 10% target: 10 errors are allowed. 5 errors spend
+	// half the budget.
+	for i := 0; i < 95; i++ {
+		s.Record(true)
+	}
+	for i := 0; i < 5; i++ {
+		s.Record(false)
+	}
+	st = s.Status()
+	if st.Total != 100 || st.Errors != 5 {
+		t.Fatalf("totals = %d/%d, want 100/5", st.Errors, st.Total)
+	}
+	if math.Abs(st.ErrorRate-0.05) > 1e-9 {
+		t.Fatalf("error rate = %v, want 0.05", st.ErrorRate)
+	}
+	if math.Abs(st.BudgetRemaining-0.5) > 1e-9 {
+		t.Fatalf("budget remaining = %v, want 0.5", st.BudgetRemaining)
+	}
+
+	// 10 more errors overspend: remaining goes negative.
+	for i := 0; i < 10; i++ {
+		s.Record(false)
+	}
+	if st = s.Status(); st.BudgetRemaining >= 0 {
+		t.Fatalf("overspent budget remaining = %v, want < 0", st.BudgetRemaining)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	s, now := fixedSLO(SLOObjective{Target: 0.9, Window: time.Minute}, nil)
+	for i := 0; i < 10; i++ {
+		s.Record(false)
+	}
+	if st := s.Status(); st.Errors != 10 {
+		t.Fatalf("errors = %d, want 10", st.Errors)
+	}
+	// Advance past the window: the errors age out and the budget refills.
+	*now = now.Add(2 * time.Minute)
+	st := s.Status()
+	if st.Total != 0 || st.BudgetRemaining != 1 {
+		t.Fatalf("after expiry status = %+v, want empty window", st)
+	}
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	rule := BurnRateRule{Name: "fast", Short: 10 * time.Second, Long: time.Minute, Factor: 5}
+	s, now := fixedSLO(SLOObjective{Target: 0.9, Window: time.Hour}, []BurnRateRule{rule})
+
+	// An empty window burns nothing.
+	if b := s.RuleBurn(rule); b != 0 {
+		t.Fatalf("empty burn = %v, want 0", b)
+	}
+
+	// 100% failures against a 10% allowance: both windows burn at 10x.
+	for i := 0; i < 20; i++ {
+		s.Record(false)
+	}
+	if b := s.RuleBurn(rule); math.Abs(b-10) > 1e-9 {
+		t.Fatalf("all-failing burn = %v, want 10", b)
+	}
+
+	// Recovery: fill the short window with successes. The long window
+	// still remembers the failures, but RuleBurn takes the min, so the
+	// alert condition clears with the short window.
+	*now = now.Add(15 * time.Second)
+	for i := 0; i < 20; i++ {
+		s.Record(true)
+	}
+	st := s.Status()
+	if len(st.Burn) != 1 {
+		t.Fatalf("burn statuses = %+v", st.Burn)
+	}
+	b := st.Burn[0]
+	if b.ShortBurn != 0 {
+		t.Fatalf("short burn after recovery = %v, want 0", b.ShortBurn)
+	}
+	if b.LongBurn <= 0 {
+		t.Fatalf("long burn after recovery = %v, want > 0", b.LongBurn)
+	}
+	if b.Burn != 0 {
+		t.Fatalf("effective burn = %v, want 0 (min of windows)", b.Burn)
+	}
+}
+
+func TestSLOBurnRuleTripsAlertEngine(t *testing.T) {
+	rule := BurnRateRule{Name: "fast", Short: 10 * time.Second, Long: time.Minute, Factor: 5}
+	s, _ := fixedSLO(SLOObjective{Target: 0.9, Window: time.Hour}, []BurnRateRule{rule})
+
+	eng := NewAlertEngine(nil)
+	if err := eng.AddRule(AlertRule{
+		Name:      "slo_fast",
+		Source:    func() float64 { return s.RuleBurn(rule) },
+		Op:        OpGreater,
+		Threshold: rule.Factor,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(1700000100, 0)
+	eng.Eval(at)
+	if v := eng.StateValueOf("slo_fast"); v != 0 {
+		t.Fatalf("alert state before burn = %v, want inactive", v)
+	}
+	for i := 0; i < 20; i++ {
+		s.Record(false)
+	}
+	eng.Eval(at.Add(time.Second))
+	if v := eng.StateValueOf("slo_fast"); v != 2 {
+		t.Fatalf("alert state during 10x burn = %v, want firing (2)", v)
+	}
+}
+
+func TestSLOSetPerSubject(t *testing.T) {
+	ss := NewSLOSet(SLOObjective{Target: 0.9, Window: time.Minute}, DefaultBurnRateRules())
+	ss.Record("alice", true)
+	ss.Record("bob", false)
+	st := ss.Status()
+	if len(st) != 2 {
+		t.Fatalf("subjects = %v", ss.Names())
+	}
+	if st["alice"].Errors != 0 || st["bob"].Errors != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if names := ss.Names(); len(names) != 2 || names[0] != "alice" || names[1] != "bob" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,7 +23,9 @@ func String(key, value string) Attr { return Attr{Key: key, Value: value} }
 // Int builds an integer attr.
 func Int(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
 
-// SpanData is one finished span of a trace.
+// SpanData is one finished span of a trace. Parent is 0 for a true
+// root; a remote-child segment root carries the parent span ID from the
+// upstream process, which resolves once the segments merge.
 type SpanData struct {
 	ID     int64     `json:"id"`
 	Parent int64     `json:"parent"` // 0 for the root span
@@ -51,17 +54,18 @@ type TraceData struct {
 	AllSpans []SpanData `json:"all_spans"`
 }
 
-// trace accumulates the spans of one in-flight trace. Spans append on End
-// under mu (parallel P&R workers end spans concurrently); when the root
-// ends, the accumulated spans are committed to the tracer's ring.
+// trace accumulates the spans of one process-local segment of a trace.
+// Spans append on End under mu (parallel P&R workers end spans
+// concurrently); when the segment root ends, the accumulated spans are
+// committed to the tracer's ring. A cross-process trace is several such
+// segments sharing one trace ID — Get reassembles them.
 type trace struct {
 	id     string
 	tracer *Tracer
 
-	mu       sync.Mutex
-	nextSpan int64
-	spans    []SpanData
-	done     bool
+	mu    sync.Mutex
+	spans []SpanData
+	done  bool
 }
 
 // Span is a live (unfinished) span. A nil *Span is a valid no-op receiver:
@@ -73,20 +77,45 @@ type Span struct {
 	parent int64
 	name   string
 	start  time.Time
+	// root marks the segment root: the span whose End commits the
+	// segment. Remote-child segment roots have a nonzero parent (the
+	// upstream span), so parent==0 cannot identify them.
+	root bool
 
 	mu    sync.Mutex
 	attrs map[string]string
 }
 
-// Tracer records completed traces into a bounded ring (oldest evicted
-// first).
+// Tracer records completed trace segments into a bounded ring (oldest
+// evicted first).
 type Tracer struct {
 	mu    sync.Mutex
 	limit int
-	seq   uint64
 	// ring is circular once full; next is the oldest slot.
 	ring []TraceData
 	next int
+}
+
+// newTraceID returns a random 32-hex-char trace ID. Randomness (rather
+// than the PR 4 per-process counter) keeps IDs collision-free when
+// segments from several processes merge under one trace.
+func newTraceID() string {
+	hi, lo := rand.Uint64(), rand.Uint64()
+	for hi == 0 && lo == 0 {
+		hi, lo = rand.Uint64(), rand.Uint64()
+	}
+	return fmt.Sprintf("%016x%016x", hi, lo)
+}
+
+// newSpanID returns a random nonzero span ID. 63-bit so it survives the
+// int64 JSON round trip; random so span IDs from different processes
+// never collide within a merged trace.
+func newSpanID() int64 {
+	for {
+		if id := int64(rand.Uint64() >> 1); id != 0 {
+			return id
+		}
+	}
 }
 
 // DefaultTraceLimit is the number of recent traces a tracer retains.
@@ -107,12 +136,59 @@ func (tr *Tracer) Start(name string, attrs ...Attr) *Span {
 	if tr == nil {
 		return nil
 	}
-	tr.mu.Lock()
-	tr.seq++
-	id := tr.seq
-	tr.mu.Unlock()
-	t := &trace{id: fmt.Sprintf("%08x", id), tracer: tr, nextSpan: 1}
-	return &Span{t: t, id: 1, name: name, start: time.Now(), attrs: attrMap(attrs)}
+	t := &trace{id: newTraceID(), tracer: tr}
+	return &Span{t: t, id: newSpanID(), root: true, name: name, start: time.Now(), attrs: attrMap(attrs)}
+}
+
+// StartRemote begins a new segment of an existing trace: a root-like
+// span that commits independently but carries the caller's trace ID and
+// parents itself under the remote span. This is the continuation point
+// for both cross-process hops (vitald continuing a vitalgw submit) and
+// async boundaries (a queued ticket outliving its HTTP request). An
+// invalid context falls back to a fresh root trace.
+func (tr *Tracer) StartRemote(name string, sc SpanContext, attrs ...Attr) *Span {
+	if tr == nil {
+		return nil
+	}
+	if !sc.Valid() {
+		return tr.Start(name, attrs...)
+	}
+	t := &trace{id: sc.TraceID, tracer: tr}
+	return &Span{t: t, id: newSpanID(), parent: sc.SpanID, root: true, name: name, start: time.Now(), attrs: attrMap(attrs)}
+}
+
+// StartSpan begins the most-connected span the context allows: a child
+// of the context's live span, else a remote child of the context's
+// propagated span context, else a fresh root.
+func (tr *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) *Span {
+	if tr == nil {
+		return nil
+	}
+	if sp := SpanFromContext(ctx); sp != nil {
+		return sp.Child(name, attrs...)
+	}
+	if sc, ok := RemoteFromContext(ctx); ok {
+		return tr.StartRemote(name, sc, attrs...)
+	}
+	return tr.Start(name, attrs...)
+}
+
+// StartLinked begins a NEW segment linked under the context's span
+// identity (live span or propagated context), else a fresh root. Unlike
+// StartSpan it never joins the live span's segment — the span it
+// returns outlives the request that spawned it (an async ticket crosses
+// the HTTP response boundary), so it must commit independently.
+func (tr *Tracer) StartLinked(ctx context.Context, name string, attrs ...Attr) *Span {
+	if tr == nil {
+		return nil
+	}
+	if sp := SpanFromContext(ctx); sp != nil {
+		return tr.StartRemote(name, sp.Context(), attrs...)
+	}
+	if sc, ok := RemoteFromContext(ctx); ok {
+		return tr.StartRemote(name, sc, attrs...)
+	}
+	return tr.Start(name, attrs...)
 }
 
 func attrMap(attrs []Attr) map[string]string {
@@ -136,15 +212,25 @@ func (sp *Span) TraceID() string {
 
 // Child begins a sub-span. Safe on a nil span (returns nil).
 func (sp *Span) Child(name string, attrs ...Attr) *Span {
+	return sp.ChildAt(name, time.Now(), attrs...)
+}
+
+// ChildAt begins a sub-span with an explicit start time, for spans whose
+// real beginning predates the code observing them — the async worker
+// opens the queue.wait span backdated to the ticket's enqueue instant.
+func (sp *Span) ChildAt(name string, start time.Time, attrs ...Attr) *Span {
 	if sp == nil {
 		return nil
 	}
-	t := sp.t
-	t.mu.Lock()
-	t.nextSpan++
-	id := t.nextSpan
-	t.mu.Unlock()
-	return &Span{t: t, id: id, parent: sp.id, name: name, start: time.Now(), attrs: attrMap(attrs)}
+	return &Span{t: sp.t, id: newSpanID(), parent: sp.id, name: name, start: start, attrs: attrMap(attrs)}
+}
+
+// Context returns the span's propagatable identity (zero on nil).
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: sp.t.id, SpanID: sp.id, Sampled: true}
 }
 
 // SetAttr annotates the span. Safe on a nil span.
@@ -178,7 +264,7 @@ func (sp *Span) End() {
 	if !t.done {
 		t.spans = append(t.spans, data)
 	}
-	if sp.parent != 0 {
+	if !sp.root {
 		t.mu.Unlock()
 		return
 	}
@@ -206,19 +292,80 @@ func (tr *Tracer) commit(td TraceData) {
 	tr.next = (tr.next + 1) % tr.limit
 }
 
-// Get returns a completed trace by ID.
+// Get returns a completed trace by ID. When several segments of the
+// trace committed locally (an HTTP request segment plus the async
+// ticket segment it spawned), they merge into one span set.
 func (tr *Tracer) Get(id string) (TraceData, bool) {
 	if tr == nil {
 		return TraceData{}, false
 	}
 	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	var segs []TraceData
 	for i := range tr.ring {
 		if tr.ring[i].ID == id {
-			return tr.ring[i], true
+			segs = append(segs, tr.ring[i])
 		}
 	}
-	return TraceData{}, false
+	tr.mu.Unlock()
+	if len(segs) == 0 {
+		return TraceData{}, false
+	}
+	return MergeTraces(segs), true
+}
+
+// MergeTraces reassembles trace segments (possibly from different
+// processes) into one trace. Spans deduplicate by span ID; the summary
+// comes from the true root's segment (the one containing a Parent==0
+// span), falling back to the earliest-started segment; the merged
+// duration covers the whole journey, first span start to last span end.
+// Callers guarantee all segments share one trace ID.
+func MergeTraces(segs []TraceData) TraceData {
+	if len(segs) == 0 {
+		return TraceData{}
+	}
+	summary := segs[0]
+	rooted := false
+	var spans []SpanData
+	seen := map[int64]bool{}
+	for _, seg := range segs {
+		segRooted := false
+		for _, sp := range seg.AllSpans {
+			if sp.Parent == 0 {
+				segRooted = true
+			}
+			if !seen[sp.ID] {
+				seen[sp.ID] = true
+				spans = append(spans, sp)
+			}
+		}
+		if segRooted && !rooted {
+			summary, rooted = seg, true
+		} else if !rooted && seg.Start.Before(summary.Start) {
+			summary = seg
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	first, last := summary.Start, summary.Start.Add(summary.Duration)
+	for _, sp := range spans {
+		if sp.Start.Before(first) {
+			first = sp.Start
+		}
+		if end := sp.Start.Add(sp.Duration); end.After(last) {
+			last = end
+		}
+	}
+	return TraceData{
+		TraceSummary: TraceSummary{
+			ID: summary.ID, Name: summary.Name, Start: first, Duration: last.Sub(first),
+			Attrs: summary.Attrs, Spans: len(spans),
+		},
+		AllSpans: spans,
+	}
 }
 
 // Recent returns summaries of the most recent completed traces, newest
@@ -272,9 +419,19 @@ func StartChild(ctx context.Context, name string, attrs ...Attr) *Span {
 // the serial stages read top to bottom and parallel fan-out spans group
 // under their fan-out parent.
 func (td *TraceData) Tree() string {
+	known := map[int64]bool{}
+	for _, sp := range td.AllSpans {
+		known[sp.ID] = true
+	}
 	children := map[int64][]SpanData{}
 	for _, sp := range td.AllSpans {
-		children[sp.Parent] = append(children[sp.Parent], sp)
+		parent := sp.Parent
+		if !known[parent] {
+			// A segment root whose upstream span lives in a process we
+			// haven't merged (or was evicted) still renders, as a root.
+			parent = 0
+		}
+		children[parent] = append(children[parent], sp)
 	}
 	for _, cs := range children {
 		sort.Slice(cs, func(i, j int) bool {
