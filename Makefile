@@ -4,7 +4,7 @@ GO ?= go
 # clobbering an existing same-day baseline (e.g. BENCH_OUT=BENCH_20260808b.json).
 BENCH_OUT ?= BENCH_$(shell date +%Y%m%d).json
 
-.PHONY: all build test race faultstress schedsoak soaksmoke lint lint-sarif bench benchsmoke obssmoke alertsmoke tracesmoke clean
+.PHONY: all build test race faultstress schedsoak soaksmoke lint lint-sarif bench benchsmoke obssmoke alertsmoke tracesmoke replaysmoke clean
 
 all: build lint test
 
@@ -85,6 +85,15 @@ alertsmoke:
 # a multi-window burn-rate alert to firing on GET /slo.
 tracesmoke:
 	$(GO) run ./cmd/obssmoke -phase trace
+
+# Replay smoke: drive the bundled example tenant mix through an
+# in-process gateway+backend stack under the race detector, scraping both
+# tiers into a TSDB, then assert (-check) that every *_total series is
+# monotone, the utilization curve is non-empty with a nonzero peak, and
+# both tiers' Prometheus expositions — vital_tsdb_* self-metrics
+# included — pass the strict validator.
+replaysmoke:
+	$(GO) run -race ./cmd/vitalreplay -trace cmd/vitalreplay/testdata/example-trace.json -speed 4 -check -out -
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"vital/internal/cluster"
 	"vital/internal/core"
@@ -27,6 +28,7 @@ import (
 	"vital/internal/partition"
 	"vital/internal/sched"
 	"vital/internal/telemetry"
+	"vital/internal/telemetry/tsdb"
 	"vital/internal/workload"
 )
 
@@ -486,6 +488,44 @@ func BenchmarkTenantMetrics(b *testing.B) {
 			telemetry.L("tenant", "acme")).ObserveExemplar(0.0042, traceID)
 		slo.Record(true)
 	}
+}
+
+// BenchmarkTSDBAppend measures the TSDB hot path: one sample appended to
+// an existing series (delta+XOR encode into the head chunk), reporting
+// the storage cost per sample for a counter-like value train.
+func BenchmarkTSDBAppend(b *testing.B) {
+	db := tsdb.New(tsdb.Options{Retention: 24 * time.Hour})
+	labels := []telemetry.Label{telemetry.L("route", "POST /submit"), telemetry.L("code", "202")}
+	start := time.Unix(1_700_000_000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Append("vital_bench_requests_total", labels, start.Add(time.Duration(i)*time.Second), float64(i))
+	}
+}
+
+// BenchmarkTSDBRangeQuery measures a rate() range query over one hour of
+// 1 s-cadence samples at 15 s steps — the vitalctl graph workload.
+func BenchmarkTSDBRangeQuery(b *testing.B) {
+	db := tsdb.New(tsdb.Options{Retention: 24 * time.Hour})
+	start := time.Unix(1_700_000_000, 0)
+	const samples = 3600
+	for i := 0; i < samples; i++ {
+		db.Append("vital_bench_requests_total", nil, start.Add(time.Duration(i)*time.Second), float64(i*5))
+	}
+	q := tsdb.Query{
+		Name: "vital_bench_requests_total", Func: tsdb.FuncRate,
+		Start: start, End: start.Add(samples * time.Second), Step: 15 * time.Second,
+	}
+	b.ResetTimer()
+	var pts int
+	for i := 0; i < b.N; i++ {
+		resp, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = len(resp.Results[0].Points)
+	}
+	b.ReportMetric(float64(pts), "points")
 }
 
 // BenchmarkRelocationThroughput measures raw bitstream relocation (the

@@ -1,0 +1,168 @@
+// The `vitalctl graph` renderer: range queries against a daemon's GET
+// /query, drawn as ASCII sparklines plus a per-series stats table.
+// Pointed at vitalgw the same command renders the federated view — each
+// series carries its tier label.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vital/internal/telemetry/tsdb"
+)
+
+// sparkRunes are the eight-level resolution of one sparkline cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// printGraphNames lists the metric names the daemon's store holds.
+func printGraphNames(addr string) {
+	var names tsdb.NamesResponse
+	getJSON(addr+"/query", &names)
+	if len(names.Names) == 0 {
+		fmt.Println("no stored series yet (is the daemon's scrape loop running? see -scrape-interval)")
+		return
+	}
+	for _, n := range names.Names {
+		fmt.Println(n)
+	}
+}
+
+// printGraph runs one range query and renders each result series as a
+// sparkline with its value range, then a stats table across all series.
+func printGraph(addr, series, fn string, q float64, since, step, window time.Duration) {
+	params := url.Values{}
+	params.Set("series", series)
+	params.Set("func", fn)
+	if fn == "quantile" {
+		params.Set("q", strconv.FormatFloat(q, 'g', -1, 64))
+	}
+	params.Set("start", since.String())
+	params.Set("step", step.String())
+	if window > 0 {
+		params.Set("window", window.String())
+	}
+	var resp tsdb.Response
+	getJSON(addr+"/query?"+params.Encode(), &resp)
+	if len(resp.Results) == 0 {
+		log.Fatalf("vitalctl: no data for %s over the last %s (is the scrape loop running?)", series, since)
+	}
+	fmt.Printf("%s  func=%s", resp.Series, resp.Func)
+	if resp.Func == tsdb.FuncQuantile {
+		fmt.Printf(" q=%g", resp.Q)
+	}
+	fmt.Printf("  step=%s  window ending %s\n\n",
+		time.Duration(resp.StepMs)*time.Millisecond,
+		time.UnixMilli(resp.EndMs).Format(time.RFC3339))
+	for _, res := range resp.Results {
+		min, max, last, avg := seriesStats(res.Points)
+		fmt.Printf("  %s\n", labelString(res.Labels))
+		fmt.Printf("    %s\n", sparkline(res.Points, resp.StartMs, resp.EndMs, resp.StepMs))
+		fmt.Printf("    min %.4g  max %.4g  avg %.4g  last %.4g  (%d points)\n\n",
+			min, max, avg, last, len(res.Points))
+	}
+	// The table view: one row per series, aligned for comparison.
+	fmt.Println("  series                                              min        max        avg       last")
+	for _, res := range resp.Results {
+		min, max, last, avg := seriesStats(res.Points)
+		fmt.Printf("  %-48s %10.4g %10.4g %10.4g %10.4g\n", clip(labelString(res.Labels), 48), min, max, avg, last)
+	}
+}
+
+// sparkline renders the aligned grid between startMs and endMs: one rune
+// per step, gaps as spaces, values scaled into the eight spark levels.
+func sparkline(pts []tsdb.Point, startMs, endMs, stepMs int64) string {
+	if stepMs <= 0 || len(pts) == 0 {
+		return ""
+	}
+	byT := make(map[int64]float64, len(pts))
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		byT[p.T] = p.V
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+	}
+	// Grid-align the origin the same way the engine does.
+	first := startMs
+	if r := first % stepMs; r != 0 {
+		first += stepMs - r
+	}
+	// Clamp the cell count so a wide window still fits a terminal row.
+	const maxCells = 100
+	cells := (endMs-first)/stepMs + 1
+	stride := int64(1)
+	if cells > maxCells {
+		stride = (cells + maxCells - 1) / maxCells
+	}
+	var b strings.Builder
+	for t := first; t <= endMs; t += stepMs * stride {
+		v, ok := byT[t]
+		if !ok && stride > 1 {
+			// When decimating, any point inside the stride represents it.
+			for s := int64(1); s < stride && !ok; s++ {
+				v, ok = byT[t+s*stepMs]
+			}
+		}
+		if !ok {
+			b.WriteByte(' ')
+			continue
+		}
+		level := 0
+		if max > min {
+			level = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}
+
+func seriesStats(pts []tsdb.Point) (min, max, last, avg float64) {
+	if len(pts) == 0 {
+		return
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, p := range pts {
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+		sum += p.V
+	}
+	return min, max, pts[len(pts)-1].V, sum / float64(len(pts))
+}
+
+// labelString renders a result's labels sorted, "{}" for none.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -20,6 +20,10 @@
 //	vitalctl watch               # follow the live event stream (-kind fault to filter)
 //	vitalctl -priority batch submit lenet-M   # async deploy: enqueue, print the ticket
 //	vitalctl queue               # async pipeline dashboard (depth, sheds, wait)
+//	vitalctl graph               # list series stored in the daemon's TSDB
+//	vitalctl graph vital_used_blocks -since 30m -step 10s     # ASCII sparkline
+//	vitalctl -func rate graph vital_http_requests_total       # rate over aligned steps
+//	vitalctl -func quantile -q 0.99 graph vital_http_request_seconds  # p99 curve
 //	vitalctl -state failed deployments        # async tickets, newest first (-max 10)
 //	vitalctl deployment d-000042 # one ticket by ID
 //
@@ -64,10 +68,15 @@ func main() {
 	state := flag.String("state", "", "for deployments: only tickets in this state (queued|running|succeeded|failed)")
 	max := flag.Int("max", 0, "for deployments: at most this many tickets (0 = server default)")
 	remote := flag.Bool("remote", false, "for trace: treat the argument as a trace ID and fetch /trace/{id} directly (works against vitalgw for merged cross-process trees)")
+	graphFunc := flag.String("func", "last", "for graph: range function (last|avg|max|rate|increase|quantile)")
+	graphQ := flag.Float64("q", 0.99, "for graph: quantile for -func quantile")
+	since := flag.Duration("since", 15*time.Minute, "for graph: lookback from now")
+	step := flag.Duration("step", 15*time.Second, "for graph: aligned step width")
+	window := flag.Duration("window", 0, "for graph: per-step lookback window (0 = the step)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|placement|alerts|slo|watch|queue|deployments|trace <app>|deploy <app>|submit <app>|deployment <id>|undeploy <app>|fault <board> <degrade|fail|recover>")
+		fmt.Fprintln(os.Stderr, "usage: vitalctl [flags] status|apps|health|cache|verify|top|placement|alerts|slo|watch|queue|deployments|graph [series]|trace <app>|deploy <app>|submit <app>|deployment <id>|undeploy <app>|fault <board> <degrade|fail|recover>")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -97,6 +106,12 @@ func main() {
 		} else {
 			printTrace(*addr, args[1])
 		}
+	case "graph":
+		if len(args) < 2 {
+			printGraphNames(*addr)
+			return
+		}
+		printGraph(*addr, args[1], *graphFunc, *graphQ, *since, *step, *window)
 	case "placement":
 		if *app != "" {
 			get(*addr + "/placement?app=" + url.QueryEscape(*app))

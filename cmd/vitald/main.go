@@ -20,6 +20,7 @@ import (
 	"vital/internal/core"
 	"vital/internal/sched"
 	"vital/internal/telemetry"
+	"vital/internal/telemetry/tsdb"
 	"vital/internal/workload"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "async deploy queue capacity per priority class (0 = default 256)")
 	queueWorkers := flag.Int("queue-workers", 0, "async deploy worker count (0 = default 4)")
 	traceLimit := flag.Int("trace-limit", 0, "recent traces retained for GET /trace/{id} (0 = default 256)")
+	scrapeInterval := flag.Duration("scrape-interval", 5*time.Second, "time-series scrape period feeding GET /query (0 disables history)")
+	tsdbRetention := flag.Duration("tsdb-retention", 0, "time-series retention horizon (0 = default 2h)")
 	flag.Parse()
 
 	stack := core.NewStackWithOptions(nil, sched.Options{
@@ -85,6 +88,19 @@ func main() {
 				stack.Controller.EvalAlerts()
 			}
 		}()
+	}
+	if *tsdbRetention > 0 {
+		// Retention is a flag but the store is built by the controller, so
+		// rebuild it with the explicit horizon before any scrape runs.
+		stack.Controller.TSDB = tsdb.New(tsdb.Options{Retention: *tsdbRetention})
+		stack.Controller.TSDB.Register(stack.Controller.Reg)
+	}
+	if *scrapeInterval > 0 {
+		// The scrape loop is what turns the point-in-time registry into
+		// queryable history: without it GET /query answers empty.
+		telemetry.RegisterRuntimeMetrics(stack.Controller.Reg)
+		//lint:ignore goroutineleak the scrape loop is daemon-lifetime by design; it dies with the process.
+		go stack.Controller.TSDB.Poll(stack.Controller.Reg, *scrapeInterval, nil)
 	}
 	log.Printf("system controller listening on %s", *listen)
 	// Access-logged handler: every request logs method, path, status, bytes

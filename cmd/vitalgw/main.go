@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"vital/internal/gateway"
+	"vital/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	burst := flag.Int("burst", 100, "per-tenant burst size")
 	sloTarget := flag.Float64("slo-target", 0.999, "per-tenant availability objective (fraction of non-5xx responses)")
 	sloWindow := flag.Duration("slo-window", time.Hour, "rolling error-budget window")
+	scrapeInterval := flag.Duration("scrape-interval", 5*time.Second, "time-series scrape period feeding GET /query (0 disables history)")
 	flag.Parse()
 
 	creds := map[string]string{}
@@ -64,6 +66,13 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("vitalgw: %v", err)
+	}
+	if *scrapeInterval > 0 {
+		// The gateway stores only its own registry; GET /query federates
+		// the backend's history at query time rather than scraping it here.
+		telemetry.RegisterRuntimeMetrics(gw.Reg)
+		//lint:ignore goroutineleak the scrape loop is daemon-lifetime by design; it dies with the process.
+		go gw.DB.Poll(gw.Reg, *scrapeInterval, nil)
 	}
 	log.Printf("admission gateway for %s listening on %s (%d tenants, %.0f/s burst %d, SLO %.4g over %s)",
 		*backend, *listen, len(creds), *rate, *burst, *sloTarget, *sloWindow)

@@ -1,0 +1,569 @@
+// Command vitalreplay replays a recorded tenant mix against a complete
+// in-process gateway + backend stack and reports the run's trajectory —
+// utilization, fragmentation index, queue depth, and per-tenant SLO
+// budget — as curves sourced from an embedded TSDB that scrapes both
+// tiers' registries throughout the replay (backend series under
+// tier=backend, gateway series under tier=gateway).
+//
+// The trace is JSON (see testdata/example-trace.json):
+//
+//	{
+//	  "name": "example-mix",
+//	  "events": [
+//	    {"at_ms": 0, "tenant": "alice", "design": "lenet-S",
+//	     "priority": "latency", "mem_quota_bytes": 0, "lifetime_ms": 2500},
+//	    ...
+//	  ]
+//	}
+//
+// Each event is one tenant arrival: at at_ms (scaled by -speed) the
+// tenant submits the design through the gateway, waits for the deploy
+// ticket to complete, holds the deployment for lifetime_ms, then
+// undeploys. Tokens are derived from tenant names.
+//
+// Usage:
+//
+//	vitalreplay -trace cmd/vitalreplay/testdata/example-trace.json
+//	vitalreplay -trace mix.json -speed 2 -format csv -out curves.csv
+//	vitalreplay -trace mix.json -check   # CI assertions (make replaysmoke)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vital/internal/core"
+	"vital/internal/gateway"
+	"vital/internal/sched"
+	"vital/internal/telemetry"
+	"vital/internal/telemetry/tsdb"
+	"vital/internal/workload"
+)
+
+// traceFile is the recorded tenant mix.
+type traceFile struct {
+	Name   string       `json:"name"`
+	Events []traceEvent `json:"events"`
+}
+
+// traceEvent is one tenant arrival in the mix.
+type traceEvent struct {
+	AtMs          int64  `json:"at_ms"`
+	Tenant        string `json:"tenant"`
+	Design        string `json:"design"`
+	Priority      string `json:"priority"`
+	MemQuotaBytes uint64 `json:"mem_quota_bytes"`
+	LifetimeMs    int64  `json:"lifetime_ms"`
+}
+
+// report is the JSON output shape. Curves are [t_unix_ms, value] pairs
+// straight from TSDB range queries.
+type report struct {
+	Trace    string  `json:"trace"`
+	Events   int     `json:"events"`
+	Failures int     `json:"failures"`
+	WallMs   int64   `json:"wall_ms"`
+	Series   int     `json:"tsdb_series"`
+	StepMs   int64   `json:"step_ms"`
+	SpeedUp  float64 `json:"speed"`
+	Curves   struct {
+		Utilization        []tsdb.Point            `json:"utilization"`
+		FragmentationIndex []tsdb.Point            `json:"fragmentation_index"`
+		QueueDepth         map[string][]tsdb.Point `json:"queue_depth"`
+		SLOBudgetRemaining map[string][]tsdb.Point `json:"slo_budget_remaining"`
+	} `json:"curves"`
+}
+
+type replay struct {
+	trace   traceFile
+	speed   float64
+	db      *tsdb.DB
+	stack   *core.Stack
+	gw      *gateway.Gateway
+	front   string
+	backend string
+	client  *http.Client
+
+	mu       sync.Mutex
+	failures []string
+}
+
+func (rp *replay) failf(format string, v ...interface{}) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.failures = append(rp.failures, fmt.Sprintf(format, v...))
+}
+
+func main() {
+	log.SetPrefix("vitalreplay: ")
+	log.SetFlags(0)
+	tracePath := flag.String("trace", "", "recorded tenant mix (JSON; required)")
+	speed := flag.Float64("speed", 1, "time compression: 2 replays the trace twice as fast")
+	scrape := flag.Duration("scrape", 250*time.Millisecond, "TSDB scrape cadence during the replay")
+	format := flag.String("format", "json", "report format: json or csv")
+	out := flag.String("out", "-", "report destination (- = stdout)")
+	check := flag.Bool("check", false, "run the CI assertions (monotonic counters, non-empty curves, valid expositions) and exit non-zero on violation")
+	flag.Parse()
+	if *tracePath == "" {
+		log.Fatal("-trace is required")
+	}
+	if *speed <= 0 {
+		log.Fatal("-speed must be positive")
+	}
+	if *format != "json" && *format != "csv" {
+		log.Fatalf("bad -format %q: want json or csv", *format)
+	}
+
+	raw, err := os.ReadFile(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		log.Fatalf("decoding %s: %v", *tracePath, err)
+	}
+	if len(tf.Events) == 0 {
+		log.Fatalf("%s: trace holds no events", *tracePath)
+	}
+	for i, ev := range tf.Events {
+		if ev.Tenant == "" || ev.Design == "" {
+			log.Fatalf("%s: event %d needs tenant and design", *tracePath, i)
+		}
+		if _, err := workload.ParseSpec(ev.Design); err != nil {
+			log.Fatalf("%s: event %d: %v", *tracePath, i, err)
+		}
+	}
+
+	rp := &replay{
+		trace:  tf,
+		speed:  *speed,
+		db:     tsdb.New(tsdb.Options{}),
+		client: &http.Client{Timeout: 10 * time.Minute},
+	}
+	rp.boot()
+
+	// Scrape both tiers into the one replay store for the whole run; the
+	// tier label keeps backend and gateway series apart at query time.
+	start := time.Now()
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		ticker := time.NewTicker(*scrape)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-ticker.C:
+				rp.scrapeBoth(now)
+			}
+		}
+	}()
+
+	rp.run()
+	// One closing scrape so the final state (everything undeployed, queues
+	// empty) is on the curves.
+	close(stop)
+	scrapeWG.Wait()
+	rp.scrapeBoth(time.Now())
+	wall := time.Since(start)
+
+	rep := rp.report(start, wall, *scrape)
+	if *check {
+		rp.checkMonotonicCounters()
+		rp.checkCurves(rep)
+		rp.checkExpositions()
+	}
+
+	var buf bytes.Buffer
+	if *format == "csv" {
+		writeCSV(&buf, rep)
+	} else {
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	}
+	if *out == "-" {
+		_, _ = io.Copy(os.Stdout, &buf)
+	} else if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	rp.mu.Lock()
+	failures := append([]string(nil), rp.failures...)
+	rp.mu.Unlock()
+	log.Printf("replayed %q: %d events in %v, %d TSDB series",
+		tf.Name, len(tf.Events), wall.Round(time.Millisecond), rep.Series)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			log.Printf("FAIL: %s", f)
+		}
+		os.Exit(1)
+	}
+	if *check {
+		log.Printf("PASS: all replay assertions held")
+	}
+}
+
+// boot assembles the in-process backend and gateway on ephemeral ports,
+// with one credential per tenant named in the trace.
+func (rp *replay) boot() {
+	rp.stack = core.NewStackWithOptions(nil, sched.Options{})
+	rp.backend = rp.serve(core.NewStackHandler(rp.stack))
+	creds := map[string]string{}
+	for _, ev := range rp.trace.Events {
+		creds[token(ev.Tenant)] = ev.Tenant
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backend: rp.backend,
+		Tokens:  creds,
+		Client:  &http.Client{Timeout: 10 * time.Minute},
+	})
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	rp.gw = gw
+	rp.front = rp.serve(gw.Handler())
+}
+
+func (rp *replay) serve(h http.Handler) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	//lint:ignore goroutineleak the servers are replay-lifetime by design; they die with the process.
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String()
+}
+
+func token(tenant string) string { return "tok-" + tenant }
+
+// scrapeBoth samples both tiers' registries into the replay store.
+func (rp *replay) scrapeBoth(now time.Time) {
+	rp.db.Scrape(rp.stack.Controller.Reg, now, telemetry.L("tier", "backend"))
+	rp.db.Scrape(rp.gw.Reg, now, telemetry.L("tier", "gateway"))
+}
+
+// run plays every event at its scaled arrival time and waits for all
+// lifetimes to finish.
+func (rp *replay) run() {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, ev := range rp.trace.Events {
+		wg.Add(1)
+		go func(i int, ev traceEvent) {
+			defer wg.Done()
+			at := time.Duration(float64(ev.AtMs)/rp.speed) * time.Millisecond
+			if d := time.Until(start.Add(at)); d > 0 {
+				time.Sleep(d)
+			}
+			if err := rp.playEvent(ev); err != nil {
+				rp.failf("event %d (%s %s): %v", i, ev.Tenant, ev.Design, err)
+			}
+		}(i, ev)
+	}
+	wg.Wait()
+}
+
+// playEvent is one tenant arrival: submit, await the ticket, hold for the
+// lifetime, undeploy. Sheds and capacity losses retry with backoff — the
+// replay preserves arrival order, not failure behavior.
+func (rp *replay) playEvent(ev traceEvent) error {
+	priority := ev.Priority
+	if priority == "" {
+		priority = "latency"
+	}
+	var app, ticketID string
+	for attempt := 0; ; attempt++ {
+		if attempt >= 50 {
+			return fmt.Errorf("50 submit attempts exhausted")
+		}
+		status, body, err := rp.post(ev.Tenant, "/submit", map[string]interface{}{
+			"design": ev.Design, "priority": priority, "mem_quota_bytes": ev.MemQuotaBytes,
+		})
+		if err != nil {
+			return err
+		}
+		if status == http.StatusTooManyRequests {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if status != http.StatusAccepted {
+			return fmt.Errorf("submit: status %d: %s", status, body)
+		}
+		var sr struct {
+			App    string `json:"app"`
+			Ticket struct {
+				ID string `json:"id"`
+			} `json:"ticket"`
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return fmt.Errorf("submit response: %w", err)
+		}
+		app, ticketID = sr.App, sr.Ticket.ID
+		t, err := rp.await(ticketID)
+		if err != nil {
+			return err
+		}
+		if t.State == sched.TicketFailed {
+			// "already deployed" happens when a repeat arrival of the same
+			// (tenant, design) races the earlier instance's undeploy — in a
+			// recorded trace that is legal, so wait it out.
+			if t.Retryable || strings.Contains(t.Error, "already deployed") {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			return fmt.Errorf("ticket %s: %s", ticketID, t.Error)
+		}
+		break
+	}
+	time.Sleep(time.Duration(float64(ev.LifetimeMs)/rp.speed) * time.Millisecond)
+	status, body, err := rp.post(ev.Tenant, "/undeploy", map[string]string{"app": app})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("undeploy %s: status %d: %s", app, status, body)
+	}
+	return nil
+}
+
+// await polls a ticket through the gateway until it reaches a terminal
+// state.
+func (rp *replay) await(id string) (*sched.Ticket, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := rp.client.Get(rp.front + "/deployments/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var t sched.Ticket
+		err = json.NewDecoder(resp.Body).Decode(&t)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("ticket %s: %w", id, err)
+		}
+		if t.State == sched.TicketSucceeded || t.State == sched.TicketFailed {
+			return &t, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil, fmt.Errorf("ticket %s: not terminal after 60s", id)
+}
+
+// post sends an authenticated gateway POST, returning status and body.
+func (rp *replay) post(tenant, path string, body interface{}) (int, []byte, error) {
+	raw, _ := json.Marshal(body)
+	req, err := http.NewRequest("POST", rp.front+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token(tenant))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rp.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, data, err
+}
+
+// query runs one range query against the replay store, returning the
+// results (empty on error — the report prints what it has).
+func (rp *replay) query(q tsdb.Query) []tsdb.Result {
+	resp, err := rp.db.Query(q)
+	if err != nil {
+		rp.failf("query %s: %v", q.Name, err)
+		return nil
+	}
+	return resp.Results
+}
+
+// report assembles the output curves from TSDB range queries over the
+// replay window.
+func (rp *replay) report(start time.Time, wall time.Duration, scrape time.Duration) *report {
+	rep := &report{
+		Trace:   rp.trace.Name,
+		Events:  len(rp.trace.Events),
+		WallMs:  wall.Milliseconds(),
+		Series:  rp.db.SeriesCount(),
+		StepMs:  scrape.Milliseconds(),
+		SpeedUp: rp.speed,
+	}
+	rp.mu.Lock()
+	rep.Failures = len(rp.failures)
+	rp.mu.Unlock()
+	end := start.Add(wall + scrape)
+	base := tsdb.Query{Func: tsdb.FuncLast, Start: start, End: end, Step: scrape, Window: 2 * scrape}
+
+	// Utilization = used/total, joined pointwise on the aligned grid.
+	q := base
+	q.Name, q.Matchers = "vital_used_blocks", map[string]string{"tier": "backend"}
+	used := flatten(rp.query(q))
+	q.Name = "vital_total_blocks"
+	total := flatten(rp.query(q))
+	totalAt := map[int64]float64{}
+	for _, p := range total {
+		totalAt[p.T] = p.V
+	}
+	for _, p := range used {
+		if tot := totalAt[p.T]; tot > 0 {
+			rep.Curves.Utilization = append(rep.Curves.Utilization, tsdb.Point{T: p.T, V: p.V / tot})
+		}
+	}
+
+	q.Name = "vital_fragmentation_index"
+	rep.Curves.FragmentationIndex = flatten(rp.query(q))
+
+	q.Name = "vital_queue_depth"
+	rep.Curves.QueueDepth = map[string][]tsdb.Point{}
+	for _, res := range rp.query(q) {
+		rep.Curves.QueueDepth[res.Labels["class"]] = res.Points
+	}
+
+	q.Name, q.Matchers = "vital_tenant_slo_budget_remaining", map[string]string{"tier": "gateway"}
+	rep.Curves.SLOBudgetRemaining = map[string][]tsdb.Point{}
+	for _, res := range rp.query(q) {
+		rep.Curves.SLOBudgetRemaining[res.Labels["tenant"]] = res.Points
+	}
+	return rep
+}
+
+// flatten merges a query's results into one point list (the utilization
+// and fragmentation sources are single-series).
+func flatten(results []tsdb.Result) []tsdb.Point {
+	var pts []tsdb.Point
+	for _, r := range results {
+		pts = append(pts, r.Points...)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+	return pts
+}
+
+// checkMonotonicCounters raw-queries every stored *_total series and
+// asserts its samples never decrease — no process restarted mid-replay,
+// so any dip is a scrape-or-encode bug.
+func (rp *replay) checkMonotonicCounters() {
+	checked := 0
+	for _, name := range rp.db.Names() {
+		if !strings.HasSuffix(name, "_total") {
+			continue
+		}
+		resp, err := rp.db.Query(tsdb.Query{
+			Name: name, Func: tsdb.FuncRaw,
+			Start: time.Unix(0, 0), End: time.Now().Add(time.Hour),
+		})
+		if err != nil {
+			rp.failf("monotonicity query %s: %v", name, err)
+			continue
+		}
+		for _, res := range resp.Results {
+			for i := 1; i < len(res.Points); i++ {
+				if res.Points[i].V < res.Points[i-1].V {
+					rp.failf("counter %s%v decreased: %g → %g at sample %d",
+						name, res.Labels, res.Points[i-1].V, res.Points[i].V, i)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		rp.failf("monotonicity: no *_total series stored — did the scrape loop run?")
+	} else {
+		log.Printf("monotonicity: %d counter series all non-decreasing", checked)
+	}
+}
+
+// checkCurves asserts the report's headline curves are non-empty and
+// utilization actually moved (the trace deploys something).
+func (rp *replay) checkCurves(rep *report) {
+	if len(rep.Curves.Utilization) == 0 {
+		rp.failf("curves: utilization is empty")
+		return
+	}
+	peak := 0.0
+	for _, p := range rep.Curves.Utilization {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	if peak <= 0 {
+		rp.failf("curves: utilization never rose above zero across %d points", len(rep.Curves.Utilization))
+	}
+	log.Printf("curves: utilization %d points (peak %.3f), fragmentation %d, queue classes %d, tenants %d",
+		len(rep.Curves.Utilization), peak, len(rep.Curves.FragmentationIndex),
+		len(rep.Curves.QueueDepth), len(rep.Curves.SLOBudgetRemaining))
+}
+
+// checkExpositions asserts both tiers' Prometheus expositions — which
+// include the vital_tsdb_* self-series of each tier's embedded store —
+// parse under the strict validator.
+func (rp *replay) checkExpositions() {
+	for _, tier := range []struct{ name, base string }{
+		{"backend", rp.backend}, {"gateway", rp.front},
+	} {
+		resp, err := rp.client.Get(tier.base + "/metrics?format=prometheus")
+		if err != nil {
+			rp.failf("exposition %s: %v", tier.name, err)
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			rp.failf("exposition %s: status %d (%v)", tier.name, resp.StatusCode, err)
+			continue
+		}
+		if err := telemetry.ValidateExposition(data); err != nil {
+			rp.failf("exposition %s: %v", tier.name, err)
+			continue
+		}
+		if !bytes.Contains(data, []byte("vital_tsdb_")) {
+			rp.failf("exposition %s: no vital_tsdb_* self-series", tier.name)
+			continue
+		}
+		log.Printf("exposition %s: valid, vital_tsdb_* present", tier.name)
+	}
+}
+
+// writeCSV renders every curve as series,label,t_unix_ms,value rows.
+func writeCSV(w io.Writer, rep *report) {
+	fmt.Fprintln(w, "series,key,t_unix_ms,value")
+	row := func(series, key string, pts []tsdb.Point) {
+		for _, p := range pts {
+			fmt.Fprintf(w, "%s,%s,%d,%g\n", series, key, p.T, p.V)
+		}
+	}
+	row("utilization", "", rep.Curves.Utilization)
+	row("fragmentation_index", "", rep.Curves.FragmentationIndex)
+	for _, class := range sortedKeys(rep.Curves.QueueDepth) {
+		row("queue_depth", class, rep.Curves.QueueDepth[class])
+	}
+	for _, tenant := range sortedKeys(rep.Curves.SLOBudgetRemaining) {
+		row("slo_budget_remaining", tenant, rep.Curves.SLOBudgetRemaining[tenant])
+	}
+}
+
+// sortedKeys orders a curve map's keys for deterministic CSV output.
+func sortedKeys(m map[string][]tsdb.Point) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

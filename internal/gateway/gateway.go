@@ -24,6 +24,7 @@ import (
 	"vital/internal/core"
 	"vital/internal/httpapi"
 	"vital/internal/telemetry"
+	"vital/internal/telemetry/tsdb"
 	"vital/internal/workload"
 )
 
@@ -73,6 +74,10 @@ type Gateway struct {
 	Tracer *telemetry.Tracer
 	// Alerts evaluates the per-tenant SLO burn-rate rules.
 	Alerts *telemetry.AlertEngine
+	// DB is the gateway's embedded time-series store: vitalgw's poller
+	// scrapes Reg into it, and GET /query federates it with the backend's
+	// store under a tier label.
+	DB *tsdb.DB
 	// slos holds one error-budget tracker per tenant.
 	slos *telemetry.SLOSet
 
@@ -110,6 +115,7 @@ func New(cfg Config) (*Gateway, error) {
 		Reg:     telemetry.NewRegistry(),
 		Tracer:  telemetry.NewTracer(0),
 		Alerts:  telemetry.NewAlertEngine(nil),
+		DB:      tsdb.New(tsdb.Options{}),
 		limits:  newLimiterSet(cfg.Rate, cfg.Burst),
 		designs: map[bitstream.CacheKey]string{},
 		apps:    map[string]bool{},
@@ -127,6 +133,10 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.slos = telemetry.NewSLOSet(objective, rules)
 	g.registerSLOs()
+	g.Reg.CounterFunc("vital_trace_evicted_total", "Trace segments overwritten by the bounded trace ring — nonzero means GET /trace/{id} answers may be partial.", func() float64 {
+		return float64(g.Tracer.Evicted())
+	})
+	g.DB.Register(g.Reg)
 	resp, err := client.Get(cfg.Backend + "/compileparams")
 	if err != nil {
 		return nil, fmt.Errorf("gateway: fetching backend compile params: %w", err)
@@ -470,6 +480,10 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 //	GET  /slo       → per-tenant error budgets and burn-rate alert states
 //	GET  /trace/{id} → the merged cross-process trace (gateway + backend
 //	                segments under one trace ID)
+//	GET  /query     → federated range queries: the gateway's own stored
+//	                series under tier=gateway merged with the backend's
+//	                /query answer under tier=backend (same grammar as the
+//	                backend route; no ?series= lists names from both tiers)
 //	GET  /traces    → recent gateway trace summaries (?max=)
 //	GET  /deployments, /deployments/{id}, /queue, /status, /alerts
 //	                → proxied backend reads
@@ -520,6 +534,7 @@ func (g *Gateway) Handler() http.Handler {
 	handle("GET /slo", g.handleSLO)
 	handle("GET /trace/{id}", g.handleTrace)
 	handle("GET /traces", g.handleTraces)
+	handle("GET /query", g.handleQuery)
 
 	handle("GET /deployments", func(w http.ResponseWriter, r *http.Request) {
 		g.proxyGET(w, r, "/deployments")
@@ -552,6 +567,15 @@ func (g *Gateway) Handler() http.Handler {
 	})
 
 	var h http.Handler = mux
+	// One gateway-wide request counter across every route — the federation
+	// demo's rate(vital_gateway_requests_total) source. The route-level
+	// detail lives in vital_http_requests_total; this series is the single
+	// tier-wide throughput signal the TSDB graphs.
+	h = telemetry.ObserveStatus(h, func(_ *http.Request, status int, _ time.Duration) {
+		g.Reg.Counter("vital_gateway_requests_total",
+			"Requests served by the gateway across all routes, by status code.",
+			telemetry.L("code", strconv.Itoa(status))).Inc()
+	})
 	if g.cfg.Logf != nil {
 		h = telemetry.AccessLog(g.cfg.Logf, h)
 	}

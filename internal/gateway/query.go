@@ -1,0 +1,133 @@
+// The gateway's federated range-query surface: GET /query runs the
+// parsed query against the gateway's own embedded TSDB and the backend's
+// /query route, then merges the two answers under a query-time tier
+// label (tier=gateway / tier=backend). Neither store persists the tier —
+// each tier's series stay unprefixed locally, and federation is a
+// labeling concern of the edge that joins them.
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"vital/internal/httpapi"
+	"vital/internal/telemetry/tsdb"
+)
+
+// handleQuery serves GET /query. Without ?series= it lists the union of
+// stored metric names across both tiers; with one, it answers the range
+// query from both tiers' stores. A backend that is down or predates the
+// /query route degrades to gateway-only results rather than failing the
+// whole query.
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("series") == "" {
+		names := g.DB.Names()
+		if remote, ok := g.backendNames(); ok {
+			seen := map[string]bool{}
+			for _, n := range names {
+				seen[n] = true
+			}
+			for _, n := range remote {
+				if !seen[n] {
+					names = append(names, n)
+				}
+			}
+			sort.Strings(names)
+		}
+		httpapi.WriteJSON(w, http.StatusOK, tsdb.NamesResponse{Names: names})
+		return
+	}
+	q, err := tsdb.ParseHTTPQuery(r)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The tier matcher is federation-level, not stored: strip it before
+	// querying either store and honor it by skipping the excluded tier.
+	tier := ""
+	if t, ok := q.Matchers["tier"]; ok {
+		tier = t
+		delete(q.Matchers, "tier")
+	}
+	resp := &tsdb.Response{
+		Series: q.Name, Func: q.Func, Q: q.Q,
+		StartMs: q.Start.UnixMilli(), EndMs: q.End.UnixMilli(), StepMs: q.Step.Milliseconds(),
+	}
+	if tier == "" || tier == "gateway" {
+		local, err := g.DB.Query(q)
+		if err != nil {
+			httpapi.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		tsdb.AddLabel(local, "tier", "gateway")
+		tsdb.Merge(resp, local)
+	}
+	if tier == "" || tier == "backend" {
+		// Re-encode the forwarded parameters with the tier matcher stripped
+		// from the selector — the backend's store has no tier label.
+		params := r.URL.Query()
+		params.Set("series", selectorString(q.Name, q.Matchers))
+		if remote, ok := g.backendQuery(params.Encode()); ok {
+			tsdb.AddLabel(remote, "tier", "backend")
+			tsdb.Merge(resp, remote)
+		}
+	}
+	httpapi.WriteJSON(w, http.StatusOK, resp)
+}
+
+// selectorString renders a selector back to the /query grammar, matcher
+// keys sorted for a stable wire form.
+func selectorString(name string, matchers map[string]string) string {
+	if len(matchers) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(matchers))
+	for k := range matchers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := name + "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k + "=" + strconv.Quote(matchers[k])
+	}
+	return s + "}"
+}
+
+// backendQuery runs the caller's raw query against the backend's /query.
+func (g *Gateway) backendQuery(rawQuery string) (*tsdb.Response, bool) {
+	resp, err := g.client.Get(g.cfg.Backend + "/query?" + rawQuery)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var out tsdb.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, false
+	}
+	return &out, true
+}
+
+// backendNames lists the backend store's metric names.
+func (g *Gateway) backendNames() ([]string, bool) {
+	resp, err := g.client.Get(g.cfg.Backend + "/query")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var out tsdb.NamesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, false
+	}
+	return out.Names, true
+}

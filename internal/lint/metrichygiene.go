@@ -57,6 +57,7 @@ var metricLabelAllowlist = map[string]bool{
 	"class":   true,
 	"code":    true,
 	"dir":     true,
+	"func":    true,
 	"kind":    true,
 	"op":      true,
 	"outcome": true,
@@ -65,6 +66,7 @@ var metricLabelAllowlist = map[string]bool{
 	"segment": true,
 	"stage":   true,
 	"tenant":  true,
+	"tier":    true,
 	"window":  true,
 }
 

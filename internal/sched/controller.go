@@ -12,6 +12,7 @@ import (
 	"vital/internal/cluster"
 	"vital/internal/memvirt"
 	"vital/internal/telemetry"
+	"vital/internal/telemetry/tsdb"
 	"vital/internal/verify"
 )
 
@@ -36,6 +37,11 @@ type Controller struct {
 	// synchronized; rules sample controller state, so nothing holding
 	// ct.mu may call into it — see alerts.go for the lock ordering).
 	Alerts *telemetry.AlertEngine
+	// TSDB is the controller's embedded time-series store: a scrape loop
+	// (vitald's poller, or tests calling Scrape directly) samples Reg into
+	// it, and GET /query answers range queries over the history. Internally
+	// synchronized; created empty — it holds nothing until scraped.
+	TSDB *tsdb.DB
 	// log, opts, lat, alertThresholds and dp are set once at construction
 	// (log is internally synchronized, lat's histograms and dp's counters
 	// are atomic), so they live above mu (fields below mu are guarded by
@@ -119,10 +125,12 @@ func NewControllerWithOptions(c *cluster.Cluster, opts Options) *Controller {
 		Cache:      bitstream.NewCompileCache(),
 		Reg:        telemetry.NewRegistry(),
 		Tracer:     telemetry.NewTracer(opts.TraceLimit),
+		TSDB:       tsdb.New(tsdb.Options{}),
 		deployed:   map[string]*Deployment{},
 		log:        newEventLog(),
 		opts:       opts,
 	}
+	ct.TSDB.Register(ct.Reg)
 	ct.alertThresholds = DefaultAlertThresholds()
 	if opts.Alerts != nil {
 		ct.alertThresholds = *opts.Alerts

@@ -47,6 +47,12 @@ const shedRetryAfterSeconds = 1
 //	                          (p50/p90/p99). ?format=prometheus switches to
 //	                          the Prometheus text exposition of the full
 //	                          registry (histograms, gauges, counters).
+//	GET  /query             → range queries over the embedded time-series
+//	                          store (?series=name{k="v"}&func=rate|increase|
+//	                          avg|max|quantile|last|raw&start=&end=&step=;
+//	                          no ?series= lists stored metric names). The
+//	                          store holds history only while a scrape loop
+//	                          runs (vitald's -scrape-interval poller).
 //	GET  /traces?app=A&max=N&since=T → recent trace summaries, newest
 //	                          first; ?app= matches the root span's app attr
 //	                          exactly or by prefix, ?since= is an RFC 3339
@@ -113,6 +119,10 @@ func NewHandler(ct *Controller) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, ct.Metrics())
+	})
+
+	handle("GET /query", func(w http.ResponseWriter, r *http.Request) {
+		ct.TSDB.ServeQuery(w, r)
 	})
 
 	handle("GET /traces", func(w http.ResponseWriter, r *http.Request) {

@@ -80,6 +80,9 @@ func (ct *Controller) registerTelemetry() {
 			return float64(len(ct.DB.Runs(b)))
 		}, lbl)
 	}
+	r.CounterFunc("vital_trace_evicted_total", "Trace segments overwritten by the bounded trace ring — nonzero means GET /trace/{id} answers may be partial.", func() float64 {
+		return float64(ct.Tracer.Evicted())
+	})
 	r.CounterFunc("vital_cache_hits_total", "Compile-cache hits.", func() float64 {
 		return float64(ct.Cache.Stats().Hits)
 	})

@@ -109,6 +109,36 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vital_test_seconds", "", []float64{0.2})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	s := h.Summary()
+	// One finite bucket holding everything: rank 5 of 10 interpolates to
+	// 0 + 0.2·(5/10) = 0.1.
+	if math.Abs(s.P50-0.1) > 1e-12 {
+		t.Fatalf("p50 = %v, want 0.1", s.P50)
+	}
+}
+
+func TestHistogramExactBoundaryRank(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vital_test_seconds", "", []float64{0.1, 0.5})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05) // ≤ 0.1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.3) // (0.1, 0.5]
+	}
+	// rank = 0.5·20 = 10, exactly the first bucket's cumulative count:
+	// interpolation reaches the 0.1 boundary without spilling over.
+	if got := h.Summary().P50; math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("p50 = %v, want exactly the 0.1 bucket boundary", got)
+	}
+}
+
 func TestHistogramEmptySummary(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("vital_test_seconds", "", nil)

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,6 +53,13 @@ type TraceSummary struct {
 type TraceData struct {
 	TraceSummary
 	AllSpans []SpanData `json:"all_spans"`
+	// Partial marks a merge that is provably missing spans: orphaned
+	// parents or no true root. The usual cause is ring eviction (see
+	// Tracer.Evicted) or a backend segment the gateway couldn't reach.
+	Partial bool `json:"partial,omitempty"`
+	// OrphanSpans counts spans whose parent is absent from the merged
+	// span set (segment roots whose upstream span is missing).
+	OrphanSpans int `json:"orphan_spans,omitempty"`
 }
 
 // trace accumulates the spans of one process-local segment of a trace.
@@ -89,11 +97,27 @@ type Span struct {
 // Tracer records completed trace segments into a bounded ring (oldest
 // evicted first).
 type Tracer struct {
+	// evicted counts segments overwritten by the ring — the
+	// vital_trace_evicted_total source. Atomic: read lock-free at scrape
+	// time while commits hold mu.
+	evicted atomic.Uint64
+
 	mu    sync.Mutex
 	limit int
 	// ring is circular once full; next is the oldest slot.
 	ring []TraceData
 	next int
+}
+
+// Evicted reports how many committed segments the ring has overwritten
+// since the tracer was created. A nonzero value means GET /trace/{id}
+// answers may be partial: a multi-segment trace can lose its early
+// segments while later ones survive.
+func (tr *Tracer) Evicted() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.evicted.Load()
 }
 
 // newTraceID returns a random 32-hex-char trace ID. Randomness (rather
@@ -290,6 +314,7 @@ func (tr *Tracer) commit(td TraceData) {
 	}
 	tr.ring[tr.next] = td
 	tr.next = (tr.next + 1) % tr.limit
+	tr.evicted.Add(1)
 }
 
 // Get returns a completed trace by ID. When several segments of the
@@ -351,6 +376,7 @@ func MergeTraces(segs []TraceData) TraceData {
 		return spans[i].ID < spans[j].ID
 	})
 	first, last := summary.Start, summary.Start.Add(summary.Duration)
+	orphans := 0
 	for _, sp := range spans {
 		if sp.Start.Before(first) {
 			first = sp.Start
@@ -358,13 +384,18 @@ func MergeTraces(segs []TraceData) TraceData {
 		if end := sp.Start.Add(sp.Duration); end.After(last) {
 			last = end
 		}
+		if sp.Parent != 0 && !seen[sp.Parent] {
+			orphans++
+		}
 	}
 	return TraceData{
 		TraceSummary: TraceSummary{
 			ID: summary.ID, Name: summary.Name, Start: first, Duration: last.Sub(first),
 			Attrs: summary.Attrs, Spans: len(spans),
 		},
-		AllSpans: spans,
+		AllSpans:    spans,
+		Partial:     orphans > 0 || !rooted,
+		OrphanSpans: orphans,
 	}
 }
 
@@ -442,7 +473,13 @@ func (td *TraceData) Tree() string {
 		})
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace %s (%d spans)\n", td.ID, len(td.AllSpans))
+	fmt.Fprintf(&b, "trace %s (%d spans)", td.ID, len(td.AllSpans))
+	if td.Partial {
+		// Eviction or an unreachable segment left holes: say so instead of
+		// rendering a mysteriously contiguous tree.
+		fmt.Fprintf(&b, "  [partial: %d orphaned span(s)]", td.OrphanSpans)
+	}
+	b.WriteByte('\n')
 	var walk func(parent int64, depth int)
 	walk = func(parent int64, depth int) {
 		for _, sp := range children[parent] {

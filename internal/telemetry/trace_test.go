@@ -77,6 +77,78 @@ func TestTracerRingEviction(t *testing.T) {
 	}
 }
 
+func TestTracerEvictedCounter(t *testing.T) {
+	tr := NewTracer(1)
+	if got := tr.Evicted(); got != 0 {
+		t.Fatalf("fresh tracer Evicted = %d, want 0", got)
+	}
+	first := tr.Start("op")
+	first.End()
+	// Filling the ring is not eviction.
+	if got := tr.Evicted(); got != 0 {
+		t.Fatalf("Evicted after fill = %d, want 0", got)
+	}
+	for i := 1; i <= 3; i++ {
+		sp := tr.Start("op", Int("i", i))
+		sp.End()
+		if got := tr.Evicted(); got != uint64(i) {
+			t.Fatalf("Evicted after %d overwrites = %d", i, got)
+		}
+	}
+	var nilTr *Tracer
+	if got := nilTr.Evicted(); got != 0 {
+		t.Fatalf("nil tracer Evicted = %d, want 0", got)
+	}
+}
+
+func TestMergeTracesPartialDetection(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("submit")
+	sc := root.Context()
+	root.End()
+	seg := tr.StartRemote("deploy.async", sc)
+	child := seg.Child("allocate")
+	child.End()
+	seg.End()
+
+	// Both segments present: the async root's parent resolves, no orphans.
+	full, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatalf("merged trace not retrievable")
+	}
+	if full.Partial || full.OrphanSpans != 0 {
+		t.Fatalf("complete merge marked partial: partial=%v orphans=%d", full.Partial, full.OrphanSpans)
+	}
+	if strings.Contains(full.Tree(), "partial") {
+		t.Fatalf("complete tree labeled partial:\n%s", full.Tree())
+	}
+
+	// Drop the rooted segment — as if the ring evicted it. The async
+	// segment's root now orphans and the merge has no Parent==0 span.
+	var asyncSeg TraceData
+	tr.mu.Lock()
+	for _, td := range tr.ring {
+		for _, sp := range td.AllSpans {
+			if sp.Name == "deploy.async" {
+				asyncSeg = td
+			}
+		}
+	}
+	tr.mu.Unlock()
+	partial := MergeTraces([]TraceData{asyncSeg})
+	if !partial.Partial || partial.OrphanSpans != 1 {
+		t.Fatalf("evicted-parent merge: partial=%v orphans=%d, want true/1", partial.Partial, partial.OrphanSpans)
+	}
+	tree := partial.Tree()
+	if !strings.Contains(tree, "partial: 1 orphaned span(s)") {
+		t.Fatalf("partial tree not labeled:\n%s", tree)
+	}
+	// The orphaned segment still renders — fallback-rooted, not dropped.
+	if !strings.Contains(tree, "deploy.async") || !strings.Contains(tree, "allocate") {
+		t.Fatalf("partial tree missing spans:\n%s", tree)
+	}
+}
+
 func TestTracerRecentBeforeWrap(t *testing.T) {
 	tr := NewTracer(8)
 	a := tr.Start("one")

@@ -1,0 +1,82 @@
+// Chunk encoding: each series stores its samples in a short ring of
+// append-only chunks. Within a chunk, timestamps are delta-encoded
+// (zigzag varint of the millisecond delta from the previous sample — two
+// bytes for any regular scrape cadence under ~16 s) and values are
+// XOR-encoded (uvarint of the current value's float bits XORed with the
+// previous sample's). A counter that did not move between scrapes costs
+// one byte for the timestamp delta and one for the zero XOR; a gauge
+// whose mantissa wiggles costs a few more. Appending touches only the
+// active chunk's tail — O(1), no re-encoding.
+package tsdb
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// chunk is one encoded run of consecutive samples of a single series.
+type chunk struct {
+	// t0 is the first sample's timestamp (unix milliseconds); minT/maxT
+	// bound the chunk for range pruning (minT == t0, maxT == the last
+	// appended timestamp).
+	t0, maxT int64
+	n        int
+	buf      []byte
+
+	// Encoder state: the previous sample, against which the next append
+	// is delta/XOR-coded.
+	lastT int64
+	lastV uint64
+}
+
+// append encodes one sample onto the chunk tail. Timestamps may repeat or
+// even regress (the zigzag delta is signed); the decoder reproduces them
+// exactly either way.
+func (c *chunk) append(t int64, v float64) {
+	bits := math.Float64bits(v)
+	if c.n == 0 {
+		c.t0, c.lastT, c.lastV = t, t, 0
+	}
+	c.buf = binary.AppendUvarint(c.buf, zigzag(t-c.lastT))
+	c.buf = binary.AppendUvarint(c.buf, bits^c.lastV)
+	c.lastT, c.lastV = t, bits
+	if t > c.maxT {
+		c.maxT = t
+	}
+	c.n++
+}
+
+// iter decodes the chunk in append order, calling f per sample until f
+// returns false. A corrupt tail (impossible unless memory was scribbled
+// on) terminates the walk early rather than panicking.
+func (c *chunk) iter(f func(t int64, v float64) bool) {
+	t, bits := c.t0, uint64(0)
+	buf := c.buf
+	for i := 0; i < c.n; i++ {
+		dz, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return
+		}
+		buf = buf[n:]
+		x, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return
+		}
+		buf = buf[n:]
+		if i == 0 {
+			t = c.t0
+		} else {
+			t += unzigzag(dz)
+		}
+		bits ^= x
+		if !f(t, math.Float64frombits(bits)) {
+			return
+		}
+	}
+}
+
+// zigzag maps a signed delta onto the unsigned varint space so small
+// negative deltas stay small on the wire.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,124 @@
+// HTTP surface: both serving tiers mount GET /query over their embedded
+// DB through these helpers so the parameter grammar, error shapes, and
+// response JSON stay identical — the gateway then federates by running
+// the same parsed query against its own DB and the backend's /query and
+// re-labeling each side with a tier label.
+package tsdb
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vital/internal/httpapi"
+)
+
+// NamesResponse answers GET /query with no series parameter — the
+// discovery listing of stored metric names.
+type NamesResponse struct {
+	Names []string `json:"names"`
+}
+
+// ParseHTTPQuery builds a Query from GET /query parameters:
+//
+//	series  required selector: name or name{key="value",...}
+//	func    one of last|avg|max|rate|increase|quantile|raw (default last)
+//	q       quantile in (0,1], required when func=quantile
+//	start   RFC 3339 timestamp or lookback duration (default 15m)
+//	end     RFC 3339 timestamp or lookback duration (default now)
+//	step    aligned-step width (default 15s)
+//	window  lookback window per step (default: the step)
+func ParseHTTPQuery(r *http.Request) (Query, error) {
+	var q Query
+	name, matchers, err := ParseSelector(r.URL.Query().Get("series"))
+	if err != nil {
+		return q, err
+	}
+	q.Name, q.Matchers = name, matchers
+	fn, err := httpapi.QueryEnum(r, "func", string(FuncLast), Funcs()...)
+	if err != nil {
+		return q, err
+	}
+	q.Func = Func(fn)
+	if q.Func == FuncQuantile {
+		phi, err := queryFloat(r, "q")
+		if err != nil {
+			return q, err
+		}
+		q.Q = phi
+	}
+	start, err := httpapi.QuerySince(r, "start")
+	if err != nil {
+		return q, err
+	}
+	if start.IsZero() {
+		start = time.Now().Add(-15 * time.Minute)
+	}
+	q.Start = start
+	end, err := httpapi.QuerySince(r, "end")
+	if err != nil {
+		return q, err
+	}
+	if end.IsZero() {
+		end = time.Now()
+	}
+	q.End = end
+	if q.Step, err = httpapi.QueryDuration(r, "step", 15*time.Second); err != nil {
+		return q, err
+	}
+	if q.Window, err = httpapi.QueryDuration(r, "window", 0); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// queryFloat parses a required float query parameter.
+func queryFloat(r *http.Request, name string) (float64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, fmt.Errorf("bad %s: required for func=quantile (e.g. q=0.99)", name)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q: want a float in (0,1]", name, s)
+	}
+	return v, nil
+}
+
+// ServeQuery is the whole GET /query handler for a tier that serves only
+// its own DB (vitald). No series parameter lists stored names; otherwise
+// the parsed query runs and the Response is the body.
+func (db *DB) ServeQuery(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("series") == "" {
+		httpapi.WriteJSON(w, http.StatusOK, NamesResponse{Names: db.Names()})
+		return
+	}
+	q, err := ParseHTTPQuery(r)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := db.Query(q)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, resp)
+}
+
+// AddLabel stamps one label onto every result of a response — the
+// gateway's federation step tags each side's series with its tier.
+func AddLabel(resp *Response, k, v string) {
+	for i := range resp.Results {
+		if resp.Results[i].Labels == nil {
+			resp.Results[i].Labels = map[string]string{}
+		}
+		resp.Results[i].Labels[k] = v
+	}
+}
+
+// Merge appends src's results onto dst (after any re-labeling).
+func Merge(dst, src *Response) {
+	dst.Results = append(dst.Results, src.Results...)
+}
